@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the rendered result (so ``pytest benchmarks/ --benchmark-only -s``
+reproduces the evaluation section on stdout).  Experiment drivers are
+deterministic whole-simulation runs, so each is measured with a single
+round — the interesting output is the table, not the nanoseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run an experiment driver once under pytest-benchmark and print it."""
+
+    def _run(fn, render=None):
+        result = benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+        if render is not None:
+            with capsys.disabled():
+                print()
+                print(render(result))
+        return result
+
+    return _run

@@ -1,0 +1,59 @@
+"""Extension bench — tie prioritization among equal-distance blocks.
+
+Paper §3.3: "data blocks with the same reference distance might not all
+fit the cache, a methodology to prioritize which data block is cached
+in case of such ties are left for future work."  This bench compares
+three stable tie-breaking rules (fixed partition subset, largest-block-
+first, youngest-RDD-first) on the workloads where ties are most common.
+"""
+
+from repro.core.policy import MrdScheme
+from repro.experiments.harness import build_workload_dag, cache_mb_for, format_table
+from repro.simulator.config import MAIN_CLUSTER
+from repro.simulator.engine import simulate
+
+WORKLOADS = ("PR", "CC", "LP", "KM")
+RULES = ("partition", "size", "creation")
+CACHE_FRACTION = 0.4
+
+
+def run():
+    results = {}
+    for name in WORKLOADS:
+        dag = build_workload_dag(name)
+        config = MAIN_CLUSTER.with_cache(cache_mb_for(dag, CACHE_FRACTION, MAIN_CLUSTER))
+        results[name] = {
+            rule: simulate(dag, config, MrdScheme(tie_breaker=rule))
+            for rule in RULES
+        }
+    return results
+
+
+def render(results):
+    rows = []
+    for name, by_rule in results.items():
+        base = by_rule["partition"].jct
+        rows.append(
+            [name]
+            + [round(by_rule[r].jct / base, 3) for r in RULES]
+            + [f"{by_rule[r].hit_ratio * 100:.0f}%" for r in RULES]
+        )
+    return format_table(
+        ["Workload"] + [f"JCT {r}" for r in RULES] + [f"hit {r}" for r in RULES],
+        rows,
+        title="Ablation: tie-breaking rule (JCT relative to 'partition')",
+    )
+
+
+def test_ablation_tie_breakers(run_experiment):
+    results = run_experiment(run, render=render)
+    for name, by_rule in results.items():
+        # "partition" and "creation" are near-equivalent subset rules.
+        ratio = by_rule["creation"].jct / by_rule["partition"].jct
+        assert 0.85 < ratio < 1.15, name
+        # "largest-first" can backfire badly (it preferentially evicts
+        # the big, hot training/edge blocks) — the finding this ablation
+        # documents — but it must stay a bounded regression, not thrash.
+        assert by_rule["size"].jct / by_rule["partition"].jct < 2.2, name
+        for rule in RULES:
+            assert 0.0 <= by_rule[rule].hit_ratio <= 1.0

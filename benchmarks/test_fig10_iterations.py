@@ -1,0 +1,20 @@
+"""Figure 10 — effect of tripling workload iterations."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_iteration_scaling(run_experiment):
+    rows = run_experiment(fig10.run, render=fig10.render)
+    by_name = {r.workload: r for r in rows}
+    # Jobs and stages grow for every iterable workload; DT is unchanged.
+    for r in rows:
+        if r.workload == "DT":
+            assert r.jobs_3x == r.jobs_1x and r.stages_3x == r.stages_1x
+        else:
+            assert r.jobs_3x > r.jobs_1x
+            assert r.stages_3x > r.stages_1x
+    # On average the normalized JCT improves (paper: 62 % → 54 %).
+    iterable = [r for r in rows if r.workload != "DT"]
+    avg_1x = sum(r.mrd_jct_1x for r in iterable) / len(iterable)
+    avg_3x = sum(r.mrd_jct_3x for r in iterable) / len(iterable)
+    assert avg_3x <= avg_1x + 0.03

@@ -1,0 +1,21 @@
+"""Figures 11-12 — JCT reduction vs stage distance / refs per stage."""
+
+from repro.experiments import fig4, fig11_12
+
+
+def test_fig11_12_correlations(run_experiment):
+    def run():
+        rows = fig4.run()
+        return fig11_12.run(rows)
+
+    result = run_experiment(run, render=fig11_12.render)
+    # Positive trend: more stage distance / more refs per stage → more
+    # JCT reduction (paper's Figs. 11-12 trendlines slope upward).
+    assert result.slope_stage_distance > 0
+    assert result.slope_refs_per_stage > 0
+    # Explanatory power in the paper's direction (paper: R²=0.46 and
+    # 0.71), and the paper's headline ordering: references per stage is
+    # the stronger predictor of MRD's benefit than stage distance.
+    assert result.r2_stage_distance > 0.03
+    assert result.r2_refs_per_stage > 0.4
+    assert result.r2_refs_per_stage > result.r2_stage_distance

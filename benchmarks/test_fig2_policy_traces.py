@@ -1,0 +1,22 @@
+"""Figure 2 — per-stage policy metrics for ConnectedComponents."""
+
+import math
+
+from repro.experiments import fig2
+
+
+def test_fig2_policy_traces(run_experiment):
+    def render_all(trace):
+        return "\n\n".join(fig2.render(trace, p) for p in ("lru", "lrc", "mrd"))
+
+    trace = run_experiment(lambda: fig2.run("CC"), render=render_all)
+    assert trace.rdd_ids
+    # The paper's qualitative claims: at a reference point MRD gives the
+    # block top priority (distance 0) while a single-reference RDD that
+    # is done gets infinite distance (first to evict).
+    for rid in trace.rdd_ids:
+        prof = trace.dag.profiles[rid]
+        if prof.read_seqs:
+            seq = prof.read_seqs[0]
+            assert trace.mrd[rid][seq] == 0.0
+        assert math.isinf(trace.mrd[rid][-1]) or trace.dag.profiles[rid].read_seqs

@@ -1,0 +1,14 @@
+"""Figure 5 — MRD vs LRC on the emulated 20-node EC2 cluster."""
+
+from repro.experiments import fig5
+
+
+def test_fig5_comparison_to_lrc(run_experiment):
+    rows = run_experiment(fig5.run, render=fig5.render)
+    # MRD at least matches LRC everywhere and wins on average
+    # (paper: up to 45 %, average 30 %).
+    assert all(r.mrd_vs_lrc <= 1.05 for r in rows)
+    avg_gain = sum(r.improvement_pct for r in rows) / len(rows)
+    assert avg_gain > 5.0
+    best = max(rows, key=lambda r: r.improvement_pct)
+    assert best.improvement_pct > 15.0

@@ -1,0 +1,17 @@
+"""Figure 7 — cache-size sweep (hit ratio + runtime) for SVD++."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_cache_size_effects(run_experiment):
+    result = run_experiment(fig7.run, render=fig7.render)
+    # Smaller cache → lower hit ratio, longer runtime (paper's headline).
+    mrd_hits = result.hit["MRD"]
+    assert mrd_hits[0] <= mrd_hits[-1]
+    assert result.jct["MRD"][0] >= result.jct["MRD"][-1] * 0.95
+    # MRD dominates LRU at every cache size.
+    for lru_jct, mrd_jct in zip(result.jct["LRU"], result.jct["MRD"]):
+        assert mrd_jct <= lru_jct * 1.02
+    # Cache-space savings at the target hit ratio (paper: 63 %).
+    savings = fig7.cache_savings_pct(result)
+    assert savings is not None and savings > 0

@@ -1,0 +1,17 @@
+"""Figure 8 — stage-distance vs job-distance metric (LP vs KM)."""
+
+from repro.experiments import fig8
+
+
+def test_fig8_stage_vs_job_distance(run_experiment):
+    rows = run_experiment(fig8.run, render=fig8.render)
+    by_name = {r.workload: r for r in rows}
+    lp, km = by_name["LP"], by_name["KM"]
+    # LP has many active stages per job → the job metric degrades it;
+    # KM has ≈1 stage per job → nearly no difference (paper §5.7).
+    assert lp.active_stages_per_job > km.active_stages_per_job
+    lp_loss = lp.job_metric_jct / lp.stage_metric_jct
+    km_loss = km.job_metric_jct / km.stage_metric_jct
+    assert lp_loss > 1.03, "job metric should visibly degrade LP"
+    assert km_loss <= 1.02, "job metric should not affect KM (~1 stage/job)"
+    assert lp_loss > km_loss

@@ -1,0 +1,16 @@
+"""Figure 9 — ad-hoc vs recurring DAG availability (KM vs TC)."""
+
+from repro.experiments import fig9
+
+
+def test_fig9_adhoc_vs_recurring(run_experiment):
+    rows = run_experiment(fig9.run, render=fig9.render)
+    by_name = {r.workload: r for r in rows}
+    km, tc = by_name["KM"], by_name["TC"]
+    # KM (17 jobs, heavy cross-job reuse) suffers without the full DAG;
+    # TC (2 jobs, 0.5 refs/RDD) is indifferent (paper §5.8).
+    km_penalty = km.adhoc_jct / km.recurring_jct
+    tc_penalty = tc.adhoc_jct / tc.recurring_jct
+    assert km_penalty > 1.05
+    assert tc_penalty <= km_penalty
+    assert km.adhoc_hit <= km.recurring_hit

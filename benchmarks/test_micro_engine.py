@@ -1,0 +1,79 @@
+"""Microbenchmarks — simulator throughput and policy-decision costs.
+
+Not a paper figure: guards against performance regressions in the
+engine (tasks simulated per second) and in victim selection, which is
+the hot path of every policy (the paper's §4.4 claims MRD's overhead is
+"a small sorting ... undetectable differences" — this keeps us honest
+about our own overhead).
+"""
+
+from repro.cluster.block import Block, BlockId
+from repro.cluster.memory_store import MemoryStore
+from repro.core.app_profiler import AppProfiler
+from repro.core.cache_monitor import CacheMonitor
+from repro.core.manager import MrdManager
+from repro.core.policy import MrdScheme
+from repro.experiments.harness import build_workload_dag, cache_mb_for
+from repro.policies.lru import LruPolicy
+from repro.policies.scheme import LruScheme
+from repro.simulator.config import MAIN_CLUSTER
+from repro.simulator.engine import simulate
+
+
+def test_engine_throughput_lru(benchmark):
+    dag = build_workload_dag("PO", partitions=32)
+    config = MAIN_CLUSTER.with_cache(cache_mb_for(dag, 0.4, MAIN_CLUSTER))
+    metrics = benchmark.pedantic(
+        lambda: simulate(dag, config, LruScheme()), rounds=3, iterations=1
+    )
+    total_tasks = sum(r.num_tasks for r in metrics.stage_records)
+    assert total_tasks > 1000  # meaningful workload size
+
+
+def test_engine_throughput_mrd(benchmark):
+    dag = build_workload_dag("PO", partitions=32)
+    config = MAIN_CLUSTER.with_cache(cache_mb_for(dag, 0.4, MAIN_CLUSTER))
+    benchmark.pedantic(
+        lambda: simulate(dag, config, MrdScheme()), rounds=3, iterations=1
+    )
+
+
+def _filled_store(policy, blocks=256):
+    store = MemoryStore(float(blocks), policy)
+    for i in range(blocks):
+        store.put(Block(id=BlockId(i % 8, i), size_mb=1.0))
+    return store
+
+
+def test_lru_victim_selection(benchmark):
+    store = _filled_store(LruPolicy())
+    result = benchmark(lambda: store.policy.select_victims(store, 8.0))
+    assert result is not None and len(result) == 8
+
+
+def test_mrd_victim_selection(benchmark):
+    dag = build_workload_dag("CC", partitions=16)
+    manager = MrdManager(dag, AppProfiler(dag, mode="recurring"))
+    store = _filled_store(CacheMonitor(0, manager))
+    result = benchmark(lambda: store.policy.select_victims(store, 8.0))
+    assert result is not None and len(result) == 8
+
+
+def test_mrd_table_advance(benchmark):
+    """The per-stage bookkeeping the paper calls 'a small sorting'."""
+    dag = build_workload_dag("SCC", partitions=16)
+    tables = []
+
+    def fresh_table():
+        scheme = MrdScheme()
+        scheme.prepare(dag)
+        tables.append(scheme.manager.table)
+        return (), {}
+
+    def advance_all():
+        table = tables[-1]
+        for seq in range(dag.num_active_stages):
+            table.advance(seq, dag.job_of_seq(seq))
+
+    benchmark.pedantic(advance_all, setup=fresh_table, rounds=5)
+    assert tables[-1].size() == 0  # everything consumed by the end

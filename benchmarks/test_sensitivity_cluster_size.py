@@ -1,0 +1,62 @@
+"""Extension bench — sensitivity to cluster size.
+
+The paper evaluates three fixed clusters (Table 4).  This bench sweeps
+node counts with total cache held constant, checking that MRD's
+advantage is not an artifact of the 25-node main-cluster shape and
+measuring how the serialized per-node disk channel scales.
+"""
+
+from dataclasses import replace
+
+from repro.core.policy import MrdScheme
+from repro.dag.analysis import peak_live_cached_mb
+from repro.experiments.harness import build_workload_dag, format_table
+from repro.policies.scheme import LruScheme
+from repro.simulator.config import MAIN_CLUSTER
+from repro.simulator.engine import simulate
+
+NODE_COUNTS = (5, 10, 25, 50)
+WORKLOAD = "CC"
+CACHE_FRACTION = 0.4
+
+
+def run():
+    dag = build_workload_dag(WORKLOAD)
+    total_cache = peak_live_cached_mb(dag) * CACHE_FRACTION
+    results = {}
+    for nodes in NODE_COUNTS:
+        cluster = replace(
+            MAIN_CLUSTER, num_nodes=nodes,
+            cache_mb_per_node=max(total_cache / nodes, 8.0),
+        )
+        results[nodes] = {
+            "LRU": simulate(dag, cluster, LruScheme()),
+            "MRD": simulate(dag, cluster, MrdScheme()),
+        }
+    return results
+
+
+def render(results):
+    rows = []
+    for nodes, runs in results.items():
+        lru, mrd = runs["LRU"], runs["MRD"]
+        rows.append(
+            (nodes, round(lru.jct, 2), round(mrd.jct, 2),
+             round(mrd.jct / lru.jct, 3),
+             f"{lru.hit_ratio * 100:.0f}%", f"{mrd.hit_ratio * 100:.0f}%")
+        )
+    return format_table(
+        ["Nodes", "LRU JCT", "MRD JCT", "ratio", "LRU hit", "MRD hit"],
+        rows,
+        title=f"Sensitivity: cluster size ({WORKLOAD}, total cache held constant)",
+    )
+
+
+def test_sensitivity_cluster_size(run_experiment):
+    results = run_experiment(run, render=render)
+    for nodes, runs in results.items():
+        ratio = runs["MRD"].jct / runs["LRU"].jct
+        assert ratio <= 1.05, f"MRD loses at {nodes} nodes"
+    # More nodes → more parallel slots and disk channels → faster runs.
+    lru_jcts = [results[n]["LRU"].jct for n in NODE_COUNTS]
+    assert lru_jcts[0] > lru_jcts[-1]

@@ -1,0 +1,55 @@
+"""Extension bench — sensitivity to partition count (block granularity).
+
+The paper uses HDFS's 128 MB blocks; our workloads default to 64
+partitions.  Partition count sets the cache's decision granularity:
+fewer, larger blocks make admission all-or-nothing while many small
+blocks let the stable-subset behaviour shine.  This bench verifies the
+MRD-vs-LRU ordering holds across granularities.
+"""
+
+from repro.core.policy import MrdScheme
+from repro.experiments.harness import build_workload_dag, cache_mb_for, format_table
+from repro.policies.scheme import LruScheme
+from repro.simulator.config import MAIN_CLUSTER
+from repro.simulator.engine import simulate
+
+PARTITION_COUNTS = (25, 50, 100, 200)
+WORKLOAD = "PR"
+CACHE_FRACTION = 0.5
+
+
+def run():
+    results = {}
+    for parts in PARTITION_COUNTS:
+        dag = build_workload_dag(WORKLOAD, partitions=parts)
+        cluster = MAIN_CLUSTER.with_cache(
+            cache_mb_for(dag, CACHE_FRACTION, MAIN_CLUSTER)
+        )
+        results[parts] = {
+            "LRU": simulate(dag, cluster, LruScheme()),
+            "MRD": simulate(dag, cluster, MrdScheme()),
+        }
+    return results
+
+
+def render(results):
+    rows = []
+    for parts, runs in results.items():
+        lru, mrd = runs["LRU"], runs["MRD"]
+        rows.append(
+            (parts, round(lru.jct, 2), round(mrd.jct, 2),
+             round(mrd.jct / lru.jct, 3),
+             f"{lru.hit_ratio * 100:.0f}%", f"{mrd.hit_ratio * 100:.0f}%")
+        )
+    return format_table(
+        ["Partitions", "LRU JCT", "MRD JCT", "ratio", "LRU hit", "MRD hit"],
+        rows,
+        title=f"Sensitivity: partition count ({WORKLOAD}, cache fraction {CACHE_FRACTION})",
+    )
+
+
+def test_sensitivity_partitions(run_experiment):
+    results = run_experiment(run, render=render)
+    for parts, runs in results.items():
+        assert runs["MRD"].jct <= runs["LRU"].jct * 1.05, parts
+        assert runs["MRD"].hit_ratio >= runs["LRU"].hit_ratio - 0.02, parts

@@ -1,0 +1,13 @@
+"""Table 1 — reference-distance characteristics of all 20 workloads."""
+
+from repro.experiments import table1
+
+
+def test_table1_reference_distances(run_experiment):
+    rows = run_experiment(table1.run, render=table1.render)
+    assert len(rows) == 20
+    measured = {r.measured.workload: r.measured for r in rows}
+    # Headline shape: LP and SCC dominate stage distances; HiBench ~0.
+    assert measured["LP"].avg_stage_distance > 10
+    assert measured["SCC"].avg_stage_distance > 10
+    assert measured["Sort"].avg_stage_distance == 0.0

@@ -1,0 +1,14 @@
+"""Table 3 — SparkBench workload characteristics."""
+
+from repro.experiments import table3
+
+
+def test_table3_characteristics(run_experiment):
+    rows = run_experiment(table3.run, render=table3.render)
+    assert len(rows) == 14
+    measured = {r.measured.workload: r.measured for r in rows}
+    # Exact job counts match the paper for most workloads.
+    for name, jobs in [("KM", 17), ("SVM", 10), ("MF", 8), ("PR", 7),
+                       ("TC", 2), ("SP", 3), ("LP", 23), ("SVD++", 14),
+                       ("CC", 6), ("SCC", 26), ("PO", 17), ("DT", 10)]:
+        assert measured[name].num_jobs == jobs, name

@@ -1,0 +1,296 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro workloads
+    python -m repro run PR --scheme MRD --cache-fraction 0.5
+    python -m repro run KM --scheme MRD --mode adhoc --cluster lrc
+    python -m repro sweep CC --schemes LRU,LRC,MRD --fractions 0.2,0.4,0.6
+    python -m repro experiment fig4
+    python -m repro experiment table1
+
+Every command prints plain-text tables (the same renderers the
+benchmark suite uses) and is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.core.policy import MrdScheme
+from repro.dag.analysis import distance_stats, workload_characteristics
+from repro.experiments import (
+    fig2,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11_12,
+    table1,
+    table3,
+)
+from repro.experiments.harness import (
+    DEFAULT_CACHE_FRACTIONS,
+    build_workload_dag,
+    cache_mb_for,
+    format_table,
+    sweep_workload,
+)
+from repro.policies.scheme import (
+    BeladyScheme,
+    CacheScheme,
+    FifoScheme,
+    LfuScheme,
+    LrcScheme,
+    LruScheme,
+    MemTuneScheme,
+    RandomScheme,
+)
+from repro.simulator.config import CLUSTERS
+from repro.simulator.engine import simulate
+from repro.workloads.registry import workload_names
+
+#: name -> zero-arg scheme factory for the CLI.
+SCHEME_FACTORIES: dict[str, Callable[[], CacheScheme]] = {
+    "LRU": LruScheme,
+    "FIFO": FifoScheme,
+    "LFU": LfuScheme,
+    "Random": RandomScheme,
+    "LRC": LrcScheme,
+    "MemTune": MemTuneScheme,
+    "Belady": BeladyScheme,
+    "MRD": MrdScheme,
+    "MRD-evict": lambda: MrdScheme(prefetch=False),
+    "MRD-prefetch": lambda: MrdScheme(evict=False),
+}
+
+_EXPERIMENTS = {
+    "table1": (table1.run, table1.render),
+    "table3": (table3.run, table3.render),
+    "fig2": (lambda: fig2.run("CC"), lambda t: "\n\n".join(
+        fig2.render(t, p) for p in ("lru", "lrc", "mrd"))),
+    "fig4": (fig4.run, fig4.render),
+    "fig5": (fig5.run, fig5.render),
+    "fig6": (fig6.run, fig6.render),
+    "fig7": (fig7.run, fig7.render),
+    "fig8": (fig8.run, fig8.render),
+    "fig9": (fig9.run, fig9.render),
+    "fig10": (fig10.run, fig10.render),
+    "fig11_12": (fig11_12.run, fig11_12.render),
+}
+
+
+def _make_scheme(args: argparse.Namespace) -> CacheScheme:
+    name = args.scheme
+    if name not in SCHEME_FACTORIES:
+        raise SystemExit(
+            f"unknown scheme {name!r}; choose from {sorted(SCHEME_FACTORIES)}"
+        )
+    if name.startswith("MRD") and (args.mode != "recurring" or args.metric != "stage"):
+        return MrdScheme(
+            evict=name != "MRD-prefetch",
+            prefetch=name != "MRD-evict",
+            mode=args.mode,
+            metric=args.metric,
+        )
+    return SCHEME_FACTORIES[name]()
+
+
+def _cluster(args: argparse.Namespace):
+    try:
+        return CLUSTERS[args.cluster]
+    except KeyError:
+        raise SystemExit(f"unknown cluster {args.cluster!r}; choose from {sorted(CLUSTERS)}")
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_workloads(args: argparse.Namespace) -> int:
+    rows = []
+    for suite in ("sparkbench", "hibench"):
+        for name in workload_names(suite):
+            dag = build_workload_dag(name, partitions=16)
+            chars = workload_characteristics(dag, name)
+            dist = distance_stats(dag, name)
+            rows.append(
+                (suite, name, chars.num_jobs, chars.num_stages,
+                 chars.num_active_stages, round(dist.avg_stage_distance, 2))
+            )
+    print(format_table(
+        ["Suite", "Workload", "Jobs", "Stages", "Active", "AvgStageDist"],
+        rows, title="Registered workloads",
+    ))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cluster = _cluster(args)
+    dag = build_workload_dag(
+        args.workload, scale=args.scale, iterations=args.iterations,
+        partitions=args.partitions,
+    )
+    cache = (
+        args.cache_mb
+        if args.cache_mb is not None
+        else cache_mb_for(dag, args.cache_fraction, cluster)
+    )
+    metrics = simulate(dag, cluster.with_cache(cache), _make_scheme(args))
+    print(f"cluster={cluster.name} cache={cache:.1f} MB/node")
+    print(metrics.summary())
+    if args.verbose:
+        for record in metrics.stage_records:
+            print(f"  stage seq={record.seq:3d} job={record.job_id:3d} "
+                  f"tasks={record.num_tasks:3d} "
+                  f"[{record.start:9.3f} → {record.end:9.3f}]")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    cluster = _cluster(args)
+    names = args.schemes.split(",")
+    for name in names:
+        if name not in SCHEME_FACTORIES:
+            raise SystemExit(f"unknown scheme {name!r}")
+    fractions = tuple(float(f) for f in args.fractions.split(","))
+    sweep = sweep_workload(
+        args.workload,
+        schemes={n: SCHEME_FACTORIES[n] for n in names},
+        cluster=cluster,
+        cache_fractions=fractions,
+        scale=args.scale,
+        iterations=args.iterations,
+    )
+    rows = []
+    for fraction in sweep.fractions():
+        for scheme in sweep.schemes():
+            run = sweep.get(scheme, fraction)
+            rows.append(
+                (fraction, round(run.cache_mb_per_node, 1), scheme,
+                 round(run.jct, 3), f"{run.hit_ratio * 100:.0f}%")
+            )
+    print(format_table(
+        ["Fraction", "MB/node", "Scheme", "JCT", "Hit"],
+        rows, title=f"Sweep: {args.workload} on {cluster.name}",
+    ))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    try:
+        run, render = _EXPERIMENTS[args.name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {args.name!r}; choose from {sorted(_EXPERIMENTS)}"
+        )
+    print(render(run()))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MRD (ICPP'18) reproduction: Spark cache-policy simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list registered workloads").set_defaults(
+        func=cmd_workloads
+    )
+
+    run_p = sub.add_parser("run", help="simulate one workload under one scheme")
+    run_p.add_argument("workload")
+    run_p.add_argument("--scheme", default="MRD", help=f"one of {sorted(SCHEME_FACTORIES)}")
+    run_p.add_argument("--cluster", default="main", help=f"one of {sorted(CLUSTERS)}")
+    run_p.add_argument("--cache-fraction", type=float, default=0.5,
+                       help="cache as a fraction of the peak live cached set")
+    run_p.add_argument("--cache-mb", type=float, default=None,
+                       help="absolute cache MB per node (overrides --cache-fraction)")
+    run_p.add_argument("--scale", type=float, default=1.0)
+    run_p.add_argument("--iterations", type=int, default=None)
+    run_p.add_argument("--partitions", type=int, default=None)
+    run_p.add_argument("--mode", choices=("recurring", "adhoc"), default="recurring")
+    run_p.add_argument("--metric", choices=("stage", "job"), default="stage")
+    run_p.add_argument("-v", "--verbose", action="store_true")
+    run_p.set_defaults(func=cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="cache-size sweep across schemes")
+    sweep_p.add_argument("workload")
+    sweep_p.add_argument("--schemes", default="LRU,LRC,MemTune,MRD")
+    sweep_p.add_argument("--fractions",
+                         default=",".join(str(f) for f in DEFAULT_CACHE_FRACTIONS))
+    sweep_p.add_argument("--cluster", default="main")
+    sweep_p.add_argument("--scale", type=float, default=1.0)
+    sweep_p.add_argument("--iterations", type=int, default=None)
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp_p.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")
+    exp_p.set_defaults(func=cmd_experiment)
+
+    report_p = sub.add_parser(
+        "report", help="regenerate the full evaluation as markdown"
+    )
+    report_p.add_argument("-o", "--output", default=None,
+                          help="write to a file instead of stdout")
+    report_p.set_defaults(func=cmd_report)
+
+    dot_p = sub.add_parser("dot", help="export a workload's DAG as Graphviz DOT")
+    dot_p.add_argument("workload")
+    dot_p.add_argument("--view", choices=("lineage", "stages"), default="stages")
+    dot_p.add_argument("--no-skipped", action="store_true",
+                       help="omit skipped stages from the stage view")
+    dot_p.add_argument("-o", "--output", default=None)
+    dot_p.add_argument("--scale", type=float, default=1.0)
+    dot_p.add_argument("--iterations", type=int, default=None)
+    dot_p.set_defaults(func=cmd_dot)
+
+    return parser
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    from repro.dag.visualize import lineage_to_dot, stages_to_dot
+
+    dag = build_workload_dag(
+        args.workload, scale=args.scale, iterations=args.iterations, partitions=8
+    )
+    if args.view == "lineage":
+        text = lineage_to_dot(dag)
+    else:
+        text = stages_to_dot(dag, include_skipped=not args.no_skipped)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"DOT written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    text = generate_report(
+        out=args.output, progress=args.output is not None
+    )
+    if args.output is None:
+        print(text)
+    else:
+        print(f"report written to {args.output}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

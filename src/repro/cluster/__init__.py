@@ -1,0 +1,30 @@
+"""Simulated cluster substrate: blocks, stores, nodes, block managers."""
+
+from repro.cluster.block import Block, BlockId, block_of, blocks_of
+from repro.cluster.block_manager import AccessOutcome, BlockManager, BlockManagerStats
+from repro.cluster.block_manager_master import BlockManagerMaster
+from repro.cluster.cluster import Cluster, ClusterConfig, build_cluster
+from repro.cluster.disk_store import DiskStore
+from repro.cluster.memory_store import MemoryStore, PutResult
+from repro.cluster.network import DiskModel, NetworkModel
+from repro.cluster.node import WorkerNode
+
+__all__ = [
+    "AccessOutcome",
+    "Block",
+    "BlockId",
+    "BlockManager",
+    "BlockManagerMaster",
+    "BlockManagerStats",
+    "Cluster",
+    "ClusterConfig",
+    "DiskModel",
+    "DiskStore",
+    "MemoryStore",
+    "NetworkModel",
+    "PutResult",
+    "WorkerNode",
+    "block_of",
+    "blocks_of",
+    "build_cluster",
+]

@@ -1,0 +1,54 @@
+"""Data blocks: the unit of caching, eviction and prefetching.
+
+A block is one partition of a cached RDD, identified by
+``(rdd_id, partition_index)`` — the analogue of Spark's
+``RDDBlockId("rdd_<id>_<index>")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dag.rdd import RDD
+
+
+@dataclass(frozen=True, order=True)
+class BlockId:
+    """Identity of one cached partition."""
+
+    rdd_id: int
+    partition: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"rdd_{self.rdd_id}_{self.partition}"
+
+
+@dataclass(frozen=True)
+class Block:
+    """A materialized partition: identity + size + provenance label."""
+
+    id: BlockId
+    size_mb: float
+    rdd_name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size_mb < 0:
+            raise ValueError("block size must be non-negative")
+
+
+def blocks_of(rdd: RDD) -> list[Block]:
+    """All blocks of ``rdd``, one per partition."""
+    return [
+        Block(id=BlockId(rdd.id, p), size_mb=rdd.partition_size_mb, rdd_name=rdd.name)
+        for p in range(rdd.num_partitions)
+    ]
+
+
+def block_of(rdd: RDD, partition: int) -> Block:
+    """The block for one partition of ``rdd``."""
+    if not 0 <= partition < rdd.num_partitions:
+        raise IndexError(
+            f"partition {partition} out of range for {rdd.name} "
+            f"({rdd.num_partitions} partitions)"
+        )
+    return Block(id=BlockId(rdd.id, partition), size_mb=rdd.partition_size_mb, rdd_name=rdd.name)

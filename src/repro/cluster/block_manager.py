@@ -1,0 +1,138 @@
+"""Per-node block manager: the access/insert/evict bookkeeping layer.
+
+Sits between the simulator and a node's stores, mirroring Spark's
+``BlockManager``: write-through of cached blocks to disk, hit/miss
+accounting, and eviction/prefetch counters that the metrics module
+aggregates into the paper's reported quantities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cluster.block import Block, BlockId
+from repro.cluster.node import WorkerNode
+
+
+class AccessOutcome(enum.Enum):
+    """How a cached-block read was served."""
+
+    MEMORY_HIT = "hit"
+    DISK_READ = "disk"
+    MISSING = "missing"  # neither in memory nor on disk (never computed)
+
+
+@dataclass
+class BlockManagerStats:
+    """Counters for one node, aggregated cluster-wide by the metrics."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    failed_insertions: int = 0
+    evictions: int = 0
+    purged: int = 0
+    prefetches_issued: int = 0
+    prefetches_used: int = 0
+    prefetched_mb: float = 0.0
+    evicted_mb: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class BlockManager:
+    """Block bookkeeping for one :class:`WorkerNode`."""
+
+    def __init__(self, node: WorkerNode) -> None:
+        self.node = node
+        self.stats = BlockManagerStats()
+        #: Block ids currently being prefetched -> completion time.
+        self.inflight_prefetch: dict[BlockId, float] = {}
+        #: Blocks that entered memory via prefetch and were not yet read.
+        self._prefetched_unread: set[BlockId] = set()
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def access(self, block_id: BlockId) -> AccessOutcome:
+        """Classify (and account) a cached-block read on this node."""
+        if block_id in self.node.memory:
+            self.node.memory.get(block_id)
+            self.stats.hits += 1
+            if block_id in self._prefetched_unread:
+                self._prefetched_unread.discard(block_id)
+                self.stats.prefetches_used += 1
+            return AccessOutcome.MEMORY_HIT
+        self.stats.misses += 1
+        self.node.memory.policy.on_miss(block_id)
+        if block_id in self.node.disk:
+            return AccessOutcome.DISK_READ
+        return AccessOutcome.MISSING
+
+    def record_buffered_hit(self, block_id: BlockId) -> None:
+        """Account a read served straight from an arriving prefetch.
+
+        When a prefetched block is denied cache admission (it would
+        displace more urgent data) but a task is waiting on the
+        transfer, the bytes are consumed directly from the fetch buffer:
+        the I/O was already overlapped, so this counts as a hit and as a
+        used prefetch without the block entering the store.
+        """
+        self.stats.hits += 1
+        self.stats.prefetches_used += 1
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def insert_cached(self, block: Block, protect: frozenset[BlockId] = frozenset()) -> bool:
+        """Cache a newly computed block (write-through to disk).
+
+        Returns True if the block made it into memory; either way the
+        disk copy exists afterwards so the block stays prefetchable.
+        """
+        self.node.disk.put(block)
+        result = self.node.memory.put(block, protect)
+        if result.stored:
+            self.stats.insertions += 1
+        else:
+            self.stats.failed_insertions += 1
+        self._account_evictions(result.evicted)
+        return result.stored
+
+    def promote_from_disk(self, block: Block, protect: frozenset[BlockId] = frozenset(), prefetch: bool = False) -> bool:
+        """Bring a disk-resident block back into memory.
+
+        Used both by the synchronous miss path (read-through caching)
+        and by the asynchronous prefetcher (``prefetch=True``).
+        """
+        if block.id not in self.node.disk:
+            raise KeyError(f"{block.id} not on node {self.node.node_id} disk")
+        result = self.node.memory.put(block, protect, prefetch=prefetch)
+        self._account_evictions(result.evicted)
+        if result.stored and prefetch:
+            self._prefetched_unread.add(block.id)
+            self.stats.prefetched_mb += block.size_mb
+        return result.stored
+
+    def purge_block(self, block_id: BlockId, drop_disk: bool = False) -> None:
+        """Remove a block (manager-ordered purge, not capacity pressure)."""
+        if block_id in self.node.memory and not self.node.memory.is_pinned(block_id):
+            removed = self.node.memory.remove(block_id)
+            if removed is not None:
+                self.stats.purged += 1
+                self._prefetched_unread.discard(block_id)
+        if drop_disk:
+            self.node.disk.remove(block_id)
+
+    def _account_evictions(self, evicted: list[Block]) -> None:
+        for block in evicted:
+            self.stats.evictions += 1
+            self.stats.evicted_mb += block.size_mb
+            self._prefetched_unread.discard(block.id)

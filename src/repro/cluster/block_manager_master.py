@@ -1,0 +1,95 @@
+"""Cluster-level block routing and cluster-wide orders.
+
+The master knows which node is *home* for every block (Spark places a
+cached partition on the executor that computed it; we derive placement
+deterministically from the partition index) and fans cluster-wide
+purge orders out to every node's block manager — the paper's
+``BlockManagerMaster`` / ``BlockManagerMasterEndpoint`` role.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cluster.block import Block, BlockId
+from repro.cluster.block_manager import BlockManager, BlockManagerStats
+from repro.cluster.node import WorkerNode
+
+
+class BlockManagerMaster:
+    """Routes block operations to per-node managers."""
+
+    def __init__(self, nodes: list[WorkerNode]) -> None:
+        if not nodes:
+            raise ValueError("a cluster needs at least one node")
+        self.nodes = nodes
+        self.managers = [BlockManager(node) for node in nodes]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def home_node_id(self, block_id: BlockId) -> int:
+        """Home node for a block: partitions round-robin over nodes."""
+        return block_id.partition % self.num_nodes
+
+    def manager_for(self, block_id: BlockId) -> BlockManager:
+        return self.managers[self.home_node_id(block_id)]
+
+    def task_node_id(self, partition: int) -> int:
+        """Node executing task ``partition`` (locality-aligned with data)."""
+        return partition % self.num_nodes
+
+    # ------------------------------------------------------------------
+    # cluster-wide orders
+    # ------------------------------------------------------------------
+    def purge_rdd(self, rdd_id: int, drop_disk: bool = False) -> int:
+        """Evict every cached block of ``rdd_id`` across the cluster.
+
+        This is the manager's "all-out purge" for RDDs whose reference
+        distance reached infinity (Algorithm 1, lines 13–17).  Returns
+        the number of blocks dropped from memory.
+        """
+        dropped = 0
+        for mgr in self.managers:
+            for bid in [b for b in mgr.node.memory.block_ids() if b.rdd_id == rdd_id]:
+                if not mgr.node.memory.is_pinned(bid):
+                    mgr.purge_block(bid, drop_disk=drop_disk)
+                    dropped += 1
+            if drop_disk:
+                for bid in [b for b in list(mgr.node.disk.block_ids()) if b.rdd_id == rdd_id]:
+                    mgr.node.disk.remove(bid)
+        return dropped
+
+    def memory_contains(self, block_id: BlockId) -> bool:
+        return block_id in self.manager_for(block_id).node.memory
+
+    def disk_contains(self, block_id: BlockId) -> bool:
+        return block_id in self.manager_for(block_id).node.disk
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def total_stats(self) -> BlockManagerStats:
+        """Sum of all per-node counters."""
+        total = BlockManagerStats()
+        for mgr in self.managers:
+            s = mgr.stats
+            total.hits += s.hits
+            total.misses += s.misses
+            total.insertions += s.insertions
+            total.failed_insertions += s.failed_insertions
+            total.evictions += s.evictions
+            total.purged += s.purged
+            total.prefetches_issued += s.prefetches_issued
+            total.prefetches_used += s.prefetches_used
+            total.prefetched_mb += s.prefetched_mb
+            total.evicted_mb += s.evicted_mb
+        return total
+
+    def cached_blocks(self) -> Iterable[Block]:
+        for mgr in self.managers:
+            yield from mgr.node.memory.blocks()

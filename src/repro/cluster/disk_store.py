@@ -1,0 +1,65 @@
+"""Per-node local disk store.
+
+Cached RDD blocks are written through to local disk on first
+computation (``MEMORY_AND_DISK`` semantics, see
+:class:`repro.dag.rdd.StorageLevel`), so an evicted block can later be
+re-read — synchronously on a cache miss, or asynchronously by the MRD
+prefetcher.  Capacity is effectively unbounded (the paper's nodes have
+200 GB disks against 8 GB of RAM) but is still tracked so tests can
+assert accounting invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.cluster.block import Block, BlockId
+
+
+class DiskStore:
+    """Unordered block map with size accounting."""
+
+    def __init__(self, capacity_mb: float = 200_000.0) -> None:
+        if capacity_mb <= 0:
+            raise ValueError("disk capacity must be positive")
+        self.capacity_mb = float(capacity_mb)
+        self._blocks: dict[BlockId, Block] = {}
+        self._used_mb = 0.0
+
+    @property
+    def used_mb(self) -> float:
+        return self._used_mb
+
+    @property
+    def free_mb(self) -> float:
+        return self.capacity_mb - self._used_mb
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block_id: BlockId) -> bool:
+        return block_id in self._blocks
+
+    def get(self, block_id: BlockId) -> Optional[Block]:
+        return self._blocks.get(block_id)
+
+    def block_ids(self) -> Iterator[BlockId]:
+        return iter(self._blocks)
+
+    def put(self, block: Block) -> bool:
+        """Store ``block``; returns False if the disk is full."""
+        if block.id in self._blocks:
+            return True
+        if block.size_mb > self.free_mb:
+            return False
+        self._blocks[block.id] = block
+        self._used_mb += block.size_mb
+        return True
+
+    def remove(self, block_id: BlockId) -> Optional[Block]:
+        block = self._blocks.pop(block_id, None)
+        if block is not None:
+            self._used_mb -= block.size_mb
+            if self._used_mb < 1e-9:
+                self._used_mb = 0.0
+        return block

@@ -1,0 +1,160 @@
+"""Bounded per-node block cache with pluggable eviction policy.
+
+Mirrors Spark's ``MemoryStore``: a capacity-bounded map from
+:class:`BlockId` to :class:`Block`.  Inserting past capacity asks the
+eviction policy for victims; blocks pinned by running tasks are never
+evicted; a block larger than the whole store (or whose space cannot be
+freed) is refused rather than partially cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.block import Block, BlockId
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.policies.base import EvictionPolicy
+
+
+@dataclass
+class PutResult:
+    """Outcome of a :meth:`MemoryStore.put` call."""
+
+    stored: bool
+    evicted: list[Block] = field(default_factory=list)
+
+
+class MemoryStore:
+    """Capacity-bounded in-memory block store for one worker node."""
+
+    def __init__(self, capacity_mb: float, policy: "EvictionPolicy") -> None:
+        if capacity_mb < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_mb = float(capacity_mb)
+        self.policy = policy
+        self._blocks: dict[BlockId, Block] = {}
+        self._used_mb = 0.0
+        self._pinned: dict[BlockId, int] = {}
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def used_mb(self) -> float:
+        return self._used_mb
+
+    @property
+    def free_mb(self) -> float:
+        return self.capacity_mb - self._used_mb
+
+    @property
+    def free_fraction(self) -> float:
+        return self.free_mb / self.capacity_mb if self.capacity_mb else 0.0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block_id: BlockId) -> bool:
+        return block_id in self._blocks
+
+    def block(self, block_id: BlockId) -> Block:
+        return self._blocks[block_id]
+
+    def block_ids(self) -> Iterator[BlockId]:
+        return iter(self._blocks)
+
+    def blocks(self) -> Iterator[Block]:
+        return iter(self._blocks.values())
+
+    def is_pinned(self, block_id: BlockId) -> bool:
+        return self._pinned.get(block_id, 0) > 0
+
+    # ------------------------------------------------------------------
+    # pinning — blocks being read by a running task must not be evicted
+    # ------------------------------------------------------------------
+    def pin(self, block_id: BlockId) -> None:
+        if block_id not in self._blocks:
+            raise KeyError(f"cannot pin absent block {block_id}")
+        self._pinned[block_id] = self._pinned.get(block_id, 0) + 1
+
+    def unpin(self, block_id: BlockId) -> None:
+        count = self._pinned.get(block_id, 0)
+        if count <= 0:
+            raise ValueError(f"unpin without pin for {block_id}")
+        if count == 1:
+            del self._pinned[block_id]
+        else:
+            self._pinned[block_id] = count - 1
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def get(self, block_id: BlockId) -> Optional[Block]:
+        """Read a block (cache hit path); updates policy recency state."""
+        block = self._blocks.get(block_id)
+        if block is not None:
+            self.policy.on_access(block)
+        return block
+
+    def put(
+        self,
+        block: Block,
+        protect: frozenset[BlockId] = frozenset(),
+        prefetch: bool = False,
+    ) -> PutResult:
+        """Insert ``block``, evicting per policy if needed.
+
+        ``protect`` lists blocks that must not be chosen as victims even
+        if unpinned (e.g. sibling input blocks of the inserting task).
+        ``prefetch`` marks prefetch-triggered insertions, which may use
+        a different victim order and admission rule (see
+        :meth:`EvictionPolicy.prefetch_eviction_order`).
+        Returns whether the block was stored and what was evicted.
+        """
+        if block.id in self._blocks:
+            self.policy.on_access(block)
+            return PutResult(stored=True)
+        if block.size_mb > self.capacity_mb:
+            return PutResult(stored=False)
+        evicted: list[Block] = []
+        needed = block.size_mb - self.free_mb
+        if needed > 0:
+            victims = self.policy.select_victims(
+                self, needed, protect | {block.id}, for_prefetch=prefetch
+            )
+            if victims is None:
+                return PutResult(stored=False, evicted=[])
+            admit = (
+                self.policy.admit_prefetch_over(block, victims, self)
+                if prefetch
+                else self.policy.admit_over(block, victims, self)
+            )
+            if not admit:
+                return PutResult(stored=False, evicted=[])
+            for victim_id in victims:
+                evicted.append(self._evict(victim_id))
+        self._blocks[block.id] = block
+        self._used_mb += block.size_mb
+        self.policy.on_insert(block)
+        return PutResult(stored=True, evicted=evicted)
+
+    def remove(self, block_id: BlockId) -> Optional[Block]:
+        """Drop a block outright (purge path); no-op if absent."""
+        if block_id not in self._blocks:
+            return None
+        if self.is_pinned(block_id):
+            raise ValueError(f"cannot remove pinned block {block_id}")
+        return self._evict(block_id)
+
+    def _evict(self, block_id: BlockId) -> Block:
+        block = self._blocks.pop(block_id)
+        self._used_mb -= block.size_mb
+        # Guard against float drift on long runs.
+        if self._used_mb < 1e-9:
+            self._used_mb = 0.0
+        self.policy.on_remove(block_id)
+        return block

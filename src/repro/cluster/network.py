@@ -1,0 +1,66 @@
+"""Cluster interconnect and disk cost models.
+
+Simple latency + bandwidth models; all simulator I/O times funnel
+through these two classes so a single place controls the cost
+assumptions (and tests can pin them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Full-bisection network with per-transfer latency.
+
+    ``bandwidth_mbps`` is in *megabits* per second to match how the
+    paper's Table 4 specifies cluster links (500 Mbps / 450 Mbps /
+    1 Gbps).
+    """
+
+    bandwidth_mbps: float = 500.0
+    latency_s: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+
+    @property
+    def bandwidth_mb_per_s(self) -> float:
+        """Usable bandwidth in megabytes per second."""
+        return self.bandwidth_mbps / 8.0
+
+    def transfer_time(self, size_mb: float) -> float:
+        """Seconds to move ``size_mb`` between two nodes."""
+        if size_mb < 0:
+            raise ValueError("size must be non-negative")
+        if size_mb == 0:
+            return 0.0
+        return self.latency_s + size_mb / self.bandwidth_mb_per_s
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Local disk with sequential bandwidth and per-request seek time."""
+
+    bandwidth_mb_per_s: float = 120.0
+    seek_s: float = 0.003
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mb_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.seek_s < 0:
+            raise ValueError("seek time must be non-negative")
+
+    def read_time(self, size_mb: float) -> float:
+        """Seconds to read ``size_mb`` from local disk."""
+        if size_mb < 0:
+            raise ValueError("size must be non-negative")
+        if size_mb == 0:
+            return 0.0
+        return self.seek_s + size_mb / self.bandwidth_mb_per_s
+
+    write_time = read_time

@@ -1,0 +1,151 @@
+"""AppProfiler: builds and stores reference-distance profiles.
+
+Two modi operandi (paper §4.1):
+
+* **ad-hoc** — the application has never been profiled.  Each time the
+  DAGScheduler submits a job, the profiler parses that job's DAG and
+  hands the new references to the MRDmanager.  References in future
+  jobs are unknown until those jobs are submitted.
+* **recurring** — a complete profile from a previous run exists in the
+  :class:`ProfileStore`; the profiler sends the entire application's
+  references to the manager up front.
+
+The profile store persists profiles across runs (JSON on disk when a
+path is given), covering the paper's fault-tolerance note that a
+partially profiled application resumes profiling on its next run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.core.reference_distance import (
+    Reference,
+    cached_rdds_created_in_job,
+    parse_application_references,
+    parse_job_references,
+)
+from repro.dag.dag_builder import ApplicationDAG
+
+
+@dataclass
+class ApplicationProfile:
+    """Stored reference-distance profile of one application signature."""
+
+    signature: str
+    references: list[Reference] = field(default_factory=list)
+    num_jobs_profiled: int = 0
+    complete: bool = False
+
+    def to_json(self) -> dict:
+        return {
+            "signature": self.signature,
+            "references": [[r.seq, r.job_id, r.rdd_id] for r in self.references],
+            "num_jobs_profiled": self.num_jobs_profiled,
+            "complete": self.complete,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ApplicationProfile":
+        return cls(
+            signature=data["signature"],
+            references=[Reference(seq=s, job_id=j, rdd_id=r) for s, j, r in data["references"]],
+            num_jobs_profiled=data["num_jobs_profiled"],
+            complete=data["complete"],
+        )
+
+
+class ProfileStore:
+    """Profiles keyed by application signature, optionally file-backed."""
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        self.path = Path(path) if path else None
+        self._profiles: dict[str, ApplicationProfile] = {}
+        if self.path and self.path.exists():
+            self._load()
+
+    def get(self, signature: str) -> Optional[ApplicationProfile]:
+        return self._profiles.get(signature)
+
+    def put(self, profile: ApplicationProfile) -> None:
+        self._profiles[profile.signature] = profile
+        if self.path:
+            self._save()
+
+    def _save(self) -> None:
+        assert self.path is not None
+        payload = {sig: p.to_json() for sig, p in self._profiles.items()}
+        self.path.write_text(json.dumps(payload))
+
+    def _load(self) -> None:
+        assert self.path is not None
+        payload = json.loads(self.path.read_text())
+        self._profiles = {
+            sig: ApplicationProfile.from_json(data) for sig, data in payload.items()
+        }
+
+
+class AppProfiler:
+    """Parses job DAGs into references and maintains the stored profile."""
+
+    def __init__(
+        self,
+        dag: ApplicationDAG,
+        mode: str = "recurring",
+        store: Optional[ProfileStore] = None,
+    ) -> None:
+        if mode not in ("adhoc", "recurring"):
+            raise ValueError(f"mode must be 'adhoc' or 'recurring', got {mode!r}")
+        self.dag = dag
+        self.store = store or ProfileStore()
+        self.signature = dag.app.signature
+        self._building = ApplicationProfile(signature=self.signature)
+        stored = self.store.get(self.signature)
+        #: Effective mode: a recurring request degrades to ad-hoc when no
+        #: complete stored profile exists yet (first run of the app).
+        if mode == "recurring" and stored is not None and not stored.complete:
+            mode = "adhoc"
+        self.mode = mode
+
+    # ------------------------------------------------------------------
+    def initial_references(self) -> list[Reference]:
+        """References known before the first job runs.
+
+        Recurring mode sends the whole application DAG's profile to the
+        MRDmanager immediately (paper: "the AppProfiler instead can send
+        the entire application DAG").
+        """
+        if self.mode == "recurring":
+            stored = self.store.get(self.signature)
+            if stored is not None and stored.complete:
+                return list(stored.references)
+            # No stored profile: derive it from the full DAG (equivalent
+            # to having profiled an identical earlier run).
+            return parse_application_references(self.dag)
+        return []
+
+    def on_job_submit(self, job_id: int) -> tuple[list[Reference], list[int]]:
+        """New references and newly created cached RDDs for ``job_id``.
+
+        In recurring mode everything was delivered up front, so job
+        submissions only confirm (no discrepancy handling is needed in
+        a deterministic simulation).  In ad-hoc mode this is the only
+        source of information; it also appends to the profile being
+        built for future runs.
+        """
+        created = cached_rdds_created_in_job(self.dag, job_id)
+        if self.mode == "recurring":
+            return [], created
+        refs = parse_job_references(self.dag, job_id)
+        self._building.references.extend(refs)
+        self._building.num_jobs_profiled = job_id + 1
+        return refs, created
+
+    def finalize(self) -> None:
+        """Application finished: persist the (now complete) profile."""
+        if self.mode == "adhoc":
+            self._building.complete = self._building.num_jobs_profiled >= self.dag.num_jobs
+            self.store.put(self._building)

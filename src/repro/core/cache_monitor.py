@@ -1,0 +1,119 @@
+"""CacheMonitor: MRD's per-worker eviction logic.
+
+Deployed on every node, the monitor holds a (conceptual) copy of the
+reference-distance profile — here a handle to the shared
+:class:`MrdManager`, since a deterministic simulator needs no message
+passing — and picks eviction victims locally: the block with the
+*greatest* reference distance goes first, infinite-distance blocks
+leading, ties broken by least recent use.  It also reports cache status
+back to the manager (``reportCacheStatus`` in the paper's API table).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.cluster.block import Block, BlockId
+from repro.core.manager import MrdManager
+from repro.policies.base import EvictionPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.memory_store import MemoryStore
+
+
+@dataclass(frozen=True)
+class CacheStatus:
+    """Periodic node report consumed by the MRDmanager."""
+
+    node_id: int
+    used_mb: float
+    free_mb: float
+    hit_ratio: float
+    num_blocks: int
+
+
+#: Tie-breaking rules for blocks with equal reference distance.  The
+#: paper leaves tie prioritization as future work (§3.3); every rule
+#: here is *stable* (no recency), which is the property that prevents
+#: cyclic-scan thrash within an RDD:
+#:
+#: * ``"partition"`` — evict the highest partition index first (default;
+#:   keeps a fixed low-index subset resident).
+#: * ``"size"``      — evict the largest block first (frees the most
+#:   space per eviction, keeps more distinct blocks resident).
+#: * ``"creation"``  — evict the youngest RDD first (favours long-lived
+#:   data like graph edges over per-iteration temporaries).
+TIE_BREAKERS = ("partition", "size", "creation")
+
+
+class CacheMonitor(EvictionPolicy):
+    """Greatest-reference-distance eviction for one node."""
+
+    name = "MRD-CacheMonitor"
+
+    def __init__(
+        self, node_id: int, manager: MrdManager, tie_breaker: str = "partition"
+    ) -> None:
+        if tie_breaker not in TIE_BREAKERS:
+            raise ValueError(
+                f"tie_breaker must be one of {TIE_BREAKERS}, got {tie_breaker!r}"
+            )
+        self.node_id = node_id
+        self.manager = manager
+        self.tie_breaker = tie_breaker
+        self._touch = itertools.count()
+        self._last_touch: dict[BlockId, int] = {}
+        #: Block sizes observed at insertion (for the "size" rule).
+        self._sizes: dict[BlockId, float] = {}
+
+    def on_insert(self, block: Block) -> None:
+        self._last_touch[block.id] = next(self._touch)
+        self._sizes[block.id] = block.size_mb
+
+    def on_access(self, block: Block) -> None:
+        self._last_touch[block.id] = next(self._touch)
+
+    def on_remove(self, block_id: BlockId) -> None:
+        self._last_touch.pop(block_id, None)
+        self._sizes.pop(block_id, None)
+
+    def eviction_order(self, store: "MemoryStore") -> Iterator[BlockId]:
+        # Largest distance first (inf ahead of any finite value).  Ties
+        # — all blocks of one RDD share a distance — break on
+        # *descending partition index*: a stable rule that keeps a fixed
+        # subset of a partially-cached RDD resident instead of cycling
+        # through it (LRU tie-breaking degenerates to zero hits on
+        # cyclic scans of a working set larger than the cache).
+        return iter(sorted(store.block_ids(), key=self._evict_key))
+
+    def admit_over(self, block: Block, victims: list[BlockId], store: "MemoryStore") -> bool:
+        """Only displace blocks that are strictly worse than the newcomer.
+
+        A block whose eviction key ranks at-or-before every victim's
+        would itself be the next thing evicted — caching it would churn
+        a more valuable resident block for no benefit.
+        """
+        incoming = self._evict_key(block.id)
+        return all(incoming > self._evict_key(v) for v in victims)
+
+    def _evict_key(self, bid: BlockId) -> tuple[float, float, int, int]:
+        dist = self.manager.distance(bid.rdd_id)
+        if self.tie_breaker == "size":
+            tie = -self._sizes.get(bid, 0.0)
+        elif self.tie_breaker == "creation":
+            tie = -float(bid.rdd_id)
+        else:  # "partition"
+            tie = 0.0
+        return (-dist, tie, -bid.partition, -bid.rdd_id)
+
+    def report_cache_status(self, store: "MemoryStore", hit_ratio: float) -> CacheStatus:
+        """Build the periodic status report for the MRDmanager."""
+        return CacheStatus(
+            node_id=self.node_id,
+            used_mb=store.used_mb,
+            free_mb=store.free_mb,
+            hit_ratio=hit_ratio,
+            num_blocks=len(store),
+        )

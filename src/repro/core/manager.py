@@ -1,0 +1,259 @@
+"""MRDmanager: the centralized brain of the MRD policy.
+
+Owns the :class:`MrdTable`, advances it at every stage boundary,
+detects RDDs whose reference distance reached infinity (→ cluster-wide
+purge orders, Algorithm 1 lines 13–17) and selects prefetch targets per
+node (lines 24–29): lowest finite distance first, fetched when the
+block fits in free memory or when free memory exceeds the configured
+threshold (25 % of cache in the paper, which may force the eviction of
+the largest-distance blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.block import Block, BlockId
+from repro.cluster.cluster import Cluster
+from repro.core.app_profiler import AppProfiler
+from repro.core.mrd_table import INFINITE, MrdTable
+from repro.dag.dag_builder import ApplicationDAG
+
+
+@dataclass(frozen=True)
+class MrdConfig:
+    """Tunable knobs of the MRD policy.
+
+    ``metric``: "stage" (paper default) or "job" (Fig. 8 ablation).
+    ``prefetch_threshold``: free-memory fraction above which prefetching
+    may force evictions (paper: 0.25).
+    ``adaptive_threshold``: make the threshold dynamic — the paper's
+    declared future work ("modifying the prefetching memory threshold
+    to be dynamic and automated", §6).  The controller raises the
+    threshold (more conservative) when recent prefetches go unused and
+    lowers it when they are consumed.
+    ``max_prefetch_per_node``: implementation bound on prefetch orders
+    issued per node per stage boundary, so the aggressive policy cannot
+    queue unbounded disk traffic.
+    ``eager_purge``: issue all-out purge orders for dead RDDs instead of
+    waiting for memory pressure (paper behaviour; ablation flag).
+    ``guarded_prefetch``: only force an eviction for a prefetch when the
+    incoming block's distance beats the victim's (the paper leaves this
+    check as future work and ships without it).
+    """
+
+    metric: str = "stage"
+    prefetch_threshold: float = 0.25
+    adaptive_threshold: bool = False
+    max_prefetch_per_node: int = 8
+    eager_purge: bool = True
+    guarded_prefetch: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prefetch_threshold <= 1.0:
+            raise ValueError("prefetch_threshold must be in [0, 1]")
+        if self.max_prefetch_per_node < 0:
+            raise ValueError("max_prefetch_per_node must be non-negative")
+
+
+class AdaptiveThresholdController:
+    """Waste-driven controller for the prefetch memory threshold.
+
+    Each stage boundary it looks at the prefetches completed since the
+    last boundary: a high unused fraction means the aggressive policy is
+    churning the cache, so the free-memory bar is raised; near-complete
+    consumption lowers it.  Bounded multiplicative steps keep the
+    threshold stable (AIMD-flavoured, like TCP's congestion window).
+    """
+
+    def __init__(
+        self,
+        initial: float = 0.25,
+        lo: float = 0.02,
+        hi: float = 0.9,
+        raise_factor: float = 1.5,
+        lower_factor: float = 0.8,
+        waste_high: float = 0.5,
+        waste_low: float = 0.1,
+    ) -> None:
+        if not lo <= initial <= hi:
+            raise ValueError("initial threshold must lie within [lo, hi]")
+        self.value = initial
+        self.lo = lo
+        self.hi = hi
+        self.raise_factor = raise_factor
+        self.lower_factor = lower_factor
+        self.waste_high = waste_high
+        self.waste_low = waste_low
+        self._last_issued = 0
+        self._last_used = 0
+
+    def update(self, total_issued: int, total_used: int) -> float:
+        """Feed cumulative counters; returns the new threshold."""
+        issued = total_issued - self._last_issued
+        used = total_used - self._last_used
+        self._last_issued = total_issued
+        self._last_used = total_used
+        if issued > 0:
+            waste = 1.0 - used / issued
+            if waste >= self.waste_high:
+                self.value = min(self.value * self.raise_factor, self.hi)
+            elif waste <= self.waste_low:
+                self.value = max(self.value * self.lower_factor, self.lo)
+        return self.value
+
+
+@dataclass
+class StagePlan:
+    """Orders the manager issues at one stage boundary."""
+
+    purge_rdds: list[int] = field(default_factory=list)
+    prefetches: list[Block] = field(default_factory=list)
+
+
+class MrdManager:
+    """Centralized MRD state machine (one per application run)."""
+
+    def __init__(
+        self,
+        dag: ApplicationDAG,
+        profiler: AppProfiler,
+        config: MrdConfig | None = None,
+    ) -> None:
+        self.dag = dag
+        self.profiler = profiler
+        self.config = config or MrdConfig()
+        self.table = MrdTable(metric=self.config.metric)
+        self.table.add_references(profiler.initial_references())
+        self.threshold_controller = (
+            AdaptiveThresholdController(initial=self.config.prefetch_threshold)
+            if self.config.adaptive_threshold
+            else None
+        )
+        self._purged: set[int] = set()
+        #: rdd ids whose blocks exist (have been computed) — only these
+        #: can be purged or prefetched.
+        self._materialized: set[int] = set()
+        #: Largest number of references ever held by the MRD_Table — the
+        #: paper's storage-overhead metric (§4.4: "the largest MRD_Table
+        #: ... contained less than 300 references").
+        self.max_table_size = self.table.size()
+
+    # ------------------------------------------------------------------
+    # lifecycle notifications from the scheduler
+    # ------------------------------------------------------------------
+    def on_job_submit(self, job_id: int) -> None:
+        refs, created = self.profiler.on_job_submit(job_id)
+        self.table.add_references(refs)
+        self.max_table_size = max(self.max_table_size, self.table.size())
+        for rdd_id in created:
+            self.table.track(rdd_id)
+        # New information can resurrect an RDD we purged earlier
+        # (ad-hoc mode): allow it to be purged again later.
+        self._purged -= {r.rdd_id for r in refs}
+
+    def on_block_created(self, rdd_id: int) -> None:
+        """A cached RDD's blocks entered the cluster (first computation)."""
+        self._materialized.add(rdd_id)
+
+    def on_stage_start(self, seq: int, cluster: Cluster) -> StagePlan:
+        """Advance distances; emit purge + prefetch orders."""
+        job_id = self.dag.job_of_seq(seq)
+        self.table.advance(seq, job_id)
+        plan = StagePlan()
+        if self.config.eager_purge:
+            plan.purge_rdds = self._select_purges()
+        plan.prefetches = self._select_prefetches(cluster)
+        return plan
+
+    def distance(self, rdd_id: int) -> float:
+        """Current reference distance (the CacheMonitors' lookup)."""
+        return self.table.distance(rdd_id)
+
+    # ------------------------------------------------------------------
+    # order selection
+    # ------------------------------------------------------------------
+    def _select_purges(self) -> list[int]:
+        purges = [
+            rdd_id
+            for rdd_id in self.table.dead_rdds()
+            if rdd_id in self._materialized and rdd_id not in self._purged
+        ]
+        self._purged.update(purges)
+        return purges
+
+    def current_threshold(self, cluster: Cluster) -> float:
+        """Effective prefetch threshold (fixed, or controller-driven)."""
+        if self.threshold_controller is None:
+            return self.config.prefetch_threshold
+        stats = cluster.master.total_stats()
+        return self.threshold_controller.update(
+            stats.prefetches_issued, stats.prefetches_used
+        )
+
+    def _select_prefetches(self, cluster: Cluster) -> list[Block]:
+        cfg = self.config
+        if cfg.max_prefetch_per_node == 0:
+            return []
+        threshold = self.current_threshold(cluster)
+        master = cluster.master
+        rdds = self.dag.app.rdds
+        capacity = {n.node_id: n.memory.capacity_mb for n in cluster.nodes}
+        free = {n.node_id: n.memory.free_mb for n in cluster.nodes}
+        issued = {n.node_id: 0 for n in cluster.nodes}
+        # Worst (largest) resident distance per node, for the guarded
+        # forced-prefetch path; computed once per stage boundary.
+        worst_resident = {
+            m.node.node_id: self._worst_cached_distance(m) for m in master.managers
+        }
+        orders: list[Block] = []
+        for dist, rdd_id in self.table.candidates_by_distance():
+            if rdd_id not in self._materialized:
+                continue
+            rdd = rdds[rdd_id]
+            for p in range(rdd.num_partitions):
+                bid = BlockId(rdd_id, p)
+                mgr = master.manager_for(bid)
+                node_id = mgr.node.node_id
+                if issued[node_id] >= cfg.max_prefetch_per_node:
+                    continue
+                if bid in mgr.node.memory or bid in mgr.inflight_prefetch:
+                    continue
+                if bid not in mgr.node.disk:
+                    continue
+                block = Block(id=bid, size_mb=rdd.partition_size_mb, rdd_name=rdd.name)
+                fits = block.size_mb <= free[node_id]
+                cap = capacity[node_id]
+                above_threshold = cap > 0 and free[node_id] / cap >= threshold
+                if not fits:
+                    if above_threshold:
+                        # Paper's aggressive path: free memory beyond the
+                        # threshold, prefetch even if it forces evictions
+                        # (unguarded unless configured otherwise).
+                        if cfg.guarded_prefetch and worst_resident[node_id] <= dist:
+                            continue
+                    else:
+                        # Below the threshold: forced prefetch is allowed
+                        # only when the incoming block is strictly more
+                        # urgent than the worst resident block — the
+                        # CacheMonitor's local memory-pressure decision.
+                        if worst_resident[node_id] <= dist:
+                            continue
+                orders.append(block)
+                issued[node_id] += 1
+                free[node_id] = max(0.0, free[node_id] - block.size_mb)
+        return orders
+
+    def _worst_cached_distance(self, mgr) -> float:
+        worst = -1.0
+        for bid in mgr.node.memory.block_ids():
+            d = self.table.distance(bid.rdd_id)
+            if d is INFINITE or d == INFINITE:
+                return INFINITE
+            worst = max(worst, d)
+        return worst
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Application finished: let the profiler persist its profile."""
+        self.profiler.finalize()

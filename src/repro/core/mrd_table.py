@@ -1,0 +1,123 @@
+"""MRD_Table: the reference-distance profile maintained by the manager.
+
+For every tracked RDD the table keeps the ordered list of *upcoming*
+references.  As execution advances past a reference it is deleted and
+the next one becomes the RDD's comparison value (paper §4.1: "MRD will
+keep track of the distance values for all the references, but for
+comparison it will only use the lowest one").  An RDD whose list
+empties has *infinite* distance — first in line for eviction and the
+trigger for the manager's all-out purge.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from typing import Iterable
+
+from repro.core.reference_distance import Reference
+
+INFINITE = math.inf
+
+_METRICS = ("stage", "job")
+
+
+class MrdTable:
+    """Upcoming-reference lists plus the current execution position."""
+
+    def __init__(self, metric: str = "stage") -> None:
+        if metric not in _METRICS:
+            raise ValueError(f"metric must be one of {_METRICS}, got {metric!r}")
+        self.metric = metric
+        #: rdd_id -> sorted list of (seq, job_id) still ahead of execution
+        self._refs: dict[int, list[tuple[int, int]]] = {}
+        self.current_seq = 0
+        self.current_job = 0
+
+    # ------------------------------------------------------------------
+    # updates (paper APIs: updateReferenceDistance / newReferenceDistance)
+    # ------------------------------------------------------------------
+    def add_references(self, references: Iterable[Reference]) -> None:
+        """Merge new references from the AppProfiler (``updateReferenceDistance``)."""
+        for ref in references:
+            bucket = self._refs.setdefault(ref.rdd_id, [])
+            entry = (ref.seq, ref.job_id)
+            if entry not in bucket:
+                insort(bucket, entry)
+
+    def track(self, rdd_id: int) -> None:
+        """Ensure ``rdd_id`` is in the table even with no known references."""
+        self._refs.setdefault(rdd_id, [])
+
+    def forget(self, rdd_id: int) -> None:
+        """Drop an RDD from the table (after a purge order)."""
+        self._refs.pop(rdd_id, None)
+
+    def advance(self, seq: int, job_id: int) -> None:
+        """Move execution to active stage ``seq`` (``newReferenceDistance``).
+
+        References strictly behind the new position are consumed: the
+        paper phrases this as decrementing every distance by the stage
+        delta, which is equivalent to keeping absolute positions and
+        moving the pointer.
+
+        With the coarse **job** metric, positions are only known at job
+        granularity — a reference cannot be recognized as *passed* until
+        the JobID increments, so consumed references linger at distance
+        0 for the rest of their job.  This is the root of the job
+        metric's weakness on many-stages-per-job workloads (Fig. 8):
+        blocks that are already dead keep polluting the cache until the
+        job boundary.
+        """
+        if seq < self.current_seq:
+            raise ValueError(f"cannot move backwards: {seq} < {self.current_seq}")
+        self.current_seq = seq
+        self.current_job = job_id
+        for bucket in self._refs.values():
+            if self.metric == "job":
+                while bucket and bucket[0][1] < job_id:
+                    bucket.pop(0)
+            else:
+                while bucket and bucket[0][0] < seq:
+                    bucket.pop(0)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, rdd_id: int) -> bool:
+        return rdd_id in self._refs
+
+    def tracked_rdd_ids(self) -> list[int]:
+        return sorted(self._refs)
+
+    def distance(self, rdd_id: int) -> float:
+        """Current comparison value for ``rdd_id`` (lowest upcoming gap).
+
+        Returns ``math.inf`` for RDDs with no upcoming reference,
+        including RDDs the table has never heard of.
+        """
+        bucket = self._refs.get(rdd_id)
+        if not bucket:
+            return INFINITE
+        seq, job = bucket[0]
+        if self.metric == "stage":
+            return float(seq - self.current_seq)
+        return float(job - self.current_job)
+
+    def dead_rdds(self) -> list[int]:
+        """Tracked RDDs whose reference list has emptied (infinite distance)."""
+        return sorted(r for r, bucket in self._refs.items() if not bucket)
+
+    def candidates_by_distance(self) -> list[tuple[float, int]]:
+        """(distance, rdd_id) for all finite-distance RDDs, nearest first."""
+        out = [
+            (self.distance(rdd_id), rdd_id)
+            for rdd_id, bucket in self._refs.items()
+            if bucket
+        ]
+        out.sort()
+        return out
+
+    def size(self) -> int:
+        """Number of stored references (the paper's overhead metric)."""
+        return sum(len(b) for b in self._refs.values())

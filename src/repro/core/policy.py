@@ -1,0 +1,141 @@
+"""MRD as a pluggable :class:`CacheScheme` (full / eviction-only / prefetch-only).
+
+This adapter wires the paper's three components together for the
+simulator: the :class:`AppProfiler` (DAG parsing, profile storage), the
+:class:`MrdManager` (MRD_Table, purge + prefetch orders) and one
+:class:`CacheMonitor` per node (greatest-distance eviction).
+
+Variants map directly to Figure 4's three bars:
+
+* ``MrdScheme()`` — full MRD (eviction + prefetching).
+* ``MrdScheme(prefetch=False)`` — eviction-only.
+* ``MrdScheme(evict=False)`` — prefetch-only: nodes keep Spark's
+  default LRU eviction and only the prefetching workflow is added.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.cluster import Cluster
+from repro.core.app_profiler import AppProfiler, ProfileStore
+from repro.core.cache_monitor import CacheMonitor
+from repro.core.manager import MrdConfig, MrdManager
+from repro.dag.dag_builder import ApplicationDAG
+from repro.policies.base import EvictionPolicy
+from repro.policies.lru import LruPolicy
+from repro.policies.scheme import CacheScheme, StageOrders
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.block import Block, BlockId
+    from repro.cluster.memory_store import MemoryStore
+
+
+class PrefetchAwareLruPolicy(LruPolicy):
+    """LRU demand eviction + distance-aware prefetch eviction.
+
+    The node policy of the *prefetch-only* MRD variant: ordinary
+    insertion pressure keeps Spark's default LRU victims, but when a
+    prefetch forces memory pressure the victim is the block with the
+    largest reference distance (Algorithm 1's prefetching phase), and a
+    prefetch is refused rather than allowed to displace blocks more
+    urgent than the incoming one.
+    """
+
+    name = "LRU+MRD-prefetch"
+
+    def __init__(self, manager: MrdManager) -> None:
+        super().__init__()
+        self._manager = manager
+
+    def prefetch_eviction_order(self, store: "MemoryStore"):
+        return iter(sorted(store.block_ids(), key=self._distance_key))
+
+    def admit_prefetch_over(self, block: "Block", victims: list["BlockId"], store: "MemoryStore") -> bool:
+        incoming = self._distance_key(block.id)
+        return all(incoming > self._distance_key(v) for v in victims)
+
+    def _distance_key(self, bid: "BlockId") -> tuple[float, int, int]:
+        return (-self._manager.distance(bid.rdd_id), -bid.partition, -bid.rdd_id)
+
+
+class MrdScheme(CacheScheme):
+    """Most Reference Distance cache management."""
+
+    def __init__(
+        self,
+        evict: bool = True,
+        prefetch: bool = True,
+        metric: str = "stage",
+        mode: str = "recurring",
+        prefetch_threshold: float = 0.25,
+        adaptive_threshold: bool = False,
+        max_prefetch_per_node: int = 8,
+        eager_purge: bool = True,
+        guarded_prefetch: bool = False,
+        tie_breaker: str = "partition",
+        profile_store: Optional[ProfileStore] = None,
+    ) -> None:
+        if not evict and not prefetch:
+            raise ValueError("at least one of evict/prefetch must be enabled")
+        self.evict = evict
+        self.prefetch = prefetch
+        self.metric = metric
+        self.mode = mode
+        self.tie_breaker = tie_breaker
+        self.profile_store = profile_store
+        self.mrd_config = MrdConfig(
+            metric=metric,
+            prefetch_threshold=prefetch_threshold,
+            adaptive_threshold=adaptive_threshold,
+            max_prefetch_per_node=max_prefetch_per_node if prefetch else 0,
+            eager_purge=eager_purge and evict,
+            guarded_prefetch=guarded_prefetch,
+        )
+        self.manager: Optional[MrdManager] = None
+        variant = "MRD"
+        if not prefetch:
+            variant = "MRD-evict"
+        elif not evict:
+            variant = "MRD-prefetch"
+        if metric == "job":
+            variant += "-jobdist"
+        if mode == "adhoc":
+            variant += "-adhoc"
+        self.name = variant
+
+    # ------------------------------------------------------------------
+    def prepare(self, dag: ApplicationDAG) -> None:
+        profiler = AppProfiler(dag, mode=self.mode, store=self.profile_store)
+        self.manager = MrdManager(dag, profiler, self.mrd_config)
+
+    def policy_factory(self, node_id: int) -> EvictionPolicy:
+        assert self.manager is not None, "prepare() must run before building the cluster"
+        if self.evict:
+            return CacheMonitor(node_id, self.manager, tie_breaker=self.tie_breaker)
+        # Prefetch-only: Spark's default LRU handles demand evictions,
+        # but prefetch-forced pressure uses reference distances.
+        return PrefetchAwareLruPolicy(self.manager)
+
+    def on_job_submit(self, job_id: int) -> None:
+        assert self.manager is not None
+        self.manager.on_job_submit(job_id)
+
+    def on_stage_start(self, seq: int, cluster: Cluster) -> StageOrders:
+        assert self.manager is not None
+        plan = self.manager.on_stage_start(seq, cluster)
+        return StageOrders(
+            purge_rdds=plan.purge_rdds if self.evict else [],
+            prefetches=plan.prefetches if self.prefetch else [],
+        )
+
+    def on_block_created(self, rdd_id: int) -> None:
+        """Engine callback: a cached RDD's blocks now exist."""
+        assert self.manager is not None
+        self.manager.on_block_created(rdd_id)
+
+    def finalize(self) -> None:
+        if self.manager is not None:
+            self.manager.finalize()

@@ -1,0 +1,62 @@
+"""Reference extraction: from a compiled DAG to MRD's raw material.
+
+A *reference* is one future cache read: RDD ``rdd_id`` will be read at
+active stage ``seq`` (which belongs to job ``job_id``).  The AppProfiler
+parses these out of job DAGs — per job for ad-hoc applications, or all
+at once when a recurring application's saved profile is available — and
+feeds them to the MRDmanager's :class:`~repro.core.mrd_table.MrdTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dag.dag_builder import ApplicationDAG
+
+
+@dataclass(frozen=True, order=True)
+class Reference:
+    """One anticipated cache read of ``rdd_id`` at stage ``seq``."""
+
+    seq: int
+    job_id: int
+    rdd_id: int
+
+
+def parse_job_references(dag: ApplicationDAG, job_id: int) -> list[Reference]:
+    """References contributed by one job's DAG (the ad-hoc unit).
+
+    This is what the paper's ``parseDAG`` API produces when the
+    DAGScheduler hands over a newly submitted job.
+    """
+    if not 0 <= job_id < dag.num_jobs:
+        raise ValueError(f"job {job_id} out of range (app has {dag.num_jobs} jobs)")
+    refs: list[Reference] = []
+    for stage_id in dag.jobs[job_id].active_stage_ids:
+        stage = dag.stage(stage_id)
+        for rdd in stage.cache_reads:
+            refs.append(Reference(seq=stage.seq, job_id=job_id, rdd_id=rdd.id))
+    refs.sort()
+    return refs
+
+
+def parse_application_references(dag: ApplicationDAG) -> list[Reference]:
+    """All references of the whole application (the recurring-mode view)."""
+    refs: list[Reference] = []
+    for job in dag.jobs:
+        refs.extend(parse_job_references(dag, job.id))
+    refs.sort()
+    return refs
+
+
+def cached_rdds_created_in_job(dag: ApplicationDAG, job_id: int) -> list[int]:
+    """Cached RDD ids first computed during ``job_id``.
+
+    Ad-hoc profiling learns about an RDD's existence when the job that
+    creates it is submitted, even if that job never re-reads it.
+    """
+    out: list[int] = []
+    for rdd_id, prof in dag.profiles.items():
+        if prof.created_job == job_id:
+            out.append(rdd_id)
+    return sorted(out)

@@ -1,0 +1,61 @@
+"""Spark-like DAG substrate: RDD lineage, jobs/stages, reference profiles."""
+
+from repro.dag.analysis import (
+    DistanceStats,
+    peak_live_cached_mb,
+    WorkloadCharacteristics,
+    distance_stats,
+    reference_trace,
+    workload_characteristics,
+)
+from repro.dag.context import (
+    JobSpec,
+    SparkApplication,
+    SparkContext,
+    UnpersistEvent,
+    record_application,
+)
+from repro.dag.dag_builder import ApplicationDAG, DagBuilder, build_dag
+from repro.dag.rdd import (
+    Dependency,
+    NarrowDependency,
+    RDD,
+    ShuffleDependency,
+    StorageLevel,
+)
+from repro.dag.structures import Job, RddReferenceProfile, Stage
+from repro.dag.visualize import (
+    lineage_graph,
+    lineage_to_dot,
+    stage_graph,
+    stages_to_dot,
+)
+
+__all__ = [
+    "ApplicationDAG",
+    "DagBuilder",
+    "Dependency",
+    "DistanceStats",
+    "Job",
+    "JobSpec",
+    "NarrowDependency",
+    "RDD",
+    "RddReferenceProfile",
+    "ShuffleDependency",
+    "SparkApplication",
+    "SparkContext",
+    "Stage",
+    "StorageLevel",
+    "UnpersistEvent",
+    "WorkloadCharacteristics",
+    "build_dag",
+    "distance_stats",
+    "lineage_graph",
+    "lineage_to_dot",
+    "peak_live_cached_mb",
+    "record_application",
+    "reference_trace",
+    "stage_graph",
+    "stages_to_dot",
+    "workload_characteristics",
+]

@@ -1,0 +1,173 @@
+"""DAG analysis: the workload statistics behind Tables 1 and 3.
+
+Everything here is derived purely from an :class:`ApplicationDAG`:
+reference-distance distributions (Table 1) and workload shape
+characteristics (Table 3).  The same reference profiles feed the cache
+policies, so these statistics are also the ground truth the tests use
+to validate policy inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dag.dag_builder import ApplicationDAG
+
+
+@dataclass(frozen=True)
+class DistanceStats:
+    """Reference-distance characteristics of one workload (Table 1 row)."""
+
+    workload: str
+    avg_job_distance: float
+    max_job_distance: int
+    avg_stage_distance: float
+    max_stage_distance: int
+
+    def row(self) -> tuple[str, float, int, float, int]:
+        return (
+            self.workload,
+            round(self.avg_job_distance, 2),
+            self.max_job_distance,
+            round(self.avg_stage_distance, 2),
+            self.max_stage_distance,
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadCharacteristics:
+    """Shape characteristics of one workload (Table 3 row)."""
+
+    workload: str
+    num_jobs: int
+    num_stages: int
+    num_active_stages: int
+    num_rdds: int
+    num_cached_rdds: int
+    refs_per_rdd: float
+    refs_per_stage: float
+    input_mb: float
+    total_stage_input_mb: float
+    shuffle_read_mb: float
+    shuffle_write_mb: float
+    cached_working_set_mb: float
+
+    def row(self) -> tuple:
+        return (
+            self.workload,
+            self.num_jobs,
+            self.num_stages,
+            self.num_active_stages,
+            self.num_rdds,
+            round(self.refs_per_rdd, 2),
+            round(self.refs_per_stage, 2),
+        )
+
+
+def distance_stats(dag: ApplicationDAG, workload: str = "") -> DistanceStats:
+    """Aggregate reference-distance gaps across all cached RDDs.
+
+    A *gap* is the distance between consecutive touches (creation or
+    read) of the same cached RDD, measured both in active-stage
+    executions and in jobs; the table reports the mean and max over
+    all gaps of all cached RDDs.  Workloads with no cached re-reference
+    (e.g. HiBench Sort) report zeros.
+    """
+    stage_gaps: list[int] = []
+    job_gaps: list[int] = []
+    for prof in dag.profiles.values():
+        stage_gaps.extend(prof.stage_gaps())
+        job_gaps.extend(prof.job_gaps())
+    return DistanceStats(
+        workload=workload or dag.app.signature,
+        avg_job_distance=(sum(job_gaps) / len(job_gaps)) if job_gaps else 0.0,
+        max_job_distance=max(job_gaps, default=0),
+        avg_stage_distance=(sum(stage_gaps) / len(stage_gaps)) if stage_gaps else 0.0,
+        max_stage_distance=max(stage_gaps, default=0),
+    )
+
+
+def workload_characteristics(dag: ApplicationDAG, workload: str = "") -> WorkloadCharacteristics:
+    """Compute the Table-3 shape statistics for one compiled application."""
+    total_reads = sum(p.reference_count for p in dag.profiles.values())
+    n_cached = len(dag.profiles)
+    n_active = dag.num_active_stages
+    input_rdds = {r.id: r for r in dag.app.rdds if r.is_input}
+    shuffle_read = sum(s.shuffle_read_mb for s in dag.active_stages)
+    shuffle_write = sum(
+        s.rdd.size_mb for s in dag.active_stages if s.shuffle_dep is not None
+    )
+    total_stage_input = sum(
+        s.input_read_mb + s.shuffle_read_mb + sum(r.size_mb for r in s.cache_reads)
+        for s in dag.active_stages
+    )
+    return WorkloadCharacteristics(
+        workload=workload or dag.app.signature,
+        num_jobs=dag.num_jobs,
+        num_stages=dag.num_stages,
+        num_active_stages=n_active,
+        num_rdds=len(dag.app.rdds),
+        num_cached_rdds=n_cached,
+        refs_per_rdd=total_reads / n_cached if n_cached else 0.0,
+        refs_per_stage=total_reads / n_active if n_active else 0.0,
+        input_mb=sum(r.size_mb for r in input_rdds.values()),
+        total_stage_input_mb=total_stage_input,
+        shuffle_read_mb=shuffle_read,
+        shuffle_write_mb=shuffle_write,
+        cached_working_set_mb=sum(p.rdd.size_mb for p in dag.profiles.values()),
+    )
+
+
+def live_cached_profile(dag: ApplicationDAG) -> list[tuple[int, float]]:
+    """Live cached MB after each active stage, as ``(seq, live_mb)``.
+
+    Cached RDDs become live when their blocks are first computed and
+    stop being live after the job that unpersists them (or at the end
+    of the application).  This is the cache-pressure curve experiments
+    size clusters against; :func:`peak_live_cached_mb` is its maximum.
+    """
+    deltas: dict[int, float] = {}
+    for prof in dag.profiles.values():
+        if prof.created_seq < 0:
+            continue
+        deltas[prof.created_seq] = deltas.get(prof.created_seq, 0.0) + prof.rdd.size_mb
+        if prof.unpersist_after_job is not None:
+            # Find the first active stage after the unpersisting job.
+            drop_seq = None
+            for stage in dag.active_stages:
+                if stage.job_id > prof.unpersist_after_job:
+                    drop_seq = stage.seq
+                    break
+            if drop_seq is not None:
+                deltas[drop_seq] = deltas.get(drop_seq, 0.0) - prof.rdd.size_mb
+    profile: list[tuple[int, float]] = []
+    live = 0.0
+    for seq in range(dag.num_active_stages):
+        live += deltas.get(seq, 0.0)
+        profile.append((seq, live))
+    return profile
+
+
+def peak_live_cached_mb(dag: ApplicationDAG) -> float:
+    """Largest simultaneously-live cached footprint over the run, in MB.
+
+    Experiments size the cluster cache relative to this peak, mirroring
+    how the paper sweeps ``spark.executor.memory``.
+    """
+    return max((mb for _, mb in live_cached_profile(dag)), default=0.0)
+
+
+def reference_trace(dag: ApplicationDAG) -> list[tuple[int, int, str]]:
+    """Flat (seq, rdd_id, kind) touch trace, kind in {"write", "read"}.
+
+    Useful for Belady-style oracle policies and for Figure-2 style
+    visualizations of per-stage cache pressure.
+    """
+    events: list[tuple[int, int, str]] = []
+    for prof in dag.profiles.values():
+        if prof.created_seq >= 0:
+            events.append((prof.created_seq, prof.rdd.id, "write"))
+        for s in prof.read_seqs:
+            events.append((s, prof.rdd.id, "read"))
+    events.sort(key=lambda e: (e[0], e[1], e[2] == "read"))
+    return events

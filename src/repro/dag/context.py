@@ -1,0 +1,186 @@
+"""Driver-side context: records the lineage graph and the job sequence.
+
+A *workload program* is an ordinary Python function that receives a
+:class:`SparkContext`, creates RDDs via ``ctx.text_file`` /
+``ctx.parallelize``, transforms them, and triggers jobs with actions
+(``rdd.count()`` etc.).  Unlike real Spark nothing executes eagerly —
+running an action appends a :class:`JobSpec` so that the application's
+full DAG can be compiled by :mod:`repro.dag.dag_builder` and replayed by
+the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.dag.rdd import RDD
+
+# Import for the side effect of attaching the transformation API to RDD.
+from repro.dag import transformations as _transformations  # noqa: F401
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One recorded action: job ``job_id`` materializes ``target``."""
+
+    job_id: int
+    target: RDD
+    action: str
+    name: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JobSpec({self.job_id} {self.action} on {self.target.name})"
+
+
+@dataclass(frozen=True)
+class UnpersistEvent:
+    """Records that ``rdd`` was unpersisted after job ``after_job_id``.
+
+    Graph workloads (GraphX-style) aggressively unpersist superseded
+    per-iteration RDDs; MRD's eager-purge path and LRU's recency both
+    interact with this, so the event stream is part of the application
+    description.
+    """
+
+    after_job_id: int
+    rdd: RDD
+
+
+class SparkContext:
+    """Records RDDs and jobs created by a workload program."""
+
+    def __init__(self, app_name: str = "app") -> None:
+        self.app_name = app_name
+        self.rdds: list[RDD] = []
+        self.jobs: list[JobSpec] = []
+        self.unpersist_events: list[UnpersistEvent] = []
+        self._shuffle_counter = 0
+
+    # ------------------------------------------------------------------
+    # registration hooks used by RDD / transformations
+    # ------------------------------------------------------------------
+    def _register_rdd(self, rdd: RDD) -> int:
+        rdd_id = len(self.rdds)
+        self.rdds.append(rdd)
+        return rdd_id
+
+    def _next_shuffle_id(self) -> int:
+        sid = self._shuffle_counter
+        self._shuffle_counter += 1
+        return sid
+
+    # ------------------------------------------------------------------
+    # RDD creation
+    # ------------------------------------------------------------------
+    def text_file(
+        self,
+        name: str,
+        size_mb: float,
+        num_partitions: int,
+        cpu_per_mb: float = 0.001,
+    ) -> RDD:
+        """Create an input RDD backed by distributed storage (HDFS-like).
+
+        Reading it always costs disk I/O; ``size_mb`` is the total input
+        size split evenly over ``num_partitions`` blocks.
+        """
+        return RDD(
+            self,
+            deps=[],
+            num_partitions=num_partitions,
+            partition_size_mb=size_mb / num_partitions,
+            compute_cost=cpu_per_mb * size_mb / num_partitions,
+            name=name,
+            op="textFile",
+            is_input=True,
+        )
+
+    def parallelize(
+        self,
+        name: str,
+        size_mb: float,
+        num_partitions: int,
+    ) -> RDD:
+        """Create a small driver-provided RDD (no storage read)."""
+        return RDD(
+            self,
+            deps=[],
+            num_partitions=num_partitions,
+            partition_size_mb=size_mb / num_partitions,
+            compute_cost=0.0,
+            name=name,
+            op="parallelize",
+        )
+
+    # ------------------------------------------------------------------
+    # job recording
+    # ------------------------------------------------------------------
+    def run_job(self, target: RDD, action: str = "collect", name: str = "") -> int:
+        """Record an action on ``target``; returns the new job id."""
+        job_id = len(self.jobs)
+        self.jobs.append(JobSpec(job_id=job_id, target=target, action=action, name=name or f"{action}-{job_id}"))
+        return job_id
+
+    def unpersist(self, rdd: RDD) -> None:
+        """Unpersist ``rdd`` after the most recently recorded job."""
+        rdd.unpersist()
+        after = len(self.jobs) - 1
+        self.unpersist_events.append(UnpersistEvent(after_job_id=after, rdd=rdd))
+
+    # ------------------------------------------------------------------
+    # summary helpers
+    # ------------------------------------------------------------------
+    @property
+    def cached_rdds(self) -> list[RDD]:
+        """RDDs that were cached at any point during the program.
+
+        An unpersisted RDD clears its storage level, so membership is
+        derived from both current levels and recorded unpersist events.
+        """
+        cached = {r.id for r in self.rdds if r.is_cached}
+        cached.update(ev.rdd.id for ev in self.unpersist_events)
+        return [self.rdds[i] for i in sorted(cached)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SparkContext({self.app_name!r}, rdds={len(self.rdds)}, "
+            f"jobs={len(self.jobs)})"
+        )
+
+
+@dataclass
+class SparkApplication:
+    """A complete, recorded application: the unit the simulator runs.
+
+    ``signature`` identifies a *recurring* application across runs (the
+    paper's AppProfiler stores one reference-distance profile per
+    signature).
+    """
+
+    ctx: SparkContext
+    signature: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.signature:
+            self.signature = self.ctx.app_name
+
+    @property
+    def jobs(self) -> list[JobSpec]:
+        return self.ctx.jobs
+
+    @property
+    def rdds(self) -> list[RDD]:
+        return self.ctx.rdds
+
+
+def record_application(
+    program: Callable[[SparkContext], None],
+    app_name: str = "app",
+) -> SparkApplication:
+    """Run ``program`` against a fresh context and capture the application."""
+    ctx = SparkContext(app_name)
+    program(ctx)
+    if not ctx.jobs:
+        raise ValueError(f"program {app_name!r} recorded no jobs (no action was called)")
+    return SparkApplication(ctx=ctx, signature=app_name)

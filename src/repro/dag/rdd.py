@@ -1,0 +1,212 @@
+"""RDD lineage abstraction.
+
+This module models Spark's Resilient Distributed Dataset (RDD) at the
+granularity the MRD paper cares about: each RDD is a node in a lineage
+graph with *narrow* or *shuffle* (wide) dependencies on its parents, a
+partition count, a per-partition output size and a per-partition compute
+cost.  The actual data inside partitions is never materialized — the
+simulator only needs the graph shape, sizes and costs.
+
+The classes here are deliberately close to Spark's own vocabulary
+(``Dependency``, ``NarrowDependency``, ``ShuffleDependency``,
+``StorageLevel``) so that the stage-building algorithm in
+:mod:`repro.dag.dag_builder` can mirror Spark's ``DAGScheduler``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dag.context import SparkContext
+
+
+class StorageLevel(enum.Enum):
+    """Persistence level of an RDD.
+
+    Only the distinction that matters for cache management is modelled:
+    ``NONE`` RDDs are recomputed from lineage on every use, while
+    ``MEMORY_AND_DISK`` RDDs have their blocks written through to local
+    disk on first computation so that evicted blocks can be re-read (and
+    prefetched) instead of recomputed.  This write-through behaviour is
+    what makes the paper's prefetching phase well-defined.
+    """
+
+    NONE = "none"
+    MEMORY_AND_DISK = "memory_and_disk"
+
+    @property
+    def is_cached(self) -> bool:
+        return self is not StorageLevel.NONE
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """Edge in the lineage graph: ``child`` depends on ``parent``."""
+
+    parent: "RDD"
+
+    @property
+    def is_shuffle(self) -> bool:
+        return isinstance(self, ShuffleDependency)
+
+
+@dataclass(frozen=True)
+class NarrowDependency(Dependency):
+    """One-to-one / pipelined dependency (map, filter, union, ...).
+
+    Narrow dependencies never split stages: the child partition is
+    computed from a bounded set of parent partitions on the same task.
+    """
+
+
+@dataclass(frozen=True)
+class ShuffleDependency(Dependency):
+    """Wide dependency requiring an all-to-all shuffle (groupByKey, join).
+
+    Every shuffle dependency owns a unique ``shuffle_id``; the map-side
+    stage writes shuffle files keyed by this id and reduce-side stages
+    read them.  Shuffle output persists for the lifetime of the
+    application, which is what enables Spark's stage skipping.
+    """
+
+    shuffle_id: int = -1
+
+
+class RDD:
+    """A node in the lineage graph.
+
+    Parameters
+    ----------
+    ctx:
+        Owning :class:`~repro.dag.context.SparkContext`.
+    deps:
+        Dependencies on parent RDDs (empty for input RDDs).
+    num_partitions:
+        Number of blocks the RDD is split into; one task per partition.
+    partition_size_mb:
+        Size of one materialized partition, in MB.  Drives cache
+        occupancy, disk/network transfer times and shuffle volume.
+    compute_cost:
+        Pure CPU seconds needed to produce one partition from its
+        (already available) inputs.
+    name / op:
+        Human-readable label and the transformation kind that created
+        the RDD (``"map"``, ``"join"``, ``"textFile"``, ...).
+    """
+
+    __slots__ = (
+        "ctx",
+        "id",
+        "name",
+        "op",
+        "deps",
+        "num_partitions",
+        "partition_size_mb",
+        "compute_cost",
+        "storage_level",
+        "is_input",
+    )
+
+    def __init__(
+        self,
+        ctx: "SparkContext",
+        deps: Sequence[Dependency],
+        num_partitions: int,
+        partition_size_mb: float,
+        compute_cost: float,
+        name: str = "",
+        op: str = "rdd",
+        is_input: bool = False,
+    ) -> None:
+        if num_partitions <= 0:
+            raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+        if partition_size_mb < 0:
+            raise ValueError("partition_size_mb must be non-negative")
+        if compute_cost < 0:
+            raise ValueError("compute_cost must be non-negative")
+        self.ctx = ctx
+        self.id = ctx._register_rdd(self)
+        self.deps: tuple[Dependency, ...] = tuple(deps)
+        self.num_partitions = num_partitions
+        self.partition_size_mb = float(partition_size_mb)
+        self.compute_cost = float(compute_cost)
+        self.name = name or f"{op}-{self.id}"
+        self.op = op
+        self.storage_level = StorageLevel.NONE
+        self.is_input = is_input
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def cache(self) -> "RDD":
+        """Mark this RDD for caching (``MEMORY_AND_DISK`` semantics)."""
+        return self.persist(StorageLevel.MEMORY_AND_DISK)
+
+    def persist(self, level: StorageLevel = StorageLevel.MEMORY_AND_DISK) -> "RDD":
+        self.storage_level = level
+        return self
+
+    def unpersist(self) -> "RDD":
+        self.storage_level = StorageLevel.NONE
+        return self
+
+    @property
+    def is_cached(self) -> bool:
+        return self.storage_level.is_cached
+
+    # ------------------------------------------------------------------
+    # graph helpers
+    # ------------------------------------------------------------------
+    @property
+    def parents(self) -> tuple["RDD", ...]:
+        return tuple(d.parent for d in self.deps)
+
+    @property
+    def size_mb(self) -> float:
+        """Total materialized size across all partitions."""
+        return self.partition_size_mb * self.num_partitions
+
+    def narrow_ancestors(self) -> Iterator["RDD"]:
+        """Yield this RDD and every ancestor reachable via narrow deps only.
+
+        This is exactly the set of RDDs pipelined into the same stage.
+        Each RDD is yielded once, in DFS preorder.
+        """
+        seen: set[int] = set()
+        stack: list[RDD] = [self]
+        while stack:
+            rdd = stack.pop()
+            if rdd.id in seen:
+                continue
+            seen.add(rdd.id)
+            yield rdd
+            for dep in rdd.deps:
+                if isinstance(dep, NarrowDependency):
+                    stack.append(dep.parent)
+
+    def ancestors(self) -> Iterator["RDD"]:
+        """Yield this RDD and every ancestor (crossing shuffle edges)."""
+        seen: set[int] = set()
+        stack: list[RDD] = [self]
+        while stack:
+            rdd = stack.pop()
+            if rdd.id in seen:
+                continue
+            seen.add(rdd.id)
+            yield rdd
+            stack.extend(rdd.parents)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "*" if self.is_cached else ""
+        return f"RDD({self.id}{flag} {self.name} p={self.num_partitions})"
+
+    # Transformation methods are attached by repro.dag.transformations to
+    # keep this module focused on the graph structure itself.
+
+
+def total_size_mb(rdds: Sequence[RDD]) -> float:
+    """Sum of materialized sizes of ``rdds`` (convenience for tests)."""
+    return sum(r.size_mb for r in rdds)

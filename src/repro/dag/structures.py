@@ -1,0 +1,169 @@
+"""Compiled DAG structures: jobs, stages and reference profiles.
+
+These are the *output* of :mod:`repro.dag.dag_builder`: an immutable
+description of how Spark would split the recorded application into
+jobs and stages, which stages would be skipped (shuffle output already
+materialized), and — crucially for the cache policies — at which stage
+sequence numbers every cached RDD is written and read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dag.context import JobSpec
+from repro.dag.rdd import RDD, ShuffleDependency
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One Spark stage.
+
+    Attributes
+    ----------
+    id:
+        Global stage id, assigned in creation order across all jobs
+        (parents before children), mirroring Spark's ``StageID``.
+    seq:
+        Execution index among *active* (non-skipped) stages, or ``-1``
+        for skipped stages.  Reference distances are measured in this
+        coordinate: "how many stage executions until the block is
+        needed".
+    rdd:
+        The stage's output RDD (result RDD for result stages, the
+        map-side RDD for shuffle-map stages).
+    pipeline:
+        RDDs computed inside this stage, with traversal truncated at
+        cached RDDs that an earlier stage already computed (those are
+        cache *reads*, not recomputation) and at shuffle boundaries.
+    cache_reads / cache_writes:
+        Cached RDDs this stage reads from the block cache / computes
+        and inserts into the block cache for the first time.
+    shuffle_reads:
+        Shuffle dependencies whose map output this stage fetches.
+    input_reads:
+        Input RDDs (HDFS-like) whose blocks this stage reads from
+        distributed storage.
+    compute_cost_per_task:
+        Pure CPU seconds per task, aggregated over the pipeline.
+    """
+
+    id: int
+    job_id: int
+    seq: int
+    rdd: RDD
+    pipeline: tuple[RDD, ...]
+    shuffle_dep: Optional[ShuffleDependency]
+    parent_stage_ids: tuple[int, ...]
+    skipped: bool
+    num_tasks: int
+    cache_reads: tuple[RDD, ...]
+    cache_writes: tuple[RDD, ...]
+    shuffle_reads: tuple[ShuffleDependency, ...]
+    input_reads: tuple[RDD, ...]
+    compute_cost_per_task: float
+
+    @property
+    def is_result(self) -> bool:
+        return self.shuffle_dep is None
+
+    @property
+    def is_active(self) -> bool:
+        return not self.skipped
+
+    @property
+    def shuffle_read_mb(self) -> float:
+        """Total shuffle bytes fetched by the whole stage, in MB."""
+        return sum(dep.parent.size_mb for dep in self.shuffle_reads)
+
+    @property
+    def input_read_mb(self) -> float:
+        """Total storage-input bytes read by the whole stage, in MB."""
+        return sum(r.size_mb for r in self.input_reads)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "Result" if self.is_result else "ShuffleMap"
+        flag = " skipped" if self.skipped else f" seq={self.seq}"
+        return f"{kind}Stage({self.id} job={self.job_id} rdd={self.rdd.name}{flag})"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One Spark job: the stages created for a single action."""
+
+    id: int
+    spec: JobSpec
+    stage_ids: tuple[int, ...]
+    active_stage_ids: tuple[int, ...]
+
+    @property
+    def action(self) -> str:
+        return self.spec.action
+
+
+@dataclass
+class RddReferenceProfile:
+    """Where a cached RDD is written and read across the active stages.
+
+    ``read_seqs`` are the active-stage sequence numbers at which the
+    RDD's blocks are read from the cache (assuming hits); ``read_jobs``
+    are the corresponding job ids.  ``created_seq`` is where the blocks
+    are first computed and inserted.  ``unpersist_after_job`` is the job
+    after which the application explicitly dropped the RDD (or ``None``).
+    """
+
+    rdd: RDD
+    created_seq: int = -1
+    created_job: int = -1
+    created_stage_id: int = -1
+    read_seqs: list[int] = field(default_factory=list)
+    read_jobs: list[int] = field(default_factory=list)
+    read_stage_ids: list[int] = field(default_factory=list)
+    unpersist_after_job: Optional[int] = None
+
+    @property
+    def reference_count(self) -> int:
+        """Total number of cache reads over the whole application."""
+        return len(self.read_seqs)
+
+    def future_read_seqs(self, current_seq: int) -> list[int]:
+        """Reads at or after ``current_seq`` (the policies' lookahead)."""
+        return [s for s in self.read_seqs if s >= current_seq]
+
+    def stage_gaps(self) -> list[int]:
+        """Gaps between consecutive touches, in raw ``StageID`` units.
+
+        The paper measures stage distance by subtracting Spark's global
+        sequential stage IDs, which count *skipped* stages too — that is
+        why highly iterative workloads (LP, SCC) report large stage
+        distances.  The touch sequence includes the creation point.
+        """
+        touches = sorted(
+            t for t in [self.created_stage_id, *self.read_stage_ids] if t >= 0
+        )
+        return [b - a for a, b in zip(touches, touches[1:])]
+
+    def active_stage_gaps(self) -> list[int]:
+        """Gaps between consecutive touches in active-execution order.
+
+        This is the coordinate the MRD policy itself operates in (how
+        many stage *executions* until the block is needed).
+        """
+        touches = sorted(
+            t for t in [self.created_seq, *self.read_seqs] if t >= 0
+        )
+        return [b - a for a, b in zip(touches, touches[1:])]
+
+    def job_gaps(self) -> list[int]:
+        """Job-id gaps between consecutive touches.
+
+        Touches within the same job contribute gaps of zero (two
+        references inside one job are "job distance 0" in the paper's
+        coarse metric — the root of the metric's weakness shown in
+        Fig. 8).
+        """
+        touches = sorted(
+            t for t in [self.created_job, *self.read_jobs] if t >= 0
+        )
+        return [b - a for a, b in zip(touches, touches[1:])]

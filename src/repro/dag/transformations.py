@@ -1,0 +1,244 @@
+"""Transformation API attached to :class:`repro.dag.rdd.RDD`.
+
+Each transformation creates a child RDD with a dependency on its
+parent(s) and derives the child's partition sizes / compute costs from
+simple per-operation factors.  Two knobs shape the derived numbers:
+
+* ``size_factor`` — output bytes per input byte (e.g. ``filter`` < 1).
+* ``cpu_per_mb`` — CPU seconds to process one MB of input.  Workload
+  builders override this to make a workload CPU-intensive (gradient
+  computations) or I/O-bound (graph message passing).
+
+The functions mutate nothing; they only append nodes to the lineage
+graph held by the context.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.dag.rdd import NarrowDependency, RDD, ShuffleDependency
+
+#: Default CPU seconds per MB of input processed by a narrow op.
+DEFAULT_CPU_PER_MB = 0.004
+#: Default CPU seconds per MB for shuffle-consuming (wide) ops: includes
+#: deserialization and merge overheads.
+DEFAULT_WIDE_CPU_PER_MB = 0.008
+
+
+def _derived(
+    parent: RDD,
+    size_factor: float,
+    cpu_per_mb: Optional[float],
+    default_cpu: float,
+) -> tuple[float, float]:
+    """Return (partition_size_mb, compute_cost) for a derived RDD."""
+    size = parent.partition_size_mb * size_factor
+    cpu = (cpu_per_mb if cpu_per_mb is not None else default_cpu) * parent.partition_size_mb
+    return size, cpu
+
+
+def _narrow(
+    parent: RDD,
+    op: str,
+    size_factor: float = 1.0,
+    cpu_per_mb: Optional[float] = None,
+    name: str = "",
+    num_partitions: Optional[int] = None,
+) -> RDD:
+    size, cpu = _derived(parent, size_factor, cpu_per_mb, DEFAULT_CPU_PER_MB)
+    return RDD(
+        parent.ctx,
+        deps=[NarrowDependency(parent)],
+        num_partitions=num_partitions or parent.num_partitions,
+        partition_size_mb=size,
+        compute_cost=cpu,
+        name=name,
+        op=op,
+    )
+
+
+def _wide(
+    parents: Sequence[RDD],
+    op: str,
+    size_factor: float = 1.0,
+    cpu_per_mb: Optional[float] = None,
+    name: str = "",
+    num_partitions: Optional[int] = None,
+) -> RDD:
+    ctx = parents[0].ctx
+    deps = [ShuffleDependency(p, shuffle_id=ctx._next_shuffle_id()) for p in parents]
+    in_size = sum(p.partition_size_mb for p in parents)
+    size = in_size * size_factor
+    cpu = (cpu_per_mb if cpu_per_mb is not None else DEFAULT_WIDE_CPU_PER_MB) * in_size
+    return RDD(
+        ctx,
+        deps=deps,
+        num_partitions=num_partitions or parents[0].num_partitions,
+        partition_size_mb=size,
+        compute_cost=cpu,
+        name=name,
+        op=op,
+    )
+
+
+# ----------------------------------------------------------------------
+# narrow transformations
+# ----------------------------------------------------------------------
+def rdd_map(self: RDD, size_factor: float = 1.0, cpu_per_mb: Optional[float] = None, name: str = "") -> RDD:
+    """Element-wise transformation; pipelined into the parent's stage."""
+    return _narrow(self, "map", size_factor, cpu_per_mb, name)
+
+
+def rdd_filter(self: RDD, selectivity: float = 0.5, cpu_per_mb: Optional[float] = None, name: str = "") -> RDD:
+    """Keep a ``selectivity`` fraction of the data (narrow)."""
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError(f"selectivity must be in [0, 1], got {selectivity}")
+    return _narrow(self, "filter", selectivity, cpu_per_mb, name)
+
+
+def rdd_flat_map(self: RDD, size_factor: float = 2.0, cpu_per_mb: Optional[float] = None, name: str = "") -> RDD:
+    """One-to-many transformation (narrow), typically inflating the data."""
+    return _narrow(self, "flatMap", size_factor, cpu_per_mb, name)
+
+
+def rdd_map_partitions(self: RDD, size_factor: float = 1.0, cpu_per_mb: Optional[float] = None, name: str = "") -> RDD:
+    """Per-partition transformation (narrow)."""
+    return _narrow(self, "mapPartitions", size_factor, cpu_per_mb, name)
+
+
+def rdd_sample(self: RDD, fraction: float = 0.1, name: str = "") -> RDD:
+    """Random sample of the data (narrow)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    return _narrow(self, "sample", fraction, None, name)
+
+
+def rdd_union(self: RDD, other: RDD, name: str = "") -> RDD:
+    """Concatenate two RDDs (narrow on both parents)."""
+    size = (self.size_mb + other.size_mb) / (self.num_partitions + other.num_partitions)
+    return RDD(
+        self.ctx,
+        deps=[NarrowDependency(self), NarrowDependency(other)],
+        num_partitions=self.num_partitions + other.num_partitions,
+        partition_size_mb=size,
+        compute_cost=0.0,
+        name=name,
+        op="union",
+    )
+
+
+def rdd_zip_partitions(self: RDD, other: RDD, size_factor: float = 1.0, cpu_per_mb: Optional[float] = None, name: str = "") -> RDD:
+    """Combine co-partitioned RDDs partition-by-partition (narrow).
+
+    Used by graph workloads to merge vertex state with incoming
+    messages without a shuffle when both sides share a partitioner.
+    """
+    if other.num_partitions != self.num_partitions:
+        raise ValueError(
+            "zipPartitions requires equal partition counts: "
+            f"{self.num_partitions} != {other.num_partitions}"
+        )
+    in_size = self.partition_size_mb + other.partition_size_mb
+    cpu = (cpu_per_mb if cpu_per_mb is not None else DEFAULT_CPU_PER_MB) * in_size
+    return RDD(
+        self.ctx,
+        deps=[NarrowDependency(self), NarrowDependency(other)],
+        num_partitions=self.num_partitions,
+        partition_size_mb=in_size * size_factor,
+        compute_cost=cpu,
+        name=name,
+        op="zipPartitions",
+    )
+
+
+# ----------------------------------------------------------------------
+# wide (shuffle) transformations
+# ----------------------------------------------------------------------
+def rdd_group_by_key(self: RDD, size_factor: float = 1.0, cpu_per_mb: Optional[float] = None, name: str = "", num_partitions: Optional[int] = None) -> RDD:
+    """Group values by key; always shuffles the full dataset."""
+    return _wide([self], "groupByKey", size_factor, cpu_per_mb, name, num_partitions)
+
+
+def rdd_reduce_by_key(self: RDD, size_factor: float = 0.5, cpu_per_mb: Optional[float] = None, name: str = "", num_partitions: Optional[int] = None) -> RDD:
+    """Combine values per key; map-side combining shrinks the output."""
+    return _wide([self], "reduceByKey", size_factor, cpu_per_mb, name, num_partitions)
+
+
+def rdd_sort_by_key(self: RDD, cpu_per_mb: Optional[float] = None, name: str = "", num_partitions: Optional[int] = None) -> RDD:
+    """Range-partitioned total sort (wide)."""
+    return _wide([self], "sortByKey", 1.0, cpu_per_mb, name, num_partitions)
+
+
+def rdd_join(self: RDD, other: RDD, size_factor: float = 1.0, cpu_per_mb: Optional[float] = None, name: str = "", num_partitions: Optional[int] = None) -> RDD:
+    """Inner join of two keyed RDDs (wide on both parents)."""
+    return _wide([self, other], "join", size_factor, cpu_per_mb, name, num_partitions)
+
+
+def rdd_cogroup(self: RDD, other: RDD, size_factor: float = 1.0, cpu_per_mb: Optional[float] = None, name: str = "", num_partitions: Optional[int] = None) -> RDD:
+    """Cogroup two keyed RDDs (wide on both parents)."""
+    return _wide([self, other], "cogroup", size_factor, cpu_per_mb, name, num_partitions)
+
+
+def rdd_distinct(self: RDD, size_factor: float = 0.8, name: str = "", num_partitions: Optional[int] = None) -> RDD:
+    """Deduplicate (implemented as a shuffle, like Spark)."""
+    return _wide([self], "distinct", size_factor, None, name, num_partitions)
+
+
+def rdd_partition_by(self: RDD, num_partitions: Optional[int] = None, name: str = "") -> RDD:
+    """Repartition by key (wide, size-preserving)."""
+    return _wide([self], "partitionBy", 1.0, None, name, num_partitions)
+
+
+# ----------------------------------------------------------------------
+# actions — delegate to the context so the job list is recorded there
+# ----------------------------------------------------------------------
+def rdd_count(self: RDD, name: str = "") -> int:
+    return self.ctx.run_job(self, action="count", name=name)
+
+
+def rdd_collect(self: RDD, name: str = "") -> int:
+    return self.ctx.run_job(self, action="collect", name=name)
+
+
+def rdd_reduce(self: RDD, name: str = "") -> int:
+    return self.ctx.run_job(self, action="reduce", name=name)
+
+
+def rdd_foreach(self: RDD, name: str = "") -> int:
+    return self.ctx.run_job(self, action="foreach", name=name)
+
+
+def rdd_save(self: RDD, name: str = "") -> int:
+    return self.ctx.run_job(self, action="saveAsTextFile", name=name)
+
+
+def _install() -> None:
+    """Attach the transformation/action API onto :class:`RDD`.
+
+    Kept as explicit assignment (rather than inheritance) so that
+    ``rdd.py`` stays a dependency-free description of the graph
+    structure while this module owns the cost model defaults.
+    """
+    RDD.map = rdd_map  # type: ignore[attr-defined]
+    RDD.filter = rdd_filter  # type: ignore[attr-defined]
+    RDD.flat_map = rdd_flat_map  # type: ignore[attr-defined]
+    RDD.map_partitions = rdd_map_partitions  # type: ignore[attr-defined]
+    RDD.sample = rdd_sample  # type: ignore[attr-defined]
+    RDD.union = rdd_union  # type: ignore[attr-defined]
+    RDD.zip_partitions = rdd_zip_partitions  # type: ignore[attr-defined]
+    RDD.group_by_key = rdd_group_by_key  # type: ignore[attr-defined]
+    RDD.reduce_by_key = rdd_reduce_by_key  # type: ignore[attr-defined]
+    RDD.sort_by_key = rdd_sort_by_key  # type: ignore[attr-defined]
+    RDD.join = rdd_join  # type: ignore[attr-defined]
+    RDD.cogroup = rdd_cogroup  # type: ignore[attr-defined]
+    RDD.distinct = rdd_distinct  # type: ignore[attr-defined]
+    RDD.partition_by = rdd_partition_by  # type: ignore[attr-defined]
+    RDD.count = rdd_count  # type: ignore[attr-defined]
+    RDD.collect = rdd_collect  # type: ignore[attr-defined]
+    RDD.reduce = rdd_reduce  # type: ignore[attr-defined]
+    RDD.foreach = rdd_foreach  # type: ignore[attr-defined]
+    RDD.save = rdd_save  # type: ignore[attr-defined]
+
+
+_install()

@@ -1,0 +1,191 @@
+"""Shared experiment harness.
+
+Every figure/table driver follows the same pattern: build a workload
+DAG once, size the cluster cache as a fraction of the workload's peak
+live cached footprint (the paper's ``spark.executor.memory`` sweeps),
+run it under several cache-management schemes, and normalize Job
+Completion Times against the LRU baseline.  This module provides those
+building blocks plus plain-text table rendering used by the benchmark
+scripts and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.cluster.cluster import ClusterConfig
+from repro.core.policy import MrdScheme
+from repro.dag.analysis import peak_live_cached_mb
+from repro.dag.dag_builder import ApplicationDAG, build_dag
+from repro.policies.scheme import (
+    BeladyScheme,
+    CacheScheme,
+    LrcScheme,
+    LruScheme,
+    MemTuneScheme,
+)
+from repro.simulator.config import MAIN_CLUSTER
+from repro.simulator.engine import simulate
+from repro.simulator.metrics import RunMetrics
+from repro.workloads.base import WorkloadParams
+from repro.workloads.registry import get_workload
+
+SchemeFactory = Callable[[], CacheScheme]
+
+#: The scheme line-up most experiments compare (fresh instance per run).
+STANDARD_SCHEMES: dict[str, SchemeFactory] = {
+    "LRU": LruScheme,
+    "LRC": LrcScheme,
+    "MemTune": MemTuneScheme,
+    "MRD-evict": lambda: MrdScheme(prefetch=False),
+    "MRD-prefetch": lambda: MrdScheme(evict=False),
+    "MRD": MrdScheme,
+    "Belady-MIN": BeladyScheme,
+}
+
+#: Cache sizes swept per workload, as fractions of peak live cached MB.
+DEFAULT_CACHE_FRACTIONS: tuple[float, ...] = (0.08, 0.15, 0.25, 0.35, 0.5, 0.7)
+
+#: Minimum per-node cache so a single block always fits.
+MIN_CACHE_MB = 8.0
+
+
+@dataclass(frozen=True)
+class WorkloadRun:
+    """One (workload, cache size, scheme) simulation result."""
+
+    workload: str
+    scheme: str
+    cache_fraction: float
+    cache_mb_per_node: float
+    metrics: RunMetrics
+
+    @property
+    def jct(self) -> float:
+        return self.metrics.jct
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.metrics.hit_ratio
+
+
+@dataclass
+class SweepResult:
+    """All runs of one workload across cache fractions and schemes."""
+
+    workload: str
+    dag: ApplicationDAG
+    peak_live_mb: float
+    runs: list[WorkloadRun] = field(default_factory=list)
+
+    def get(self, scheme: str, fraction: float) -> WorkloadRun:
+        for run in self.runs:
+            if run.scheme == scheme and run.cache_fraction == fraction:
+                return run
+        raise KeyError(f"no run for {scheme} @ {fraction}")
+
+    def fractions(self) -> list[float]:
+        return sorted({r.cache_fraction for r in self.runs})
+
+    def schemes(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for r in self.runs:
+            seen.setdefault(r.scheme, None)
+        return list(seen)
+
+    def normalized_jct(self, scheme: str, fraction: float, baseline: str = "LRU") -> float:
+        return self.get(scheme, fraction).jct / self.get(baseline, fraction).jct
+
+    def best_fraction(self, scheme: str = "MRD", baseline: str = "LRU") -> float:
+        """Cache fraction with the best scheme-vs-baseline ratio.
+
+        Figure 4 reports "the best overall performance gain for each
+        workload-cache combination" — this is that selection rule.
+        """
+        return min(
+            self.fractions(),
+            key=lambda f: self.normalized_jct(scheme, f, baseline),
+        )
+
+
+def cache_mb_for(dag: ApplicationDAG, fraction: float, cluster: ClusterConfig) -> float:
+    """Per-node cache size for a given fraction of the peak live set."""
+    peak = peak_live_cached_mb(dag)
+    return max(peak * fraction / cluster.num_nodes, MIN_CACHE_MB)
+
+
+def build_workload_dag(
+    workload: str,
+    scale: float = 1.0,
+    iterations: Optional[int] = None,
+    partitions: Optional[int] = None,
+) -> ApplicationDAG:
+    """Compile one benchmark workload into its application DAG."""
+    params = WorkloadParams(
+        scale=scale,
+        iterations=iterations,
+        partitions=partitions if partitions is not None else WorkloadParams().partitions,
+    )
+    return build_dag(get_workload(workload).build(params))
+
+
+def sweep_workload(
+    workload: str,
+    schemes: Optional[dict[str, SchemeFactory]] = None,
+    cluster: ClusterConfig = MAIN_CLUSTER,
+    cache_fractions: Sequence[float] = DEFAULT_CACHE_FRACTIONS,
+    dag: Optional[ApplicationDAG] = None,
+    **build_kwargs,
+) -> SweepResult:
+    """Run one workload under every scheme at every cache fraction."""
+    schemes = schemes or STANDARD_SCHEMES
+    dag = dag if dag is not None else build_workload_dag(workload, **build_kwargs)
+    result = SweepResult(
+        workload=workload, dag=dag, peak_live_mb=peak_live_cached_mb(dag)
+    )
+    for fraction in cache_fractions:
+        cache_mb = cache_mb_for(dag, fraction, cluster)
+        config = cluster.with_cache(cache_mb)
+        for name, factory in schemes.items():
+            metrics = simulate(dag, config, factory())
+            result.runs.append(
+                WorkloadRun(
+                    workload=workload,
+                    scheme=name,
+                    cache_fraction=fraction,
+                    cache_mb_per_node=cache_mb,
+                    metrics=metrics,
+                )
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# plain-text rendering
+# ----------------------------------------------------------------------
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table (monospace, benchmark output)."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,82 @@
+"""Table 3 — SparkBench workload characteristics.
+
+Jobs / stages / active stages / RDD counts / references per RDD and per
+stage, plus stage-input and shuffle volumes, for the fourteen
+SparkBench workloads, compared against the paper's reported values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dag.analysis import WorkloadCharacteristics, workload_characteristics
+from repro.dag.dag_builder import build_dag
+from repro.workloads.registry import SPARKBENCH_WORKLOADS
+
+#: Paper values: (jobs, stages, active, rdds, refs_per_rdd, refs_per_stage).
+PAPER_TABLE3: dict[str, tuple[int, int, int, int, float, float]] = {
+    "KM": (17, 20, 20, 37, 5.57, 1.95),
+    "LinR": (6, 9, 9, 24, 5.00, 0.56),
+    "LogR": (7, 10, 10, 25, 6.00, 0.60),
+    "SVM": (10, 28, 17, 40, 3.50, 0.41),
+    "DT": (10, 16, 16, 29, 4.00, 0.25),
+    "MF": (8, 64, 22, 103, 3.11, 1.27),
+    "PR": (7, 69, 21, 95, 2.27, 2.38),
+    "TC": (2, 11, 11, 74, 0.80, 0.73),
+    "SP": (3, 8, 7, 34, 1.33, 1.14),
+    "LP": (23, 858, 87, 377, 4.09, 3.06),
+    "SVD++": (14, 103, 27, 105, 3.32, 2.33),
+    "CC": (6, 50, 19, 85, 2.87, 2.26),
+    "SCC": (26, 839, 93, 560, 4.22, 3.54),
+    "PO": (17, 467, 65, 283, 3.55, 3.25),
+}
+
+#: Paper job-type labels (used by Fig. 4's discussion of I/O intensity).
+JOB_TYPES: dict[str, str] = {
+    spec.name: spec.job_type for spec in SPARKBENCH_WORKLOADS
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    measured: WorkloadCharacteristics
+    paper: tuple[int, int, int, int, float, float] | None
+    job_type: str
+
+
+def run() -> list[Table3Row]:
+    rows: list[Table3Row] = []
+    for spec in SPARKBENCH_WORKLOADS:
+        dag = build_dag(spec.build())
+        chars = workload_characteristics(dag, spec.name)
+        rows.append(
+            Table3Row(
+                measured=chars,
+                paper=PAPER_TABLE3.get(spec.name),
+                job_type=spec.job_type,
+            )
+        )
+    return rows
+
+
+def render(rows: list[Table3Row]) -> str:
+    from repro.experiments.harness import format_table
+
+    table = []
+    for row in rows:
+        m = row.measured
+        p = row.paper or ("-",) * 6
+        table.append(
+            (
+                m.workload, row.job_type,
+                m.num_jobs, m.num_stages, m.num_active_stages, m.num_rdds,
+                round(m.refs_per_rdd, 2), round(m.refs_per_stage, 2),
+                f"{p[0]}/{p[1]}/{p[2]}/{p[3]}", p[4], p[5],
+            )
+        )
+    return format_table(
+        ["Workload", "JobType", "Jobs", "Stages", "Active", "RDDs",
+         "Refs/RDD", "Refs/Stage", "paper-J/S/A/R", "paper-R/RDD", "paper-R/Stg"],
+        table,
+        title="Table 3: SparkBench workload characteristics (measured vs paper)",
+    )

@@ -1,0 +1,57 @@
+"""Cache eviction policies and cache-management schemes."""
+
+from repro.policies.base import EvictionPolicy, PolicyFactory
+from repro.policies.belady import BeladyPolicy
+from repro.policies.fifo import FifoPolicy
+from repro.policies.lfu import LfuPolicy
+from repro.policies.lrc import LrcPolicy
+from repro.policies.lru import LruPolicy
+from repro.policies.memtune import MemTunePolicy
+from repro.policies.profile_oracle import INFINITE, ProfileOracle
+from repro.policies.random_policy import RandomPolicy
+from repro.policies.trace_min import (
+    RecordingScheme,
+    TraceMinPolicy,
+    TraceMinScheme,
+    record_access_trace,
+    true_min_metrics,
+)
+from repro.policies.scheme import (
+    BeladyScheme,
+    LfuScheme,
+    CacheScheme,
+    FifoScheme,
+    LrcScheme,
+    LruScheme,
+    MemTuneScheme,
+    RandomScheme,
+    StageOrders,
+)
+
+__all__ = [
+    "BeladyPolicy",
+    "BeladyScheme",
+    "CacheScheme",
+    "EvictionPolicy",
+    "FifoPolicy",
+    "FifoScheme",
+    "INFINITE",
+    "LfuPolicy",
+    "LfuScheme",
+    "LrcPolicy",
+    "LrcScheme",
+    "LruPolicy",
+    "LruScheme",
+    "MemTunePolicy",
+    "MemTuneScheme",
+    "PolicyFactory",
+    "ProfileOracle",
+    "RandomPolicy",
+    "RandomScheme",
+    "RecordingScheme",
+    "StageOrders",
+    "TraceMinPolicy",
+    "TraceMinScheme",
+    "record_access_trace",
+    "true_min_metrics",
+]

@@ -1,0 +1,36 @@
+"""First-In First-Out eviction — a recency-oblivious control baseline."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Iterator
+
+from repro.policies.base import EvictionPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.block import Block, BlockId
+    from repro.cluster.memory_store import MemoryStore
+
+
+class FifoPolicy(EvictionPolicy):
+    """Evicts in insertion order, ignoring accesses entirely."""
+
+    name = "FIFO"
+
+    def __init__(self) -> None:
+        self._queue: OrderedDict[BlockId, None] = OrderedDict()
+
+    def on_insert(self, block: Block) -> None:
+        if block.id not in self._queue:
+            self._queue[block.id] = None
+
+    def on_access(self, block: Block) -> None:
+        # FIFO deliberately ignores accesses.
+        if block.id not in self._queue:
+            self._queue[block.id] = None
+
+    def on_remove(self, block_id: BlockId) -> None:
+        self._queue.pop(block_id, None)
+
+    def eviction_order(self, store: "MemoryStore") -> Iterator[BlockId]:
+        return iter(list(self._queue.keys()))

@@ -1,0 +1,60 @@
+"""MemTune-style dependency-aware caching — Xu et al., IPDPS 2016.
+
+MemTune's cache decisions (the part relevant to the paper's comparison;
+its JVM memory-fraction tuning is orthogonal) keep coarse *lists* of the
+RDDs required by currently runnable tasks:
+
+* eviction prefers blocks whose RDD is **not** a dependency of the
+  current/next runnable stages, falling back to LRU within each class;
+* prefetching is restricted to blocks needed by the *current* stage
+  ("local dependencies on runnable tasks"), with no notion of how soon
+  a farther reference is.
+
+The deliberately limited lookahead (``lookahead`` stages, default 1)
+is what MRD improves upon: MemTune cannot rank two needed-later blocks
+against each other.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Iterator
+
+from repro.policies.base import EvictionPolicy
+from repro.policies.profile_oracle import ProfileOracle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.block import Block, BlockId
+    from repro.cluster.memory_store import MemoryStore
+
+
+class MemTunePolicy(EvictionPolicy):
+    """Two-class eviction: not-needed-soon blocks first, LRU inside."""
+
+    name = "MemTune"
+
+    def __init__(self, oracle: ProfileOracle, lookahead: int = 1) -> None:
+        if lookahead < 0:
+            raise ValueError("lookahead must be non-negative")
+        self._oracle = oracle
+        self._lookahead = lookahead
+        self._touch = itertools.count()
+        self._last_touch: dict[BlockId, int] = {}
+
+    def on_insert(self, block: Block) -> None:
+        self._last_touch[block.id] = next(self._touch)
+
+    def on_access(self, block: Block) -> None:
+        self._last_touch[block.id] = next(self._touch)
+
+    def on_remove(self, block_id: BlockId) -> None:
+        self._last_touch.pop(block_id, None)
+
+    def eviction_order(self, store: "MemoryStore") -> Iterator[BlockId]:
+        needed = self._oracle.referenced_in_window(self._lookahead)
+
+        def key(bid: BlockId) -> tuple[int, int]:
+            in_list = 1 if bid.rdd_id in needed else 0
+            return (in_list, self._last_touch.get(bid, 0))
+
+        return iter(sorted(store.block_ids(), key=key))

@@ -1,0 +1,36 @@
+"""Uniform-random eviction — the weakest sensible control baseline."""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Iterator
+
+from repro.policies.base import EvictionPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.block import Block, BlockId
+    from repro.cluster.memory_store import MemoryStore
+
+
+class RandomPolicy(EvictionPolicy):
+    """Evicts uniformly random blocks (seeded for reproducibility)."""
+
+    name = "Random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._blocks: set[BlockId] = set()
+
+    def on_insert(self, block: Block) -> None:
+        self._blocks.add(block.id)
+
+    def on_access(self, block: Block) -> None:
+        self._blocks.add(block.id)
+
+    def on_remove(self, block_id: BlockId) -> None:
+        self._blocks.discard(block_id)
+
+    def eviction_order(self, store: "MemoryStore") -> Iterator[BlockId]:
+        order = sorted(self._blocks)  # sort first: set order is salted per process
+        self._rng.shuffle(order)
+        return iter(order)

@@ -1,0 +1,153 @@
+"""True block-level MIN: the optimal offline policy on the recorded trace.
+
+The stage-granular :class:`~repro.policies.belady.BeladyPolicy` ranks
+blocks by their RDD's next referencing *stage*; this module goes one
+level finer.  Because task start order per node is fixed (partitions
+drain FIFO from each node's queue regardless of task durations), the
+per-node block-access sequence is *policy-independent* — so we can
+record it once under any policy and then replay the application under
+an oracle that knows, for every access, exactly how far away each
+resident block's next use is.
+
+Usage::
+
+    trace = record_access_trace(dag, cluster_config)
+    metrics = simulate(dag, cluster_config, TraceMinScheme(trace))
+
+or the one-shot :func:`true_min_metrics`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Iterator
+
+from repro.policies.base import EvictionPolicy
+from repro.policies.lru import LruPolicy
+from repro.policies.scheme import CacheScheme
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.block import Block, BlockId
+    from repro.cluster.cluster import ClusterConfig
+    from repro.dag.dag_builder import ApplicationDAG
+    from repro.simulator.metrics import RunMetrics
+
+
+class RecordingLruPolicy(LruPolicy):
+    """LRU that appends every access (hit or miss) to a shared trace."""
+
+    name = "LRU-recording"
+
+    def __init__(self, trace: list["BlockId"]) -> None:
+        super().__init__()
+        self.trace = trace
+
+    def on_access(self, block: "Block") -> None:
+        super().on_access(block)
+        self.trace.append(block.id)
+
+    def on_miss(self, block_id: "BlockId") -> None:
+        self.trace.append(block_id)
+
+
+class RecordingScheme(CacheScheme):
+    """Runs LRU while capturing each node's access sequence."""
+
+    name = "LRU-recording"
+
+    def __init__(self) -> None:
+        self.traces: dict[int, list["BlockId"]] = {}
+
+    def prepare(self, dag: "ApplicationDAG") -> None:
+        pass
+
+    def policy_factory(self, node_id: int) -> EvictionPolicy:
+        trace: list["BlockId"] = []
+        self.traces[node_id] = trace
+        return RecordingLruPolicy(trace)
+
+
+class TraceMinPolicy(EvictionPolicy):
+    """Per-node MIN over an exact recorded access sequence.
+
+    Tracks its position by counting the accesses it observes (hits via
+    ``on_access``, misses via ``on_miss``) and evicts the resident block
+    whose next position in the trace is furthest away.
+    """
+
+    name = "True-MIN"
+
+    def __init__(self, trace: list["BlockId"]) -> None:
+        self.trace = trace
+        self.position = 0
+        self._postings: dict["BlockId", list[int]] = {}
+        for i, bid in enumerate(trace):
+            self._postings.setdefault(bid, []).append(i)
+
+    def _advance(self) -> None:
+        self.position += 1
+
+    def on_insert(self, block: "Block") -> None:
+        pass
+
+    def on_access(self, block: "Block") -> None:
+        self._advance()
+
+    def on_miss(self, block_id: "BlockId") -> None:
+        self._advance()
+
+    def on_remove(self, block_id: "BlockId") -> None:
+        pass
+
+    def next_use(self, bid: "BlockId") -> float:
+        """Next trace position at/after the cursor, or +inf."""
+        postings = self._postings.get(bid)
+        if not postings:
+            return float("inf")
+        i = bisect_left(postings, self.position)
+        return postings[i] if i < len(postings) else float("inf")
+
+    def eviction_order(self, store: "MemoryStore") -> Iterator["BlockId"]:
+        return iter(
+            sorted(store.block_ids(), key=lambda bid: -self.next_use(bid))
+        )
+
+    def admit_over(self, block: "Block", victims: list["BlockId"], store) -> bool:
+        incoming = self.next_use(block.id)
+        return all(incoming < self.next_use(v) for v in victims)
+
+
+class TraceMinScheme(CacheScheme):
+    """Cluster-wide true MIN from per-node recorded traces."""
+
+    name = "True-MIN"
+
+    def __init__(self, traces: dict[int, list["BlockId"]]) -> None:
+        self.traces = traces
+
+    def prepare(self, dag: "ApplicationDAG") -> None:
+        pass
+
+    def policy_factory(self, node_id: int) -> EvictionPolicy:
+        return TraceMinPolicy(self.traces.get(node_id, []))
+
+
+def record_access_trace(
+    dag: "ApplicationDAG", cluster_config: "ClusterConfig"
+) -> dict[int, list["BlockId"]]:
+    """Pass 1: run under recording LRU and return per-node traces."""
+    from repro.simulator.engine import simulate
+
+    scheme = RecordingScheme()
+    simulate(dag, cluster_config, scheme)
+    return scheme.traces
+
+
+def true_min_metrics(
+    dag: "ApplicationDAG", cluster_config: "ClusterConfig"
+) -> "RunMetrics":
+    """Two-pass convenience: record, then replay under true MIN."""
+    from repro.simulator.engine import simulate
+
+    traces = record_access_trace(dag, cluster_config)
+    return simulate(dag, cluster_config, TraceMinScheme(traces))

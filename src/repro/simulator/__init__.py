@@ -1,0 +1,31 @@
+"""Discrete-event Spark execution simulator."""
+
+from repro.simulator.config import (
+    CLUSTERS,
+    DEFAULT_CACHE_MB,
+    LRC_CLUSTER,
+    MAIN_CLUSTER,
+    MEMTUNE_CLUSTER,
+    TEST_CLUSTER,
+)
+from repro.simulator.costmodel import CostModel
+from repro.simulator.engine import SimulationError, SparkSimulator, simulate
+from repro.simulator.failures import FailurePlan, NodeFailure
+from repro.simulator.metrics import RunMetrics, StageRecord
+
+__all__ = [
+    "CLUSTERS",
+    "CostModel",
+    "DEFAULT_CACHE_MB",
+    "FailurePlan",
+    "LRC_CLUSTER",
+    "MAIN_CLUSTER",
+    "MEMTUNE_CLUSTER",
+    "NodeFailure",
+    "RunMetrics",
+    "SimulationError",
+    "SparkSimulator",
+    "StageRecord",
+    "TEST_CLUSTER",
+    "simulate",
+]

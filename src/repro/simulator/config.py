@@ -1,0 +1,75 @@
+"""Cluster presets mirroring the paper's Table 4.
+
+The absolute hardware is scaled to simulation units, but the *relative*
+differences the paper's comparisons rely on are preserved: node count,
+cores per node, link speed, and per-core speed.
+
+======================  ====  =====  =====  =========  =================
+Cluster                 VMs   vCPU   RAM    Network    Equivalency
+======================  ====  =====  =====  =========  =================
+Main cluster             25      4   8 GB   500 Mbps   (university VMs)
+LRC cluster              20      2   8 GB   450 Mbps   EC2 m4.large
+MemTune cluster           6      8   8 GB   1 Gbps     System G
+======================  ====  =====  =====  =========  =================
+
+Per-node cache size is *not* fixed here: the paper sweeps it via
+``spark.memory.fraction`` / ``spark.executor.memory``; experiments pass
+the cache size per run (usually as a fraction of the workload's cached
+working set).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.network import DiskModel, NetworkModel
+
+#: Default per-node cache used when an experiment does not sweep it.
+DEFAULT_CACHE_MB = 1024.0
+
+MAIN_CLUSTER = ClusterConfig(
+    name="main",
+    num_nodes=25,
+    slots_per_node=4,
+    cache_mb_per_node=DEFAULT_CACHE_MB,
+    network=NetworkModel(bandwidth_mbps=500.0),
+    disk=DiskModel(),
+    cpu_speed=1.0,
+)
+
+LRC_CLUSTER = ClusterConfig(
+    name="lrc",
+    num_nodes=20,
+    slots_per_node=2,
+    cache_mb_per_node=DEFAULT_CACHE_MB,
+    network=NetworkModel(bandwidth_mbps=450.0),
+    disk=DiskModel(),
+    cpu_speed=1.0,
+)
+
+MEMTUNE_CLUSTER = ClusterConfig(
+    name="memtune",
+    num_nodes=6,
+    slots_per_node=8,
+    cache_mb_per_node=DEFAULT_CACHE_MB,
+    network=NetworkModel(bandwidth_mbps=1000.0),
+    disk=DiskModel(),
+    cpu_speed=1.2,
+)
+
+#: Small cluster for unit/integration tests: fast, still multi-node.
+TEST_CLUSTER = ClusterConfig(
+    name="test",
+    num_nodes=4,
+    slots_per_node=2,
+    cache_mb_per_node=256.0,
+    network=NetworkModel(bandwidth_mbps=500.0),
+    disk=DiskModel(),
+    cpu_speed=1.0,
+)
+
+CLUSTERS = {
+    "main": MAIN_CLUSTER,
+    "lrc": LRC_CLUSTER,
+    "memtune": MEMTUNE_CLUSTER,
+    "test": TEST_CLUSTER,
+}

@@ -1,0 +1,72 @@
+"""Task time model: how compute and I/O turn into simulated seconds.
+
+All engine timing flows through :class:`CostModel` so the assumptions
+live in one place:
+
+* compute — the stage's aggregated per-task CPU cost, divided by the
+  node's relative CPU speed;
+* shuffle read — each task pulls its share of the parents' map output
+  over the network;
+* input read — each task streams its share of the HDFS-like input at
+  disk bandwidth;
+* cached-block I/O — misses re-read the spilled copy from the home
+  node's disk (serialized on that node's I/O channel, handled by the
+  engine) and remote cache reads pay a network transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.network import DiskModel, NetworkModel
+from repro.dag.structures import Stage
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Deterministic task-duration arithmetic."""
+
+    network: NetworkModel
+    disk: DiskModel
+    #: Relative CPU speed of the cluster's cores (1.0 = reference vCPU).
+    cpu_speed: float = 1.0
+    #: Fixed per-task overhead (scheduling/serialization), seconds.
+    task_overhead_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.cpu_speed <= 0:
+            raise ValueError("cpu_speed must be positive")
+        if self.task_overhead_s < 0:
+            raise ValueError("task_overhead_s must be non-negative")
+
+    # ------------------------------------------------------------------
+    def compute_time(self, stage: Stage) -> float:
+        """Pure CPU seconds for one task of ``stage``."""
+        return stage.compute_cost_per_task / self.cpu_speed
+
+    def shuffle_read_time(self, stage: Stage) -> float:
+        """Seconds one task spends fetching its shuffle input share."""
+        total = stage.shuffle_read_mb
+        if total == 0 or stage.num_tasks == 0:
+            return 0.0
+        return self.network.transfer_time(total / stage.num_tasks)
+
+    def input_read_time(self, stage: Stage) -> float:
+        """Seconds one task spends reading its storage-input share."""
+        total = stage.input_read_mb
+        if total == 0 or stage.num_tasks == 0:
+            return 0.0
+        return self.disk.read_time(total / stage.num_tasks)
+
+    def remote_transfer_time(self, size_mb: float) -> float:
+        """Cross-node block transfer (cache read off the home node)."""
+        return self.network.transfer_time(size_mb)
+
+    def fixed_task_time(self, stage: Stage) -> float:
+        """Everything a task pays regardless of cache state."""
+        return (
+            self.task_overhead_s
+            + self.compute_time(stage)
+            + self.shuffle_read_time(stage)
+            + self.input_read_time(stage)
+        )

@@ -1,0 +1,324 @@
+"""Event-driven execution engine.
+
+Replays an :class:`ApplicationDAG` on a simulated cluster under a
+pluggable :class:`CacheScheme`:
+
+* active stages execute in sequence (stage barrier, like Spark's
+  DAGScheduler for a single app);
+* within a stage, tasks queue on per-node executor slots and are
+  processed in global start-time order, so cache state (insertions,
+  evictions, prefetch completions) evolves *during* the stage and is
+  observed consistently by later tasks;
+* cached-block reads hit memory, wait for an in-flight prefetch, or
+  synchronously re-read the spilled copy through the home node's
+  serialized disk channel;
+* prefetch orders issued at a stage boundary occupy the same disk
+  channel and complete asynchronously — the overlap of this I/O with
+  computation is exactly the mechanism the paper credits for MRD's
+  prefetching gains.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Optional
+
+from repro.cluster.block import Block, BlockId, block_of
+from repro.cluster.block_manager import AccessOutcome, BlockManager
+from repro.cluster.cluster import Cluster, ClusterConfig, build_cluster
+from repro.dag.dag_builder import ApplicationDAG
+from repro.dag.rdd import RDD, ShuffleDependency
+from repro.dag.structures import Stage
+from repro.policies.scheme import CacheScheme
+from repro.simulator.costmodel import CostModel
+from repro.simulator.failures import FailurePlan
+from repro.simulator.metrics import RunMetrics, StageRecord
+
+
+class SimulationError(RuntimeError):
+    """Internal inconsistency (a referenced block that nowhere exists)."""
+
+
+class SparkSimulator:
+    """Runs one application under one cache-management scheme."""
+
+    def __init__(
+        self,
+        dag: ApplicationDAG,
+        cluster_config: ClusterConfig,
+        scheme: CacheScheme,
+        cost_model: Optional[CostModel] = None,
+        promote_on_miss: bool = True,
+        failure_plan: Optional[FailurePlan] = None,
+    ) -> None:
+        self.dag = dag
+        self.cluster_config = cluster_config
+        self.scheme = scheme
+        self.cost = cost_model or CostModel(
+            network=cluster_config.network,
+            disk=cluster_config.disk,
+            cpu_speed=cluster_config.cpu_speed,
+        )
+        self.promote_on_miss = promote_on_miss
+        self.failure_plan = failure_plan
+        self.cluster: Optional[Cluster] = None
+        self._unpersist_by_job: dict[int, list[int]] = {}
+        for ev in dag.app.ctx.unpersist_events:
+            self._unpersist_by_job.setdefault(ev.after_job_id, []).append(ev.rdd.id)
+        #: Memoized per-partition recompute costs (failure-recovery path).
+        self._recompute_cost: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunMetrics:
+        """Simulate the whole application; returns the collected metrics."""
+        self.scheme.prepare(self.dag)
+        self.cluster = build_cluster(self.cluster_config, self.scheme.policy_factory)
+        master = self.cluster.master
+        now = 0.0
+        current_job = -1
+        records: list[StageRecord] = []
+
+        lost_blocks = 0
+        for stage in self.dag.active_stages:
+            if stage.job_id != current_job:
+                # Previous jobs finished: apply their unpersist events.
+                for j in range(max(current_job, 0), stage.job_id):
+                    self._apply_unpersists(j)
+                # Newly submitted jobs reveal their DAGs to the scheme.
+                for j in range(current_job + 1, stage.job_id + 1):
+                    self.scheme.on_job_submit(j)
+                current_job = stage.job_id
+            if self.failure_plan is not None:
+                lost_blocks += self.failure_plan.apply(stage.seq, self.cluster)
+            orders = self.scheme.on_stage_start(stage.seq, self.cluster)
+            for rdd_id in orders.purge_rdds:
+                master.purge_rdd(rdd_id, drop_disk=False)
+            self._issue_prefetches(orders.prefetches, now)
+            start = now
+            now = self._run_stage(stage, start)
+            records.append(
+                StageRecord(
+                    seq=stage.seq,
+                    stage_id=stage.id,
+                    job_id=stage.job_id,
+                    start=start,
+                    end=now,
+                    num_tasks=stage.num_tasks,
+                )
+            )
+
+        self._apply_unpersists(current_job)
+        self.scheme.finalize()
+        stats = master.total_stats()
+        return RunMetrics(
+            scheme=self.scheme.name,
+            workload=self.dag.app.signature,
+            jct=now,
+            stats=stats,
+            stage_records=records,
+            per_node_hit_ratio=[m.stats.hit_ratio for m in master.managers],
+            cache_mb_per_node=self.cluster_config.cache_mb_per_node,
+            failure_lost_blocks=lost_blocks,
+        )
+
+    # ------------------------------------------------------------------
+    # stage execution
+    # ------------------------------------------------------------------
+    def _run_stage(self, stage: Stage, start: float) -> float:
+        assert self.cluster is not None
+        master = self.cluster.master
+        num_nodes = master.num_nodes
+        # Cache-independent task costs: I/O shares are cluster-wide,
+        # compute scales with the executing node's CPU factor.
+        fixed_io = (
+            self.cost.task_overhead_s
+            + self.cost.shuffle_read_time(stage)
+            + self.cost.input_read_time(stage)
+        )
+        base_compute = self.cost.compute_time(stage)
+        per_node_fixed = [
+            fixed_io + base_compute / node.cpu_factor for node in self.cluster.nodes
+        ]
+
+        pending: list[deque[int]] = [deque() for _ in range(num_nodes)]
+        for p in range(stage.num_tasks):
+            pending[master.task_node_id(p)].append(p)
+        slots: list[list[float]] = [
+            [start] * node.num_slots for node in self.cluster.nodes
+        ]
+        for heap in slots:
+            heapq.heapify(heap)
+
+        stage_end = start
+        remaining = stage.num_tasks
+        while remaining:
+            # Next task = node with pending work whose earliest slot frees first.
+            node_id = min(
+                (n for n in range(num_nodes) if pending[n]),
+                key=lambda n: slots[n][0],
+            )
+            t0 = heapq.heappop(slots[node_id])
+            self._apply_due_prefetches(t0)
+            p = pending[node_id].popleft()
+            t_end = self._run_task(stage, p, node_id, t0, per_node_fixed[node_id])
+            heapq.heappush(slots[node_id], t_end)
+            stage_end = max(stage_end, t_end)
+            remaining -= 1
+
+        for rdd in stage.cache_writes:
+            self.scheme.on_block_created(rdd.id)
+        return stage_end
+
+    def _run_task(
+        self, stage: Stage, partition: int, node_id: int, t0: float, fixed: float
+    ) -> float:
+        assert self.cluster is not None
+        master = self.cluster.master
+        t = t0 + fixed
+        protect: set[BlockId] = set()
+
+        for rdd in stage.cache_reads:
+            bid = BlockId(rdd.id, partition % rdd.num_partitions)
+            mgr = master.manager_for(bid)
+            t = self._acquire_block(mgr, bid, rdd.partition_size_mb, t, protect)
+            if mgr.node.node_id != node_id:
+                t += self.cost.remote_transfer_time(rdd.partition_size_mb)
+            protect.add(bid)
+
+        frozen_protect = frozenset(protect)
+        for rdd in stage.cache_writes:
+            for q in range(partition, rdd.num_partitions, stage.num_tasks):
+                block = block_of(rdd, q)
+                master.manager_for(block.id).insert_cached(block, frozen_protect)
+        return t
+
+    def _acquire_block(
+        self,
+        mgr: BlockManager,
+        bid: BlockId,
+        size_mb: float,
+        t: float,
+        protect: set[BlockId],
+    ) -> float:
+        """Make ``bid`` readable at the returned time; accounts hit/miss."""
+        inflight = mgr.inflight_prefetch.get(bid)
+        if inflight is not None:
+            # Wait for the in-flight prefetch, then complete it.  Even
+            # if cache admission refuses the block, the transfer already
+            # happened — the task consumes it from the fetch buffer.
+            t = max(t, inflight)
+            self._complete_prefetch(mgr, bid)
+            if bid in mgr.node.memory:
+                mgr.access(bid)
+            else:
+                mgr.record_buffered_hit(bid)
+            return t
+        outcome = mgr.access(bid)
+        if outcome is AccessOutcome.MEMORY_HIT:
+            return t
+        if outcome is AccessOutcome.DISK_READ:
+            t = mgr.node.reserve_io(t, size_mb)
+            if self.promote_on_miss:
+                block = mgr.node.disk.get(bid)
+                assert block is not None
+                mgr.promote_from_disk(block, frozenset(protect))
+            return t
+        # Neither in memory nor on disk.  Without failure injection this
+        # is a DAG-contract violation; with lost disks it is Spark's
+        # lineage-recovery path: recompute the partition and re-persist.
+        if self.failure_plan is None:
+            raise SimulationError(
+                f"block {bid} referenced but neither in memory nor on disk "
+                f"on node {mgr.node.node_id}"
+            )
+        return self._recompute_block(mgr, bid, size_mb, t, protect)
+
+    def _recompute_block(
+        self,
+        mgr: BlockManager,
+        bid: BlockId,
+        size_mb: float,
+        t: float,
+        protect: set[BlockId],
+    ) -> float:
+        """Lineage recovery: rebuild a lost partition and re-persist it.
+
+        The cost approximates recomputing the narrow pipeline above the
+        RDD: CPU for every narrow ancestor, a storage read for input
+        ancestors and a network fetch for each crossed shuffle (shuffle
+        files survive node loss on the paper's clusters because they are
+        spread over all nodes).
+        """
+        rdd = self.dag.app.rdds[bid.rdd_id]
+        t += self._partition_recompute_time(rdd)
+        block = Block(id=bid, size_mb=size_mb, rdd_name=rdd.name)
+        mgr.node.disk.put(block)
+        mgr.node.memory.put(block, frozenset(protect))
+        return t
+
+    def _partition_recompute_time(self, rdd: RDD) -> float:
+        cached = self._recompute_cost.get(rdd.id)
+        if cached is not None:
+            return cached
+        cpu = 0.0
+        io = 0.0
+        for ancestor in rdd.narrow_ancestors():
+            cpu += ancestor.compute_cost
+            if ancestor.is_input:
+                io += self.cost.disk.read_time(ancestor.partition_size_mb)
+            for dep in ancestor.deps:
+                if isinstance(dep, ShuffleDependency):
+                    share = dep.parent.size_mb / max(ancestor.num_partitions, 1)
+                    io += self.cost.network.transfer_time(share)
+        total = cpu / self.cost.cpu_speed + io
+        self._recompute_cost[rdd.id] = total
+        return total
+
+    # ------------------------------------------------------------------
+    # prefetching
+    # ------------------------------------------------------------------
+    def _issue_prefetches(self, blocks: list[Block], now: float) -> None:
+        assert self.cluster is not None
+        master = self.cluster.master
+        for block in blocks:
+            mgr = master.manager_for(block.id)
+            if block.id in mgr.node.memory or block.id in mgr.inflight_prefetch:
+                continue
+            if block.id not in mgr.node.disk:
+                continue  # nothing to fetch from (defensive)
+            done = mgr.node.reserve_io(now, block.size_mb)
+            mgr.inflight_prefetch[block.id] = done
+            mgr.stats.prefetches_issued += 1
+
+    def _apply_due_prefetches(self, t: float) -> None:
+        assert self.cluster is not None
+        for mgr in self.cluster.master.managers:
+            if not mgr.inflight_prefetch:
+                continue
+            due = [bid for bid, done in mgr.inflight_prefetch.items() if done <= t]
+            for bid in due:
+                self._complete_prefetch(mgr, bid)
+
+    def _complete_prefetch(self, mgr: BlockManager, bid: BlockId) -> None:
+        mgr.inflight_prefetch.pop(bid, None)
+        block = mgr.node.disk.get(bid)
+        if block is None:
+            return  # unpersisted while in flight
+        mgr.promote_from_disk(block, prefetch=True)
+
+    # ------------------------------------------------------------------
+    def _apply_unpersists(self, job_id: int) -> None:
+        assert self.cluster is not None
+        for rdd_id in self._unpersist_by_job.get(job_id, ()):
+            self.cluster.master.purge_rdd(rdd_id, drop_disk=True)
+
+
+def simulate(
+    dag: ApplicationDAG,
+    cluster_config: ClusterConfig,
+    scheme: CacheScheme,
+    **kwargs,
+) -> RunMetrics:
+    """One-shot convenience wrapper around :class:`SparkSimulator`."""
+    return SparkSimulator(dag, cluster_config, scheme, **kwargs).run()

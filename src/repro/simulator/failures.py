@@ -1,0 +1,84 @@
+"""Failure injection: worker-node cache loss during a run.
+
+The paper's fault-tolerance story (§4.4): when a worker fails, its
+local reference-distance profile is lost and the MRDmanager re-issues
+the MRD_Table to the replacement node.  In the simulator a failure
+empties the node's memory store (and optionally its spilled disk
+blocks); the replacement registers with the same block-manager identity
+so placement is unchanged, and the centralized manager state is
+re-delivered by construction (policies read the shared manager).
+
+Injected failures let the tests assert the two properties that matter:
+the run still completes with correct accounting, and the policy's
+*relative* advantage survives the hit-ratio dip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """Lose node ``node_id``'s cache before active stage ``at_seq``.
+
+    ``lose_disk`` also drops the spilled copies (a machine replacement
+    rather than an executor restart); blocks whose only copy lived
+    there must then be recomputed — the engine charges the lineage's
+    recompute cost through the normal miss path once the blocks are
+    rewritten by their next computing stage, or fails loudly if a
+    referenced block becomes unrecoverable (which the DAG contract
+    forbids for executor restarts).
+    """
+
+    at_seq: int
+    node_id: int
+    lose_disk: bool = False
+
+    def __post_init__(self) -> None:
+        if self.at_seq < 0:
+            raise ValueError("at_seq must be non-negative")
+        if self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+
+
+@dataclass
+class FailurePlan:
+    """A schedule of failures, applied at stage boundaries."""
+
+    failures: list[NodeFailure] = field(default_factory=list)
+
+    def add(self, at_seq: int, node_id: int, lose_disk: bool = False) -> "FailurePlan":
+        self.failures.append(NodeFailure(at_seq=at_seq, node_id=node_id, lose_disk=lose_disk))
+        return self
+
+    def failures_at(self, seq: int) -> list[NodeFailure]:
+        return [f for f in self.failures if f.at_seq == seq]
+
+    def apply(self, seq: int, cluster: Cluster) -> int:
+        """Apply all failures scheduled for stage ``seq``.
+
+        Returns the number of memory blocks lost.  In-flight prefetches
+        targeting the failed node are cancelled (their transfer dies
+        with the node).
+        """
+        lost = 0
+        for failure in self.failures_at(seq):
+            if failure.node_id >= cluster.num_nodes:
+                raise ValueError(
+                    f"failure targets node {failure.node_id} but the cluster "
+                    f"has {cluster.num_nodes} nodes"
+                )
+            mgr = cluster.master.managers[failure.node_id]
+            node = mgr.node
+            for bid in list(node.memory.block_ids()):
+                node.memory.remove(bid)
+                lost += 1
+            mgr.inflight_prefetch.clear()
+            node.io_free_at = 0.0  # the replacement's disk starts idle
+            if failure.lose_disk:
+                for bid in list(node.disk.block_ids()):
+                    node.disk.remove(bid)
+        return lost

@@ -1,0 +1,65 @@
+"""Run metrics: what the paper's figures report.
+
+Job Completion Time (JCT), cache hit ratio, eviction/prefetch counters,
+plus a per-stage timeline for debugging and Figure-2 style traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.block_manager import BlockManagerStats
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """Timing of one executed stage."""
+
+    seq: int
+    stage_id: int
+    job_id: int
+    start: float
+    end: float
+    num_tasks: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured during one simulated application run."""
+
+    scheme: str
+    workload: str
+    jct: float = 0.0
+    stats: BlockManagerStats = field(default_factory=BlockManagerStats)
+    stage_records: list[StageRecord] = field(default_factory=list)
+    per_node_hit_ratio: list[float] = field(default_factory=list)
+    cache_mb_per_node: float = 0.0
+    #: Memory blocks dropped by injected node failures (0 without a plan).
+    failure_lost_blocks: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.stats.hit_ratio
+
+    @property
+    def num_stages_executed(self) -> int:
+        return len(self.stage_records)
+
+    def normalized_jct(self, baseline: "RunMetrics") -> float:
+        """This run's JCT as a fraction of ``baseline``'s (Fig. 4 y-axis)."""
+        if baseline.jct <= 0:
+            raise ValueError("baseline JCT must be positive")
+        return self.jct / baseline.jct
+
+    def summary(self) -> str:
+        s = self.stats
+        return (
+            f"{self.workload:>6s} | {self.scheme:<14s} | JCT {self.jct:9.2f}s | "
+            f"hit {self.hit_ratio * 100:5.1f}% ({s.hits}/{s.accesses}) | "
+            f"evict {s.evictions:4d} | purge {s.purged:4d} | "
+            f"prefetch {s.prefetches_used}/{s.prefetches_issued}"
+        )

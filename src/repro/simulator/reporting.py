@@ -1,0 +1,121 @@
+"""Result export: JSON/CSV serialization of run metrics.
+
+Experiment pipelines that post-process results (plotting, regression
+tracking) consume these instead of parsing the human-readable tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.simulator.metrics import RunMetrics
+
+
+def metrics_to_dict(metrics: RunMetrics) -> dict:
+    """Flatten one run into JSON-serializable primitives."""
+    s = metrics.stats
+    return {
+        "workload": metrics.workload,
+        "scheme": metrics.scheme,
+        "jct": metrics.jct,
+        "cache_mb_per_node": metrics.cache_mb_per_node,
+        "hit_ratio": metrics.hit_ratio,
+        "hits": s.hits,
+        "misses": s.misses,
+        "accesses": s.accesses,
+        "insertions": s.insertions,
+        "failed_insertions": s.failed_insertions,
+        "evictions": s.evictions,
+        "evicted_mb": s.evicted_mb,
+        "purged": s.purged,
+        "prefetches_issued": s.prefetches_issued,
+        "prefetches_used": s.prefetches_used,
+        "prefetched_mb": s.prefetched_mb,
+        "failure_lost_blocks": metrics.failure_lost_blocks,
+        "num_stages_executed": metrics.num_stages_executed,
+        "per_node_hit_ratio": list(metrics.per_node_hit_ratio),
+        "stages": [
+            {
+                "seq": r.seq,
+                "stage_id": r.stage_id,
+                "job_id": r.job_id,
+                "start": r.start,
+                "end": r.end,
+                "num_tasks": r.num_tasks,
+            }
+            for r in metrics.stage_records
+        ],
+    }
+
+
+def save_metrics_json(metrics_list: Iterable[RunMetrics], path: Path | str) -> Path:
+    """Write one or more runs as a JSON array."""
+    path = Path(path)
+    payload = [metrics_to_dict(m) for m in metrics_list]
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_metrics_json(path: Path | str) -> list[dict]:
+    """Read back what :func:`save_metrics_json` wrote."""
+    return json.loads(Path(path).read_text())
+
+
+def save_stage_timeline_csv(metrics: RunMetrics, path: Path | str) -> Path:
+    """Per-stage timeline of one run as CSV (for Gantt-style plots)."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["seq", "stage_id", "job_id", "start", "end", "duration", "num_tasks"]
+        )
+        for r in metrics.stage_records:
+            writer.writerow(
+                [r.seq, r.stage_id, r.job_id, r.start, r.end, r.duration, r.num_tasks]
+            )
+    return path
+
+
+def render_timeline(metrics: RunMetrics, width: int = 72) -> str:
+    """ASCII Gantt of the run: one bar per executed stage.
+
+    Bars are positioned on a shared time axis; the glyph encodes the
+    job (cycling a-z), so job boundaries and relative stage durations
+    are visible at a glance in a terminal.
+    """
+    if not metrics.stage_records:
+        return "(no stages executed)"
+    total = metrics.jct if metrics.jct > 0 else 1.0
+    lines = [
+        f"timeline: {metrics.workload} under {metrics.scheme} "
+        f"(JCT {metrics.jct:.2f}s, {len(metrics.stage_records)} stages)"
+    ]
+    for r in metrics.stage_records:
+        start_col = int(r.start / total * width)
+        end_col = max(int(r.end / total * width), start_col + 1)
+        glyph = chr(ord("a") + r.job_id % 26)
+        bar = " " * start_col + glyph * (end_col - start_col)
+        lines.append(
+            f"seq {r.seq:3d} job {r.job_id:3d} |{bar.ljust(width)}| "
+            f"{r.duration:7.3f}s"
+        )
+    return "\n".join(lines)
+
+
+def save_comparison_csv(metrics_list: Iterable[RunMetrics], path: Path | str) -> Path:
+    """One row per run: the headline quantities across schemes."""
+    path = Path(path)
+    rows = [metrics_to_dict(m) for m in metrics_list]
+    fields = [
+        "workload", "scheme", "cache_mb_per_node", "jct", "hit_ratio",
+        "hits", "misses", "evictions", "purged",
+        "prefetches_issued", "prefetches_used",
+    ]
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields, extrasaction="ignore")
+        writer.writeheader()
+        writer.writerows(rows)
+    return path

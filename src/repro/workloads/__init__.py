@@ -1,0 +1,29 @@
+"""Synthetic SparkBench and HiBench workload generators."""
+
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    gradient_descent_loop,
+    pregel_superstep_loop,
+)
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    HIBENCH_WORKLOADS,
+    SPARKBENCH_WORKLOADS,
+    build_workload,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "HIBENCH_WORKLOADS",
+    "SPARKBENCH_WORKLOADS",
+    "WorkloadParams",
+    "WorkloadSpec",
+    "build_workload",
+    "get_workload",
+    "gradient_descent_loop",
+    "pregel_superstep_loop",
+    "workload_names",
+]

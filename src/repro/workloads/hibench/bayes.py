@@ -1,0 +1,48 @@
+"""HiBench Bayes — Naive Bayes training with moderate reference gaps.
+
+Table 1: avg job distance 2.09 / stage distance 3.23 — HiBench's only
+workload besides K-Means with any reuse: term frequencies are cached
+during the vectorization jobs and re-read by the model-fitting job a
+few jobs later.
+"""
+
+from __future__ import annotations
+
+from repro.dag.context import SparkContext
+from repro.workloads.base import WorkloadParams, WorkloadSpec, scaled
+
+
+def build_bayes(ctx: SparkContext, params: WorkloadParams) -> None:
+    size = scaled(params, 400.0)
+    parts = params.partitions
+
+    raw = ctx.text_file("bayes-docs", size_mb=size, num_partitions=parts)
+    tokens = raw.flat_map(size_factor=1.1, cpu_per_mb=0.01, name="bayes-tokens").cache()
+    # Job 0: document frequencies.
+    df = tokens.reduce_by_key(size_factor=0.2, name="bayes-df")
+    df.collect(name="bayes-df-job")
+    # Job 1: term frequencies, cached for the training job.
+    tf = tokens.map(size_factor=0.8, cpu_per_mb=0.01, name="bayes-tf").cache()
+    tf.count(name="bayes-tf-job")
+    # Job 2: vectorize (no reuse of tokens from here on).
+    vectors = tf.map(size_factor=0.5, cpu_per_mb=0.02, name="bayes-vectors").cache()
+    vectors.count(name="bayes-vectorize")
+    # Job 3: label statistics.
+    labels = vectors.reduce_by_key(size_factor=0.1, name="bayes-labels")
+    labels.collect(name="bayes-labels-job")
+    # Job 4: model fit re-reads tf (distance ≈ 3 jobs) and the vectors.
+    model = vectors.zip_partitions(tf, size_factor=0.1, cpu_per_mb=0.03, name="bayes-model")
+    model.collect(name="bayes-train")
+
+
+SPEC = WorkloadSpec(
+    name="Bayes",
+    full_name="Bayes",
+    suite="hibench",
+    category="Machine Learning",
+    job_type="Mixed",
+    input_mb=400.0,
+    default_iterations=1,
+    builder=build_bayes,
+    iterations_effective=False,
+)

@@ -1,0 +1,30 @@
+"""HiBench Sort — single shuffle job, no caching.
+
+Table 1 shows zero reference distances for Sort: there is nothing to
+re-reference, which is why the paper drops HiBench from the main
+experiments — MRD has no DAG structure to exploit.
+"""
+
+from __future__ import annotations
+
+from repro.dag.context import SparkContext
+from repro.workloads.base import WorkloadParams, WorkloadSpec, scaled
+
+
+def build_sort(ctx: SparkContext, params: WorkloadParams) -> None:
+    size = scaled(params, 800.0)
+    raw = ctx.text_file("sort-input", size_mb=size, num_partitions=params.partitions)
+    raw.sort_by_key(cpu_per_mb=0.002, name="sort-sorted").save(name="sort")
+
+
+SPEC = WorkloadSpec(
+    name="Sort",
+    full_name="Sort",
+    suite="hibench",
+    category="Micro Benchmark",
+    job_type="I/O intensive",
+    input_mb=800.0,
+    default_iterations=1,
+    builder=build_sort,
+    iterations_effective=False,
+)

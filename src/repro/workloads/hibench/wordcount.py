@@ -1,0 +1,27 @@
+"""HiBench WordCount — one map+reduce job, no caching (Table 1: all zeros)."""
+
+from __future__ import annotations
+
+from repro.dag.context import SparkContext
+from repro.workloads.base import WorkloadParams, WorkloadSpec, scaled
+
+
+def build_wordcount(ctx: SparkContext, params: WorkloadParams) -> None:
+    size = scaled(params, 600.0)
+    raw = ctx.text_file("wc-input", size_mb=size, num_partitions=params.partitions)
+    words = raw.flat_map(size_factor=1.2, cpu_per_mb=0.004, name="wc-words")
+    counts = words.reduce_by_key(size_factor=0.1, name="wc-counts")
+    counts.save(name="wordcount")
+
+
+SPEC = WorkloadSpec(
+    name="WordCount",
+    full_name="WordCount",
+    suite="hibench",
+    category="Micro Benchmark",
+    job_type="CPU intensive",
+    input_mb=600.0,
+    default_iterations=1,
+    builder=build_wordcount,
+    iterations_effective=False,
+)

@@ -1,0 +1,52 @@
+"""Connected Components (CC) — SparkBench workload.
+
+Paper shape (Table 3): 6 jobs / 50 stages with 19 active / 85 RDDs,
+**I/O intensive**.  CC is the paper's motivating example (Fig. 2) and
+its best case against LRC (Fig. 5, 45 % improvement): label-exchange
+supersteps over a long-lived cached edge RDD, with per-superstep
+component-label RDDs whose references straddle several stages.
+"""
+
+from __future__ import annotations
+
+from repro.dag.context import SparkContext
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    iterations_or_default,
+    pregel_superstep_loop,
+    scaled,
+)
+
+DEFAULT_ITERATIONS = 4
+
+
+def build_connected_components(ctx: SparkContext, params: WorkloadParams) -> None:
+    size = scaled(params, 240.0)
+    parts = params.partitions
+    iters = iterations_or_default(params, DEFAULT_ITERATIONS)
+
+    raw = ctx.text_file("cc-edges", size_mb=size, num_partitions=parts)
+    edges = raw.map(size_factor=0.9, cpu_per_mb=0.002, name="cc-edges").cache()
+    components = edges.map(size_factor=0.3, cpu_per_mb=0.002, name="cc-labels-0").cache()
+    components.count(name="cc-init")
+
+    final = pregel_superstep_loop(
+        ctx, edges, components, supersteps=iters,
+        msg_factor=0.5, vertex_keep=2, stages_per_superstep=3,
+        cpu_per_mb=0.002, name="cc",
+    )
+    sizes = final.reduce_by_key(size_factor=0.05, name="cc-sizes")
+    sizes.collect(name="cc-final")
+
+
+SPEC = WorkloadSpec(
+    name="CC",
+    full_name="Connected Component",
+    suite="sparkbench",
+    category="Other Workloads",
+    job_type="I/O intensive",
+    input_mb=240.0,
+    default_iterations=DEFAULT_ITERATIONS,
+    builder=build_connected_components,
+)

@@ -1,0 +1,50 @@
+"""Decision Tree (DT) — SparkBench CPU-intensive workload.
+
+Paper shape (Table 3): 10 jobs / 16 stages, 3.5 GB input, CPU
+intensive.  Each tree level is one job computing split statistics over
+the cached training set; deeper levels add a tree-aggregation shuffle.
+The level count is fixed by the tree depth, not by the generic
+``iterations`` knob — the paper notes in §5.9 that tripling iterations
+leaves DT's DAG unchanged, which ``iterations_effective=False``
+records.
+"""
+
+from __future__ import annotations
+
+from repro.dag.context import SparkContext
+from repro.workloads.base import WorkloadParams, WorkloadSpec, scaled
+
+TREE_DEPTH = 8
+
+
+def build_decision_tree(ctx: SparkContext, params: WorkloadParams) -> None:
+    size = scaled(params, 350.0)
+
+    raw = ctx.text_file("dt-input", size_mb=size, num_partitions=params.partitions)
+    data = raw.map(size_factor=1.1, cpu_per_mb=0.03, name="dt-treepoints").cache()
+    data.count(name="dt-load")
+
+    for level in range(TREE_DEPTH):
+        stats = data.map_partitions(
+            size_factor=0.03, cpu_per_mb=0.09, name=f"dt-stats-{level}"
+        )
+        # Deeper levels have more candidate splits to aggregate.
+        if level >= 2:
+            stats = stats.reduce_by_key(size_factor=0.5, name=f"dt-agg-{level}")
+        stats.collect(name=f"dt-level-{level}")
+
+    final = data.map(size_factor=0.01, cpu_per_mb=0.03, name="dt-predict")
+    final.collect(name="dt-eval")
+
+
+SPEC = WorkloadSpec(
+    name="DT",
+    full_name="Decision Tree",
+    suite="sparkbench",
+    category="Other Workloads",
+    job_type="CPU intensive",
+    input_mb=350.0,
+    default_iterations=1,
+    builder=build_decision_tree,
+    iterations_effective=False,
+)

@@ -1,0 +1,63 @@
+"""K-Means (KM) — SparkBench machine-learning workload.
+
+Paper shape (Table 3): 17 jobs / 20 stages (none skipped) / 37 RDDs,
+mixed CPU+I/O, 5.5 GB input.  MLlib-style structure: an initialization
+job samples initial centroids, each Lloyd iteration is one job mapping
+over the cached training set, and a final job evaluates the clustering
+cost.  The training set and point norms are cached and re-referenced by
+every iteration; the initialization sample is cached early and touched
+again only by the final evaluation, giving KM its mix of short and long
+reference gaps.
+"""
+
+from __future__ import annotations
+
+from repro.dag.context import SparkContext
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    iterations_or_default,
+    scaled,
+)
+
+DEFAULT_ITERATIONS = 15
+
+
+def build_kmeans(ctx: SparkContext, params: WorkloadParams) -> None:
+    size = scaled(params, 550.0)
+    parts = params.partitions
+    iters = iterations_or_default(params, DEFAULT_ITERATIONS)
+
+    raw = ctx.text_file("km-input", size_mb=size, num_partitions=parts)
+    data = raw.map(size_factor=0.9, cpu_per_mb=0.01, name="km-points").cache()
+    norms = data.map(size_factor=0.1, cpu_per_mb=0.005, name="km-norms").cache()
+
+    # Initialization: k-means|| style sampling with a collect per round.
+    sample = data.sample(fraction=0.05, name="km-sample").cache()
+    centers = sample.distinct(size_factor=0.5, name="km-init-centers")
+    centers.collect(name="km-init")
+
+    # Lloyd iterations: one job each, mapping over cached points+norms.
+    for it in range(iters):
+        assigned = data.zip_partitions(
+            norms, size_factor=0.05, cpu_per_mb=0.02, name=f"km-assign-{it}"
+        )
+        assigned.collect(name=f"km-iter-{it}")
+
+    # Final cost evaluation touches the training set, the norms and the
+    # early sample again (long job-distance reference).
+    cost = data.zip_partitions(norms, size_factor=0.02, cpu_per_mb=0.02, name="km-cost")
+    scored = cost.union(sample.map(size_factor=0.02, name="km-sample-cost"))
+    scored.reduce_by_key(size_factor=0.5, name="km-cost-agg").collect(name="km-eval")
+
+
+SPEC = WorkloadSpec(
+    name="KM",
+    full_name="K-Means",
+    suite="sparkbench",
+    category="Machine Learning",
+    job_type="Mixed",
+    input_mb=550.0,
+    default_iterations=DEFAULT_ITERATIONS,
+    builder=build_kmeans,
+)

@@ -1,0 +1,56 @@
+"""Label Propagation (LP) — SparkBench workload.
+
+Paper shape (Tables 1 and 3): 23 jobs / 858 stages with only 87 active
+/ 377 RDDs, **I/O intensive**, and the *largest* reference distances of
+the suite (avg stage distance 28.37, max 85).  The huge stage distances
+come from the skipped-stage explosion: each superstep's job re-creates
+the entire lineage of every earlier superstep as skipped stages, so in
+raw ``StageID`` units consecutive references to the long-lived edge RDD
+are dozens of IDs apart.  LP is MRD's best case (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from repro.dag.context import SparkContext
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    iterations_or_default,
+    pregel_superstep_loop,
+    scaled,
+)
+
+DEFAULT_ITERATIONS = 21
+
+
+def build_label_propagation(ctx: SparkContext, params: WorkloadParams) -> None:
+    # LP's raw input is tiny (1.3 MB in the paper) but the per-superstep
+    # working set is amplified by the community-label payloads.
+    size = scaled(params, 40.0)
+    parts = params.partitions
+    iters = iterations_or_default(params, DEFAULT_ITERATIONS)
+
+    raw = ctx.text_file("lp-edges", size_mb=size, num_partitions=parts)
+    edges = raw.flat_map(size_factor=8.0, cpu_per_mb=0.002, name="lp-edges").cache()
+    labels = edges.map(size_factor=0.5, cpu_per_mb=0.002, name="lp-labels-0").cache()
+    labels.count(name="lp-init")
+
+    final = pregel_superstep_loop(
+        ctx, edges, labels, supersteps=iters,
+        msg_factor=0.6, vertex_keep=3, stages_per_superstep=3,
+        cpu_per_mb=0.002, name="lp",
+    )
+    hist = final.reduce_by_key(size_factor=0.05, name="lp-histogram")
+    hist.collect(name="lp-final")
+
+
+SPEC = WorkloadSpec(
+    name="LP",
+    full_name="Label Propagation",
+    suite="sparkbench",
+    category="Other Workloads",
+    job_type="I/O intensive",
+    input_mb=40.0,
+    default_iterations=DEFAULT_ITERATIONS,
+    builder=build_label_propagation,
+)

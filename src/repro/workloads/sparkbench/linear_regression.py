@@ -1,0 +1,58 @@
+"""Linear Regression (LinR) — SparkBench CPU-intensive workload.
+
+Paper shape (Table 3): 6 jobs / 9 stages, 7.7 GB input, CPU intensive.
+Structure: one data-loading job followed by gradient-descent iterations
+over a cached training set, with a tree-aggregation shuffle in the
+early iterations (MLlib's ``treeAggregate``).  High per-MB CPU cost is
+what makes the workload compute-bound: cache misses are cheap relative
+to the gradient computation, so (as the paper observes) DAG-aware
+caching buys little here.
+"""
+
+from __future__ import annotations
+
+from repro.dag.context import SparkContext
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    gradient_descent_loop,
+    iterations_or_default,
+    scaled,
+)
+
+DEFAULT_ITERATIONS = 5
+
+
+def build_linear_regression(ctx: SparkContext, params: WorkloadParams) -> None:
+    size = scaled(params, 770.0)
+    iters = iterations_or_default(params, DEFAULT_ITERATIONS)
+
+    raw = ctx.text_file("linr-input", size_mb=size, num_partitions=params.partitions)
+    data = raw.map(size_factor=1.0, cpu_per_mb=0.02, name="linr-points").cache()
+    data.count(name="linr-load")
+
+    # Tree aggregation (2 stages) for the first iterations, plain
+    # aggregation afterwards: 1 + 3*2 + 2*1 = 9 stages, 6 jobs at the
+    # default 5 iterations.
+    tree_iters = min(3, iters)
+    gradient_descent_loop(
+        ctx, data, iterations=tree_iters, stages_per_iteration=2,
+        cpu_per_mb=0.06, name="linr-tree",
+    )
+    if iters > tree_iters:
+        gradient_descent_loop(
+            ctx, data, iterations=iters - tree_iters, stages_per_iteration=1,
+            cpu_per_mb=0.06, name="linr-plain",
+        )
+
+
+SPEC = WorkloadSpec(
+    name="LinR",
+    full_name="Linear Regression",
+    suite="sparkbench",
+    category="Other Workloads",
+    job_type="CPU intensive",
+    input_mb=770.0,
+    default_iterations=DEFAULT_ITERATIONS,
+    builder=build_linear_regression,
+)

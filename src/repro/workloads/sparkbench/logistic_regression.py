@@ -1,0 +1,55 @@
+"""Logistic Regression (LogR) — SparkBench CPU-intensive workload.
+
+Paper shape (Table 3): 7 jobs / 10 stages, 11.1 GB input, CPU
+intensive.  Same gradient-descent skeleton as LinR with one more
+iteration and a slightly heavier per-MB cost (logistic loss).
+"""
+
+from __future__ import annotations
+
+from repro.dag.context import SparkContext
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    gradient_descent_loop,
+    iterations_or_default,
+    scaled,
+)
+
+DEFAULT_ITERATIONS = 6
+
+
+def build_logistic_regression(ctx: SparkContext, params: WorkloadParams) -> None:
+    size = scaled(params, 1110.0)
+    iters = iterations_or_default(params, DEFAULT_ITERATIONS)
+
+    raw = ctx.text_file("logr-input", size_mb=size, num_partitions=params.partitions)
+    data = raw.map(size_factor=1.0, cpu_per_mb=0.02, name="logr-points").cache()
+    data.count(name="logr-load")
+
+    # 3 tree-aggregated iterations (2 stages) + the rest single-stage:
+    # 1 + 3*2 + 3*1 = 10 stages, 7 jobs at defaults.
+    tree_iters = min(3, iters - 1)
+    if tree_iters > 0:
+        gradient_descent_loop(
+            ctx, data, iterations=tree_iters, stages_per_iteration=2,
+            cpu_per_mb=0.07, name="logr-tree",
+        )
+    plain_iters = (iters - 1) - tree_iters
+    if plain_iters > 0:
+        gradient_descent_loop(
+            ctx, data, iterations=plain_iters, stages_per_iteration=1,
+            cpu_per_mb=0.07, name="logr-plain",
+        )
+
+
+SPEC = WorkloadSpec(
+    name="LogR",
+    full_name="Logistic Regression",
+    suite="sparkbench",
+    category="Machine Learning",
+    job_type="CPU intensive",
+    input_mb=1110.0,
+    default_iterations=DEFAULT_ITERATIONS,
+    builder=build_logistic_regression,
+)

@@ -1,0 +1,71 @@
+"""Matrix Factorization (MF / ALS) — SparkBench machine-learning workload.
+
+Paper shape (Table 3): 8 jobs / 64 stages with only 22 active / 103
+RDDs, 1.1 GB input, mixed CPU+I/O with ~1.9 GB of shuffle.  ALS
+alternates between solving user factors (joining cached ratings with
+item factors) and item factors (the mirror join).  Each half-iteration
+extends the factor lineage, so later jobs re-create — and skip — the
+whole earlier chain, producing the large skipped-stage count.
+"""
+
+from __future__ import annotations
+
+from repro.dag.context import SparkContext
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    iterations_or_default,
+    scaled,
+)
+
+DEFAULT_ITERATIONS = 3
+
+
+def build_matrix_factorization(ctx: SparkContext, params: WorkloadParams) -> None:
+    size = scaled(params, 110.0)
+    parts = params.partitions
+    iters = iterations_or_default(params, DEFAULT_ITERATIONS)
+
+    raw = ctx.text_file("mf-ratings", size_mb=size, num_partitions=parts)
+    ratings_by_user = raw.map(cpu_per_mb=0.01, name="mf-by-user").partition_by(
+        name="mf-user-part"
+    ).cache()
+    ratings_by_item = raw.map(cpu_per_mb=0.01, name="mf-by-item").partition_by(
+        name="mf-item-part"
+    ).cache()
+    users = ratings_by_user.map(size_factor=0.4, name="mf-users-0").cache()
+    items = ratings_by_item.map(size_factor=0.4, name="mf-items-0").cache()
+    users.count(name="mf-init")
+
+    for it in range(iters):
+        # Solve item factors from user factors + ratings (shuffle join).
+        new_items = ratings_by_item.join(
+            users, size_factor=0.35, cpu_per_mb=0.02, name=f"mf-items-{it + 1}"
+        ).cache()
+        new_items.count(name=f"mf-item-solve-{it}")
+        ctx.unpersist(items)
+        items = new_items
+        # Solve user factors from item factors + ratings.
+        new_users = ratings_by_user.join(
+            items, size_factor=0.35, cpu_per_mb=0.02, name=f"mf-users-{it + 1}"
+        ).cache()
+        new_users.count(name=f"mf-user-solve-{it}")
+        ctx.unpersist(users)
+        users = new_users
+
+    rmse = users.zip_partitions(
+        ratings_by_user, size_factor=0.02, cpu_per_mb=0.02, name="mf-rmse"
+    )
+    rmse.collect(name="mf-eval")
+
+
+SPEC = WorkloadSpec(
+    name="MF",
+    full_name="Matrix Factorization",
+    suite="sparkbench",
+    category="Machine Learning",
+    job_type="Mixed",
+    input_mb=110.0,
+    default_iterations=DEFAULT_ITERATIONS,
+    builder=build_matrix_factorization,
+)

@@ -1,0 +1,55 @@
+"""PageRank (PR) — SparkBench web-search workload.
+
+Paper shape (Table 3): 7 jobs / 69 stages with 21 active / 95 RDDs,
+934 MB input, **I/O intensive** — the flagship workload for MRD's
+comparison against MemTune (Fig. 6, up to 68 % improvement).  GraphX
+structure: a long-lived cached edge RDD referenced by every superstep,
+per-superstep cached vertex/rank RDDs unpersisted two steps later, and
+a final ranking job.
+"""
+
+from __future__ import annotations
+
+from repro.dag.context import SparkContext
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    iterations_or_default,
+    pregel_superstep_loop,
+    scaled,
+)
+
+DEFAULT_ITERATIONS = 5
+
+
+def build_pagerank(ctx: SparkContext, params: WorkloadParams) -> None:
+    size = scaled(params, 934.0)
+    parts = params.partitions
+    iters = iterations_or_default(params, DEFAULT_ITERATIONS)
+
+    raw = ctx.text_file("pr-edges", size_mb=size, num_partitions=parts)
+    edges = raw.map(size_factor=0.8, cpu_per_mb=0.002, name="pr-edges").cache()
+    vertices = edges.reduce_by_key(
+        size_factor=0.25, cpu_per_mb=0.002, name="pr-ranks-0"
+    ).cache()
+    vertices.count(name="pr-init")
+
+    final = pregel_superstep_loop(
+        ctx, edges, vertices, supersteps=iters,
+        msg_factor=0.5, vertex_keep=2, stages_per_superstep=3,
+        cpu_per_mb=0.002, name="pr",
+    )
+    top = final.sort_by_key(cpu_per_mb=0.002, name="pr-top")
+    top.collect(name="pr-final")
+
+
+SPEC = WorkloadSpec(
+    name="PR",
+    full_name="Page Rank",
+    suite="sparkbench",
+    category="Web Search",
+    job_type="I/O intensive",
+    input_mb=934.0,
+    default_iterations=DEFAULT_ITERATIONS,
+    builder=build_pagerank,
+)

@@ -1,0 +1,51 @@
+"""Pregel Operation (PO) — SparkBench workload.
+
+Paper shape (Table 3): 17 jobs / 467 stages with 65 active / 283 RDDs,
+**I/O intensive**.  A generic GraphX ``Pregel`` run: many supersteps of
+message exchange over a long-lived cached edge RDD — structurally
+between CC (few supersteps) and LP (many supersteps).
+"""
+
+from __future__ import annotations
+
+from repro.dag.context import SparkContext
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    iterations_or_default,
+    pregel_superstep_loop,
+    scaled,
+)
+
+DEFAULT_ITERATIONS = 15
+
+
+def build_pregel_operation(ctx: SparkContext, params: WorkloadParams) -> None:
+    size = scaled(params, 140.0)
+    parts = params.partitions
+    iters = iterations_or_default(params, DEFAULT_ITERATIONS)
+
+    raw = ctx.text_file("po-edges", size_mb=size, num_partitions=parts)
+    edges = raw.map(size_factor=1.2, cpu_per_mb=0.002, name="po-edges").cache()
+    state = edges.map(size_factor=0.35, cpu_per_mb=0.002, name="po-state-0").cache()
+    state.count(name="po-init")
+
+    final = pregel_superstep_loop(
+        ctx, edges, state, supersteps=iters,
+        msg_factor=0.5, vertex_keep=2, stages_per_superstep=3,
+        cpu_per_mb=0.002, name="po",
+    )
+    result = final.reduce_by_key(size_factor=0.05, name="po-result")
+    result.collect(name="po-final")
+
+
+SPEC = WorkloadSpec(
+    name="PO",
+    full_name="Pregel Operation",
+    suite="sparkbench",
+    category="Other Workloads",
+    job_type="I/O intensive",
+    input_mb=140.0,
+    default_iterations=DEFAULT_ITERATIONS,
+    builder=build_pregel_operation,
+)

@@ -1,0 +1,50 @@
+"""Shortest Paths (SP) — SparkBench workload.
+
+Paper shape (Table 3): 3 jobs / 8 stages / 34 RDDs with 1.33 refs per
+RDD and near-zero job distance — a short Bellman-Ford-style relaxation
+with very few supersteps, so little opportunity for any DAG-aware
+policy (avg stage distance 1.19 in Table 1).
+"""
+
+from __future__ import annotations
+
+from repro.dag.context import SparkContext
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    iterations_or_default,
+    pregel_superstep_loop,
+    scaled,
+)
+
+DEFAULT_ITERATIONS = 2
+
+
+def build_shortest_paths(ctx: SparkContext, params: WorkloadParams) -> None:
+    size = scaled(params, 290.0)
+    parts = params.partitions
+    iters = iterations_or_default(params, DEFAULT_ITERATIONS)
+
+    raw = ctx.text_file("sp-edges", size_mb=size, num_partitions=parts)
+    edges = raw.map(size_factor=0.9, cpu_per_mb=0.003, name="sp-edges").cache()
+    dists = edges.map(size_factor=0.2, cpu_per_mb=0.003, name="sp-dist-0").cache()
+    dists.count(name="sp-init")
+
+    final = pregel_superstep_loop(
+        ctx, edges, dists, supersteps=iters,
+        msg_factor=0.3, vertex_keep=2, stages_per_superstep=1,
+        cpu_per_mb=0.003, name="sp",
+    )
+    # No separate final job: the last superstep's result is the answer.
+
+
+SPEC = WorkloadSpec(
+    name="SP",
+    full_name="Shortest Paths",
+    suite="sparkbench",
+    category="Other Workloads",
+    job_type="Mixed",
+    input_mb=290.0,
+    default_iterations=DEFAULT_ITERATIONS,
+    builder=build_shortest_paths,
+)

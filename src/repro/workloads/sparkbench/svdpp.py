@@ -1,0 +1,54 @@
+"""SVD++ — SparkBench graph-computation workload.
+
+Paper shape (Table 3): 14 jobs / 103 stages with 27 active / 105 RDDs,
+**I/O intensive** with 9.4 GB of shuffle.  SVD++ is the workload the
+paper uses for the cache-size sweep (Fig. 7).  GraphX implementation:
+per iteration, *two* jobs update user and item latent factors against
+the long-lived cached edge (ratings) RDD.
+"""
+
+from __future__ import annotations
+
+from repro.dag.context import SparkContext
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    iterations_or_default,
+    pregel_superstep_loop,
+    scaled,
+)
+
+DEFAULT_ITERATIONS = 6
+
+
+def build_svdpp(ctx: SparkContext, params: WorkloadParams) -> None:
+    size = scaled(params, 450.0)
+    parts = params.partitions
+    iters = iterations_or_default(params, DEFAULT_ITERATIONS)
+
+    raw = ctx.text_file("svdpp-ratings", size_mb=size, num_partitions=parts)
+    edges = raw.map(size_factor=1.0, cpu_per_mb=0.003, name="svdpp-edges").cache()
+    factors = edges.reduce_by_key(
+        size_factor=0.4, cpu_per_mb=0.003, name="svdpp-factors-0"
+    ).cache()
+    factors.count(name="svdpp-init")
+
+    final = pregel_superstep_loop(
+        ctx, edges, factors, supersteps=iters,
+        msg_factor=0.7, vertex_keep=2, jobs_per_superstep=2,
+        stages_per_superstep=2, cpu_per_mb=0.003, name="svdpp",
+    )
+    err = final.zip_partitions(edges, size_factor=0.02, cpu_per_mb=0.003, name="svdpp-err")
+    err.collect(name="svdpp-eval")
+
+
+SPEC = WorkloadSpec(
+    name="SVD++",
+    full_name="SVD++",
+    suite="sparkbench",
+    category="Graph Computation",
+    job_type="I/O intensive",
+    input_mb=450.0,
+    default_iterations=DEFAULT_ITERATIONS,
+    builder=build_svdpp,
+)

@@ -1,0 +1,48 @@
+"""Triangle Count (TC) — SparkBench graph-computation workload.
+
+Paper shape (Table 3): only 2 jobs / 11 stages, 74 RDDs with just 0.8
+references per RDD — most cached RDDs are never re-read, which is why
+the paper finds caching policy makes little difference here (§5.8:
+"the overall low performance of TriangleCount ... is due to its
+workload characteristic of low average references per RDD").  The
+structure is a canonicalize-join-count pipeline: many intermediate
+cached RDDs, nearly all referenced zero or one times.
+"""
+
+from __future__ import annotations
+
+from repro.dag.context import SparkContext
+from repro.workloads.base import WorkloadParams, WorkloadSpec, scaled
+
+
+def build_triangle_count(ctx: SparkContext, params: WorkloadParams) -> None:
+    size = scaled(params, 270.0)
+    parts = params.partitions
+
+    raw = ctx.text_file("tc-edges", size_mb=size, num_partitions=parts)
+    edges = raw.map(size_factor=0.9, cpu_per_mb=0.003, name="tc-edges").cache()
+    canon = edges.map(size_factor=1.0, cpu_per_mb=0.003, name="tc-canonical").cache()
+    # Job 1: build the adjacency sets (several chained shuffles, each
+    # producing a cached-but-rarely-reused intermediate).
+    neighbors = canon.group_by_key(size_factor=1.1, name="tc-neighbors").cache()
+    by_src = neighbors.map(size_factor=1.0, name="tc-by-src").cache()
+    by_dst = canon.partition_by(name="tc-by-dst").cache()
+    adjacency = by_src.join(by_dst, size_factor=1.4, name="tc-adjacency").cache()
+    adjacency.count(name="tc-build")
+    # Job 2: count triangles by intersecting neighbor sets.
+    triads = adjacency.join(neighbors, size_factor=0.8, name="tc-triads")
+    counts = triads.reduce_by_key(size_factor=0.1, name="tc-counts")
+    counts.collect(name="tc-count")
+
+
+SPEC = WorkloadSpec(
+    name="TC",
+    full_name="Triangle Count",
+    suite="sparkbench",
+    category="Graph Computation",
+    job_type="Mixed",
+    input_mb=270.0,
+    default_iterations=1,
+    builder=build_triangle_count,
+    iterations_effective=False,
+)

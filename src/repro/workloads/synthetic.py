@@ -1,0 +1,127 @@
+"""Synthetic random-DAG workloads.
+
+Beyond the fixed SparkBench/HiBench shapes, a seeded generator that
+samples structurally valid applications from a parameter envelope:
+number of jobs, stage depth, cache probability, reuse locality (how far
+ahead a cached RDD's next reference lands) and size/CPU profiles.  Two
+uses:
+
+* **robustness studies** — policy orderings should hold across the
+  whole family, not just the fourteen tuned workloads
+  (``benchmarks/test_robustness_random_dags.py``);
+* **scale testing** — arbitrarily large applications for engine
+  throughput measurements.
+
+Generation is fully deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.dag.context import SparkApplication, SparkContext
+from repro.dag.rdd import RDD
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Envelope from which random applications are drawn."""
+
+    num_jobs: int = 8
+    stages_per_job: tuple[int, int] = (1, 4)  # shuffle hops per job (min, max)
+    cache_probability: float = 0.5
+    #: Probability that a job builds on an earlier cached RDD rather
+    #: than fresh input (re-reference density).
+    reuse_probability: float = 0.7
+    #: How far back reused RDDs may come from, in jobs (reference gaps).
+    reuse_window: int = 4
+    unpersist_probability: float = 0.2
+    input_mb: float = 256.0
+    partitions: int = 16
+    cpu_per_mb: tuple[float, float] = (0.002, 0.02)
+
+    def __post_init__(self) -> None:
+        if self.num_jobs <= 0:
+            raise ValueError("num_jobs must be positive")
+        if not 0 <= self.cache_probability <= 1:
+            raise ValueError("cache_probability must be in [0, 1]")
+        if not 0 <= self.reuse_probability <= 1:
+            raise ValueError("reuse_probability must be in [0, 1]")
+        if self.stages_per_job[0] < 1 or self.stages_per_job[1] < self.stages_per_job[0]:
+            raise ValueError("stages_per_job must be a valid (min, max) range")
+
+
+def generate_application(seed: int, config: SyntheticConfig | None = None) -> SparkApplication:
+    """Sample one application from the envelope, deterministically."""
+    cfg = config or SyntheticConfig()
+    rng = random.Random(seed)
+    ctx = SparkContext(f"synthetic-{seed}")
+
+    base = ctx.text_file(
+        "synthetic-input", size_mb=cfg.input_mb, num_partitions=cfg.partitions
+    )
+    #: Cached RDDs available for reuse: (created_job, rdd).
+    reusable: list[tuple[int, RDD]] = []
+    current = base.map(
+        cpu_per_mb=rng.uniform(*cfg.cpu_per_mb), name="synthetic-parsed"
+    )
+    if rng.random() < cfg.cache_probability:
+        current.cache()
+        reusable.append((0, current))
+
+    for job in range(cfg.num_jobs):
+        # Pick the job's source: reuse a recent cached RDD or continue
+        # from the latest lineage tip.
+        candidates = [
+            rdd for created, rdd in reusable
+            if rdd.is_cached and job - created <= cfg.reuse_window
+        ]
+        if candidates and rng.random() < cfg.reuse_probability:
+            source = rng.choice(candidates)
+        else:
+            source = current
+
+        rdd = source
+        hops = rng.randint(*cfg.stages_per_job)
+        for hop in range(hops):
+            cpu = rng.uniform(*cfg.cpu_per_mb)
+            op = rng.random()
+            if op < 0.45:
+                rdd = rdd.map(
+                    size_factor=rng.uniform(0.5, 1.2), cpu_per_mb=cpu,
+                    name=f"syn-j{job}-map{hop}",
+                )
+            elif op < 0.65 and candidates:
+                other = rng.choice(candidates)
+                if other.num_partitions == rdd.num_partitions:
+                    rdd = rdd.zip_partitions(
+                        other, size_factor=rng.uniform(0.3, 0.8), cpu_per_mb=cpu,
+                        name=f"syn-j{job}-zip{hop}",
+                    )
+                else:  # pragma: no cover - partitions are uniform here
+                    rdd = rdd.join(other, name=f"syn-j{job}-join{hop}")
+            else:
+                rdd = rdd.reduce_by_key(
+                    size_factor=rng.uniform(0.3, 1.0), cpu_per_mb=cpu,
+                    name=f"syn-j{job}-agg{hop}",
+                )
+            if rng.random() < cfg.cache_probability / hops:
+                rdd.cache()
+                reusable.append((job, rdd))
+        if rng.random() < cfg.cache_probability:
+            rdd.cache()
+            reusable.append((job, rdd))
+        rdd.count(name=f"syn-job-{job}")
+        current = rdd
+
+        # Occasionally unpersist something old (GraphX-style turnover).
+        stale = [
+            (created, r) for created, r in reusable
+            if r.is_cached and job - created > cfg.reuse_window
+        ]
+        if stale and rng.random() < cfg.unpersist_probability:
+            _, victim = rng.choice(stale)
+            ctx.unpersist(victim)
+
+    return SparkApplication(ctx)

@@ -1,0 +1,44 @@
+"""Unit tests for block identities and helpers."""
+
+import pytest
+
+from repro.cluster.block import Block, BlockId, block_of, blocks_of
+from repro.dag.context import SparkContext
+
+
+@pytest.fixture
+def rdd():
+    return SparkContext("t").text_file("a", size_mb=12.0, num_partitions=3)
+
+
+class TestBlockId:
+    def test_equality_and_hash(self):
+        assert BlockId(1, 2) == BlockId(1, 2)
+        assert hash(BlockId(1, 2)) == hash(BlockId(1, 2))
+        assert BlockId(1, 2) != BlockId(2, 1)
+
+    def test_ordering(self):
+        assert BlockId(1, 0) < BlockId(1, 1) < BlockId(2, 0)
+
+    def test_repr_matches_spark_convention(self):
+        assert repr(BlockId(3, 7)) == "rdd_3_7"
+
+
+class TestBlock:
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            Block(id=BlockId(0, 0), size_mb=-1.0)
+
+    def test_blocks_of_covers_all_partitions(self, rdd):
+        blocks = blocks_of(rdd)
+        assert len(blocks) == 3
+        assert {b.id.partition for b in blocks} == {0, 1, 2}
+        assert all(b.size_mb == pytest.approx(4.0) for b in blocks)
+        assert all(b.id.rdd_id == rdd.id for b in blocks)
+
+    def test_block_of_bounds(self, rdd):
+        assert block_of(rdd, 2).id.partition == 2
+        with pytest.raises(IndexError):
+            block_of(rdd, 3)
+        with pytest.raises(IndexError):
+            block_of(rdd, -1)

@@ -1,0 +1,53 @@
+"""Unit tests for cluster configuration and assembly."""
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, build_cluster
+from repro.policies.lru import LruPolicy
+
+
+class TestClusterConfig:
+    def test_totals(self):
+        cfg = ClusterConfig(num_nodes=4, slots_per_node=3, cache_mb_per_node=100.0)
+        assert cfg.total_cache_mb == pytest.approx(400.0)
+        assert cfg.total_slots == 12
+
+    def test_with_cache_copies(self):
+        cfg = ClusterConfig(num_nodes=4, cache_mb_per_node=100.0)
+        other = cfg.with_cache(50.0)
+        assert other.cache_mb_per_node == 50.0
+        assert other.num_nodes == cfg.num_nodes
+        assert cfg.cache_mb_per_node == 100.0  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(slots_per_node=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(cache_mb_per_node=-1.0)
+
+
+class TestBuildCluster:
+    def test_one_policy_instance_per_node(self):
+        cfg = ClusterConfig(num_nodes=3)
+        seen = []
+
+        def factory(node_id):
+            policy = LruPolicy()
+            seen.append((node_id, policy))
+            return policy
+
+        cluster = build_cluster(cfg, factory)
+        assert [node_id for node_id, _ in seen] == [0, 1, 2]
+        policies = {id(node.policy) for node in cluster.nodes}
+        assert len(policies) == 3
+        assert cluster.num_nodes == 3
+        assert cluster.master.num_nodes == 3
+
+    def test_nodes_get_config_shape(self):
+        cfg = ClusterConfig(num_nodes=2, slots_per_node=5, cache_mb_per_node=77.0)
+        cluster = build_cluster(cfg, lambda i: LruPolicy())
+        for node in cluster.nodes:
+            assert node.num_slots == 5
+            assert node.memory.capacity_mb == pytest.approx(77.0)

@@ -1,0 +1,46 @@
+"""Unit tests for the network and disk cost models."""
+
+import pytest
+
+from repro.cluster.network import DiskModel, NetworkModel
+
+
+class TestNetworkModel:
+    def test_bandwidth_conversion(self):
+        assert NetworkModel(bandwidth_mbps=800.0).bandwidth_mb_per_s == pytest.approx(100.0)
+
+    def test_transfer_time_includes_latency(self):
+        net = NetworkModel(bandwidth_mbps=800.0, latency_s=0.01)
+        assert net.transfer_time(50.0) == pytest.approx(0.01 + 0.5)
+
+    def test_zero_size_is_free(self):
+        assert NetworkModel().transfer_time(0.0) == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_time(-1.0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_mbps=0.0)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency_s=-0.1)
+
+
+class TestDiskModel:
+    def test_read_time_includes_seek(self):
+        disk = DiskModel(bandwidth_mb_per_s=100.0, seek_s=0.005)
+        assert disk.read_time(20.0) == pytest.approx(0.005 + 0.2)
+
+    def test_write_time_aliases_read(self):
+        disk = DiskModel(bandwidth_mb_per_s=100.0, seek_s=0.005)
+        assert disk.write_time(20.0) == disk.read_time(20.0)
+
+    def test_zero_size_is_free(self):
+        assert DiskModel().read_time(0.0) == 0.0
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            DiskModel(bandwidth_mb_per_s=-5.0)

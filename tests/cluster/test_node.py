@@ -1,0 +1,43 @@
+"""Unit tests for the worker node and its serialized disk channel."""
+
+import pytest
+
+from repro.cluster.network import DiskModel
+from repro.cluster.node import WorkerNode
+from repro.policies.lru import LruPolicy
+
+
+def make_node(**kwargs):
+    defaults = dict(
+        node_id=0,
+        num_slots=2,
+        cache_capacity_mb=64.0,
+        policy=LruPolicy(),
+        disk_model=DiskModel(bandwidth_mb_per_s=100.0, seek_s=0.0),
+    )
+    defaults.update(kwargs)
+    return WorkerNode(**defaults)
+
+
+class TestWorkerNode:
+    def test_requires_slots(self):
+        with pytest.raises(ValueError):
+            make_node(num_slots=0)
+
+    def test_policy_property(self):
+        node = make_node()
+        assert node.policy is node.memory.policy
+
+    def test_io_channel_serializes(self):
+        node = make_node()
+        first = node.reserve_io(now=0.0, size_mb=100.0)   # 1s read
+        second = node.reserve_io(now=0.0, size_mb=100.0)  # queued behind
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)
+
+    def test_io_channel_idles_until_request(self):
+        node = make_node()
+        node.reserve_io(now=0.0, size_mb=100.0)
+        later = node.reserve_io(now=5.0, size_mb=100.0)
+        assert later == pytest.approx(6.0)
+        assert node.io_free_at == pytest.approx(6.0)

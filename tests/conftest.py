@@ -1,0 +1,91 @@
+"""Shared fixtures: miniature applications and clusters used across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.network import DiskModel, NetworkModel
+from repro.dag.context import SparkApplication, SparkContext
+from repro.dag.dag_builder import ApplicationDAG, build_dag
+
+
+def make_iterative_app(
+    iterations: int = 3,
+    input_mb: float = 96.0,
+    partitions: int = 8,
+    unpersist: bool = False,
+    name: str = "mini-pagerank",
+) -> SparkApplication:
+    """PageRank-like miniature: cached links + per-iteration cached ranks."""
+    ctx = SparkContext(name)
+    links = ctx.text_file("links", size_mb=input_mb, num_partitions=partitions)
+    links = links.map(name="parsed-links").cache()
+    ranks = links.map(size_factor=0.25, name="ranks-0").cache()
+    for i in range(iterations):
+        contribs = links.zip_partitions(ranks, size_factor=0.2, name=f"contribs-{i}")
+        new_ranks = contribs.reduce_by_key(size_factor=0.8, name=f"ranks-{i + 1}").cache()
+        new_ranks.count()
+        if unpersist:
+            ctx.unpersist(ranks)
+        ranks = new_ranks
+    ranks.collect()
+    return SparkApplication(ctx)
+
+
+def make_linear_app(num_jobs: int = 4, name: str = "mini-gd") -> SparkApplication:
+    """Gradient-descent-like miniature: one cached dataset, N single-stage jobs."""
+    ctx = SparkContext(name)
+    data = ctx.text_file("train", size_mb=64.0, num_partitions=8).map(name="points").cache()
+    data.count()
+    for i in range(num_jobs - 1):
+        data.map_partitions(size_factor=0.05, name=f"grad-{i}").collect()
+    return SparkApplication(ctx)
+
+
+def make_diamond_app(name: str = "mini-diamond") -> SparkApplication:
+    """Two branches off one cached RDD joined back together (one job)."""
+    ctx = SparkContext(name)
+    base = ctx.text_file("in", size_mb=32.0, num_partitions=4).map(name="base").cache()
+    left = base.reduce_by_key(name="left")
+    right = base.group_by_key(name="right")
+    joined = left.join(right, name="joined")
+    joined.collect()
+    return SparkApplication(ctx)
+
+
+@pytest.fixture
+def iterative_app() -> SparkApplication:
+    return make_iterative_app()
+
+
+@pytest.fixture
+def iterative_dag(iterative_app) -> ApplicationDAG:
+    return build_dag(iterative_app)
+
+
+@pytest.fixture
+def linear_app() -> SparkApplication:
+    return make_linear_app()
+
+
+@pytest.fixture
+def linear_dag(linear_app) -> ApplicationDAG:
+    return build_dag(linear_app)
+
+
+@pytest.fixture
+def diamond_dag() -> ApplicationDAG:
+    return build_dag(make_diamond_app())
+
+
+@pytest.fixture
+def small_cluster_config() -> ClusterConfig:
+    return ClusterConfig(
+        name="unit-test",
+        num_nodes=2,
+        slots_per_node=2,
+        cache_mb_per_node=64.0,
+        network=NetworkModel(bandwidth_mbps=800.0),
+        disk=DiskModel(bandwidth_mb_per_s=100.0, seek_s=0.002),
+    )

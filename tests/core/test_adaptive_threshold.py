@@ -1,0 +1,79 @@
+"""Tests for the adaptive prefetch-threshold controller (future work)."""
+
+import pytest
+
+from repro.core.manager import AdaptiveThresholdController
+from repro.core.policy import MrdScheme
+from repro.dag.dag_builder import build_dag
+from repro.simulator.engine import simulate
+from tests.conftest import make_iterative_app
+from tests.simulator.test_engine import small_config
+
+
+class TestController:
+    def test_initial_value(self):
+        c = AdaptiveThresholdController(initial=0.25)
+        assert c.value == 0.25
+
+    def test_invalid_initial(self):
+        with pytest.raises(ValueError):
+            AdaptiveThresholdController(initial=0.95, hi=0.9)
+
+    def test_high_waste_raises_threshold(self):
+        c = AdaptiveThresholdController(initial=0.25)
+        c.update(total_issued=10, total_used=2)  # 80 % waste
+        assert c.value > 0.25
+
+    def test_low_waste_lowers_threshold(self):
+        c = AdaptiveThresholdController(initial=0.25)
+        c.update(total_issued=10, total_used=10)  # 0 % waste
+        assert c.value < 0.25
+
+    def test_moderate_waste_holds(self):
+        c = AdaptiveThresholdController(initial=0.25)
+        c.update(total_issued=10, total_used=7)  # 30 % waste: in the band
+        assert c.value == 0.25
+
+    def test_no_new_prefetches_holds(self):
+        c = AdaptiveThresholdController(initial=0.25)
+        c.update(0, 0)
+        assert c.value == 0.25
+
+    def test_deltas_are_incremental(self):
+        c = AdaptiveThresholdController(initial=0.25)
+        c.update(total_issued=10, total_used=10)   # perfect round
+        v = c.value
+        c.update(total_issued=10, total_used=10)   # nothing new happened
+        assert c.value == v
+
+    def test_bounds_respected(self):
+        c = AdaptiveThresholdController(initial=0.25, lo=0.1, hi=0.5)
+        for _ in range(20):
+            c.update(c._last_issued + 10, c._last_used)  # all waste
+        assert c.value == 0.5
+        for _ in range(40):
+            c.update(c._last_issued + 10, c._last_used + 10)  # all used
+        assert c.value == pytest.approx(0.1)
+
+
+class TestAdaptiveScheme:
+    def test_runs_and_tracks(self):
+        dag = build_dag(make_iterative_app(iterations=5))
+        cfg = small_config(cache_mb=20.0)
+        scheme = MrdScheme(adaptive_threshold=True)
+        metrics = simulate(dag, cfg, scheme)
+        assert metrics.jct > 0
+        assert scheme.manager.threshold_controller is not None
+
+    def test_fixed_mode_has_no_controller(self):
+        dag = build_dag(make_iterative_app(iterations=3))
+        scheme = MrdScheme()
+        scheme.prepare(dag)
+        assert scheme.manager.threshold_controller is None
+
+    def test_adaptive_never_catastrophic(self):
+        dag = build_dag(make_iterative_app(iterations=5))
+        cfg = small_config(cache_mb=20.0)
+        fixed = simulate(dag, cfg, MrdScheme())
+        adaptive = simulate(dag, cfg, MrdScheme(adaptive_threshold=True))
+        assert adaptive.jct <= fixed.jct * 1.25

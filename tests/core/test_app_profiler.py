@@ -1,0 +1,104 @@
+"""Unit tests for the AppProfiler and profile store."""
+
+import pytest
+
+from repro.core.app_profiler import AppProfiler, ApplicationProfile, ProfileStore
+from repro.core.reference_distance import parse_application_references
+from repro.dag.dag_builder import build_dag
+from tests.conftest import make_linear_app
+
+
+@pytest.fixture
+def dag():
+    return build_dag(make_linear_app(num_jobs=3))
+
+
+class TestRecurringMode:
+    def test_full_profile_up_front(self, dag):
+        profiler = AppProfiler(dag, mode="recurring")
+        refs = profiler.initial_references()
+        assert refs == parse_application_references(dag)
+
+    def test_job_submissions_add_nothing(self, dag):
+        profiler = AppProfiler(dag, mode="recurring")
+        profiler.initial_references()
+        refs, created = profiler.on_job_submit(1)
+        assert refs == []
+
+    def test_created_rdds_reported(self, dag):
+        profiler = AppProfiler(dag, mode="recurring")
+        _, created = profiler.on_job_submit(0)
+        assert len(created) == 1
+
+
+class TestAdhocMode:
+    def test_nothing_known_initially(self, dag):
+        profiler = AppProfiler(dag, mode="adhoc")
+        assert profiler.initial_references() == []
+
+    def test_references_arrive_per_job(self, dag):
+        profiler = AppProfiler(dag, mode="adhoc")
+        refs0, _ = profiler.on_job_submit(0)
+        refs1, _ = profiler.on_job_submit(1)
+        assert refs0 == []
+        assert len(refs1) == 1
+
+    def test_finalize_stores_complete_profile(self, dag):
+        store = ProfileStore()
+        profiler = AppProfiler(dag, mode="adhoc", store=store)
+        for job in dag.jobs:
+            profiler.on_job_submit(job.id)
+        profiler.finalize()
+        stored = store.get(dag.app.signature)
+        assert stored is not None and stored.complete
+        assert stored.references == parse_application_references(dag)
+
+    def test_partial_run_stored_incomplete(self, dag):
+        store = ProfileStore()
+        profiler = AppProfiler(dag, mode="adhoc", store=store)
+        profiler.on_job_submit(0)
+        profiler.finalize()
+        stored = store.get(dag.app.signature)
+        assert stored is not None and not stored.complete
+
+    def test_recurring_degrades_to_adhoc_on_incomplete_profile(self, dag):
+        store = ProfileStore()
+        store.put(ApplicationProfile(signature=dag.app.signature, complete=False))
+        profiler = AppProfiler(dag, mode="recurring", store=store)
+        assert profiler.mode == "adhoc"
+
+    def test_invalid_mode(self, dag):
+        with pytest.raises(ValueError):
+            AppProfiler(dag, mode="telepathic")
+
+
+class TestProfileStorePersistence:
+    def test_json_roundtrip(self, dag, tmp_path):
+        path = tmp_path / "profiles.json"
+        store = ProfileStore(path)
+        profiler = AppProfiler(dag, mode="adhoc", store=store)
+        for job in dag.jobs:
+            profiler.on_job_submit(job.id)
+        profiler.finalize()
+
+        reloaded = ProfileStore(path)
+        stored = reloaded.get(dag.app.signature)
+        assert stored is not None
+        assert stored.complete
+        assert stored.references == parse_application_references(dag)
+
+    def test_second_run_uses_stored_profile(self, dag, tmp_path):
+        path = tmp_path / "profiles.json"
+        store = ProfileStore(path)
+        first = AppProfiler(dag, mode="adhoc", store=store)
+        for job in dag.jobs:
+            first.on_job_submit(job.id)
+        first.finalize()
+
+        second = AppProfiler(dag, mode="recurring", store=ProfileStore(path))
+        assert second.mode == "recurring"
+        assert second.initial_references() == parse_application_references(dag)
+
+    def test_profile_json_schema(self):
+        prof = ApplicationProfile(signature="x", complete=True)
+        assert ApplicationProfile.from_json(prof.to_json()) == prof

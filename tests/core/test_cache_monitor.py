@@ -1,0 +1,134 @@
+"""Unit tests for the per-node CacheMonitor."""
+
+import pytest
+
+from repro.cluster.block import Block, BlockId
+from repro.cluster.memory_store import MemoryStore
+from repro.core.app_profiler import AppProfiler
+from repro.core.cache_monitor import CacheMonitor
+from repro.core.manager import MrdManager
+from repro.dag.dag_builder import build_dag
+from repro.policies.profile_oracle import INFINITE
+from tests.conftest import make_iterative_app
+
+
+@pytest.fixture
+def manager():
+    dag = build_dag(make_iterative_app(iterations=3))
+    return MrdManager(dag, AppProfiler(dag, mode="recurring"))
+
+
+@pytest.fixture
+def monitor(manager):
+    return CacheMonitor(node_id=0, manager=manager)
+
+
+def blk(rdd, part, size=1.0):
+    return Block(id=BlockId(rdd, part), size_mb=size)
+
+
+def rdd_by_name(manager, name):
+    for prof in manager.dag.profiles.values():
+        if prof.rdd.name == name:
+            return prof.rdd
+    raise KeyError(name)
+
+
+class TestEvictionOrder:
+    def test_infinite_distance_first(self, manager, monitor):
+        store = MemoryStore(100.0, monitor)
+        links = rdd_by_name(manager, "parsed-links")
+        store.put(blk(links.id, 0))
+        store.put(blk(999, 0))  # unknown rdd: infinite distance
+        order = list(monitor.eviction_order(store))
+        assert order[0].rdd_id == 999
+
+    def test_largest_distance_first_among_finite(self, manager, monitor):
+        store = MemoryStore(100.0, monitor)
+        links = rdd_by_name(manager, "parsed-links")   # referenced soon
+        last = rdd_by_name(manager, "ranks-3")          # referenced at the end
+        store.put(blk(links.id, 0))
+        store.put(blk(last.id, 0))
+        order = list(monitor.eviction_order(store))
+        assert manager.distance(links.id) < manager.distance(last.id)
+        assert order[0].rdd_id == last.id
+        assert order[-1].rdd_id == links.id
+
+    def test_tie_break_descending_partition(self, manager, monitor):
+        store = MemoryStore(100.0, monitor)
+        links = rdd_by_name(manager, "parsed-links")
+        for p in range(3):
+            store.put(blk(links.id, p))
+        order = list(monitor.eviction_order(store))
+        assert [b.partition for b in order] == [2, 1, 0]
+
+
+class TestAdmission:
+    def test_worse_block_refused(self, manager, monitor):
+        store = MemoryStore(2.0, monitor)
+        links = rdd_by_name(manager, "parsed-links")
+        store.put(blk(links.id, 0))
+        store.put(blk(links.id, 1))
+        # Infinite-distance newcomer must not displace soon-needed blocks.
+        assert not store.put(blk(999, 0)).stored
+
+    def test_better_block_admitted(self, manager, monitor):
+        store = MemoryStore(2.0, monitor)
+        links = rdd_by_name(manager, "parsed-links")
+        store.put(blk(999, 0))
+        store.put(blk(999, 1))
+        res = store.put(blk(links.id, 0))
+        assert res.stored
+        assert len(res.evicted) == 1
+
+
+class TestTieBreakers:
+    def test_invalid_rule_rejected(self, manager):
+        with pytest.raises(ValueError, match="tie_breaker"):
+            CacheMonitor(0, manager, tie_breaker="coinflip")
+
+    def test_size_rule_evicts_largest_on_tie(self, manager):
+        monitor = CacheMonitor(0, manager, tie_breaker="size")
+        store = MemoryStore(100.0, monitor)
+        links = rdd_by_name(manager, "parsed-links")
+        store.put(Block(id=BlockId(links.id, 0), size_mb=1.0))
+        store.put(Block(id=BlockId(links.id, 1), size_mb=9.0))
+        order = list(monitor.eviction_order(store))
+        assert order[0] == BlockId(links.id, 1)
+
+    def test_creation_rule_evicts_youngest_rdd_on_tie(self, manager):
+        monitor = CacheMonitor(0, manager, tie_breaker="creation")
+        store = MemoryStore(100.0, monitor)
+        # Two unknown (infinite-distance) RDDs: the younger goes first.
+        store.put(blk(900, 0))
+        store.put(blk(901, 0))
+        order = list(monitor.eviction_order(store))
+        assert order[0] == BlockId(901, 0)
+
+    def test_distance_still_dominates_ties(self, manager):
+        monitor = CacheMonitor(0, manager, tie_breaker="size")
+        store = MemoryStore(100.0, monitor)
+        links = rdd_by_name(manager, "parsed-links")  # referenced soon
+        store.put(Block(id=BlockId(links.id, 0), size_mb=50.0))
+        store.put(Block(id=BlockId(999, 0), size_mb=1.0))  # infinite dist
+        order = list(monitor.eviction_order(store))
+        assert order[0].rdd_id == 999
+
+
+class TestStatusReport:
+    def test_report_fields(self, manager, monitor):
+        store = MemoryStore(10.0, monitor)
+        store.put(blk(1, 0, size=4.0))
+        status = monitor.report_cache_status(store, hit_ratio=0.5)
+        assert status.node_id == 0
+        assert status.used_mb == pytest.approx(4.0)
+        assert status.free_mb == pytest.approx(6.0)
+        assert status.hit_ratio == 0.5
+        assert status.num_blocks == 1
+
+
+class TestDistanceLookup:
+    def test_distance_delegates_to_manager(self, manager, monitor):
+        links = rdd_by_name(manager, "parsed-links")
+        assert monitor.manager.distance(links.id) == manager.distance(links.id)
+        assert monitor.manager.distance(12345) == INFINITE

@@ -1,0 +1,82 @@
+"""The paper's Figure 1 narrative, executed.
+
+§3.2/§4.1 walk through a block "D" with two upcoming references, stage
+distances 1 and 10 (job distances 1 and 5): MRD keeps *both* recorded
+but compares by the lowest; when execution passes the first reference
+it is deleted and the next one takes over; when none remain the
+distance is infinite and the block leads the eviction order.  This test
+builds exactly that situation and checks every step of the story.
+"""
+
+import math
+
+from repro.cluster.block import Block, BlockId
+from repro.cluster.memory_store import MemoryStore
+from repro.core.app_profiler import AppProfiler
+from repro.core.cache_monitor import CacheMonitor
+from repro.core.manager import MrdManager
+from repro.core.mrd_table import MrdTable
+from repro.core.reference_distance import Reference
+from repro.dag.context import SparkApplication, SparkContext
+from repro.dag.dag_builder import build_dag
+
+
+def test_block_d_story_on_a_raw_table():
+    """Distances 1 and 10, consumed in order, then infinity."""
+    table = MrdTable(metric="stage")
+    table.add_references([
+        Reference(seq=1, job_id=0, rdd_id=13),   # the near reference
+        Reference(seq=10, job_id=5, rdd_id=13),  # the far reference
+    ])
+    table.advance(0, 0)
+    assert table.distance(13) == 1.0          # comparison uses the lowest
+    table.advance(2, 0)                        # the first reference passed
+    assert table.distance(13) == 8.0           # the far one takes over
+    table.advance(10, 5)
+    assert table.distance(13) == 0.0           # being consumed right now
+    table.advance(11, 5)
+    assert math.isinf(table.distance(13))      # no references remain
+    assert table.dead_rdds() == [13]
+
+    jobs = MrdTable(metric="job")
+    jobs.add_references([
+        Reference(seq=1, job_id=1, rdd_id=13),
+        Reference(seq=10, job_id=5, rdd_id=13),
+    ])
+    jobs.advance(0, 0)
+    assert jobs.distance(13) == 1.0            # job distance of the near ref
+
+
+def test_block_d_story_through_a_real_application():
+    """The same story arising from an actual compiled DAG."""
+    ctx = SparkContext("figure1")
+    d = ctx.text_file("input", size_mb=16.0, num_partitions=4).map(name="D").cache()
+    d.count(name="create-D")                  # job 0: computes D
+    d.map_partitions(name="use-soon").collect(name="near-ref")  # job 1
+    for i in range(3):                        # jobs 2-4: D untouched
+        ctx.parallelize(f"other-{i}", 1.0, 4).count()
+    d.map_partitions(name="use-late").collect(name="far-ref")   # job 5
+    dag = build_dag(SparkApplication(ctx))
+
+    manager = MrdManager(dag, AppProfiler(dag, mode="recurring"))
+    # At creation time D's nearest reference is the very next stage.
+    manager.table.advance(0, 0)
+    near = manager.distance(d.id)
+    assert near == 1.0
+    # After the near reference passes, the far one (job 5) is next.
+    manager.table.advance(2, 2)
+    far = manager.distance(d.id)
+    assert far == dag.num_active_stages - 1 - 2
+    # Past the far reference: infinite → first in the eviction order.
+    last = dag.num_active_stages - 1
+    manager.table.advance(last, dag.job_of_seq(last))
+    manager.table._refs[d.id].clear()
+    monitor = CacheMonitor(0, manager)
+    store = MemoryStore(100.0, monitor)
+    store.put(Block(id=BlockId(d.id, 0), size_mb=1.0))
+    store.put(Block(id=BlockId(999, 0), size_mb=1.0))
+    # 999 is also unknown/infinite; D must still be rankable — both are
+    # infinite, and any further touch cannot resurrect D.
+    assert math.isinf(manager.distance(d.id))
+    order = list(monitor.eviction_order(store))
+    assert {b.rdd_id for b in order[:2]} == {d.id, 999}

@@ -1,0 +1,74 @@
+"""Unit tests for the MrdScheme adapter (variants and wiring)."""
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, build_cluster
+from repro.core.cache_monitor import CacheMonitor
+from repro.core.policy import MrdScheme, PrefetchAwareLruPolicy
+from repro.dag.dag_builder import build_dag
+from tests.conftest import make_linear_app
+
+
+@pytest.fixture
+def dag():
+    return build_dag(make_linear_app(num_jobs=3))
+
+
+class TestVariantNames:
+    def test_full(self):
+        assert MrdScheme().name == "MRD"
+
+    def test_evict_only(self):
+        assert MrdScheme(prefetch=False).name == "MRD-evict"
+
+    def test_prefetch_only(self):
+        assert MrdScheme(evict=False).name == "MRD-prefetch"
+
+    def test_job_metric_suffix(self):
+        assert MrdScheme(metric="job").name == "MRD-jobdist"
+
+    def test_adhoc_suffix(self):
+        assert MrdScheme(mode="adhoc").name == "MRD-adhoc"
+
+    def test_both_disabled_rejected(self):
+        with pytest.raises(ValueError):
+            MrdScheme(evict=False, prefetch=False)
+
+
+class TestWiring:
+    def test_policy_factory_requires_prepare(self):
+        scheme = MrdScheme()
+        with pytest.raises(AssertionError):
+            scheme.policy_factory(0)
+
+    def test_evicting_variant_uses_cache_monitor(self, dag):
+        scheme = MrdScheme()
+        scheme.prepare(dag)
+        assert isinstance(scheme.policy_factory(0), CacheMonitor)
+
+    def test_prefetch_only_uses_hybrid_lru(self, dag):
+        scheme = MrdScheme(evict=False)
+        scheme.prepare(dag)
+        assert isinstance(scheme.policy_factory(0), PrefetchAwareLruPolicy)
+
+    def test_evict_only_strips_prefetch_orders(self, dag):
+        scheme = MrdScheme(prefetch=False)
+        scheme.prepare(dag)
+        assert scheme.mrd_config.max_prefetch_per_node == 0
+
+    def test_prefetch_only_strips_purges(self, dag):
+        scheme = MrdScheme(evict=False)
+        scheme.prepare(dag)
+        cluster = build_cluster(
+            ClusterConfig(num_nodes=2, cache_mb_per_node=32.0), scheme.policy_factory
+        )
+        scheme.on_job_submit(0)
+        rdd = next(iter(dag.profiles.values())).rdd
+        scheme.on_block_created(rdd.id)
+        scheme.manager.table._refs[rdd.id].clear()
+        orders = scheme.on_stage_start(0, cluster)
+        assert orders.purge_rdds == []
+
+    def test_eager_purge_disabled_without_evict(self, dag):
+        scheme = MrdScheme(evict=False)
+        assert not scheme.mrd_config.eager_purge

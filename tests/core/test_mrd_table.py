@@ -1,0 +1,127 @@
+"""Unit tests for the MRD_Table (distance bookkeeping)."""
+
+import math
+
+import pytest
+
+from repro.core.mrd_table import INFINITE, MrdTable
+from repro.core.reference_distance import Reference
+
+
+def refs(*triples):
+    return [Reference(seq=s, job_id=j, rdd_id=r) for s, j, r in triples]
+
+
+class TestAddAndQuery:
+    def test_empty_table_all_infinite(self):
+        t = MrdTable()
+        assert t.distance(0) == INFINITE
+        assert 0 not in t
+
+    def test_distance_is_gap_to_next_reference(self):
+        t = MrdTable()
+        t.add_references(refs((3, 0, 7), (9, 1, 7)))
+        assert t.distance(7) == 3.0
+
+    def test_comparison_uses_lowest_reference(self):
+        t = MrdTable()
+        t.add_references(refs((10, 1, 7), (2, 0, 7)))
+        assert t.distance(7) == 2.0
+
+    def test_duplicate_references_ignored(self):
+        t = MrdTable()
+        t.add_references(refs((3, 0, 7)))
+        t.add_references(refs((3, 0, 7)))
+        assert t.size() == 1
+
+    def test_track_without_references(self):
+        t = MrdTable()
+        t.track(5)
+        assert 5 in t
+        assert t.distance(5) == INFINITE
+        assert t.dead_rdds() == [5]
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError):
+            MrdTable(metric="wallclock")
+
+
+class TestAdvance:
+    def test_advance_decrements_distance(self):
+        t = MrdTable()
+        t.add_references(refs((5, 0, 1)))
+        t.advance(2, 0)
+        assert t.distance(1) == 3.0
+
+    def test_reference_at_current_stage_is_zero(self):
+        t = MrdTable()
+        t.add_references(refs((5, 0, 1)))
+        t.advance(5, 0)
+        assert t.distance(1) == 0.0
+
+    def test_passing_a_reference_deletes_it(self):
+        t = MrdTable()
+        t.add_references(refs((2, 0, 1), (6, 1, 1)))
+        t.advance(3, 0)
+        assert t.distance(1) == 3.0  # next ref is seq 6
+
+    def test_exhausted_goes_infinite(self):
+        t = MrdTable()
+        t.add_references(refs((2, 0, 1)))
+        t.advance(3, 0)
+        assert t.distance(1) == INFINITE
+        assert t.dead_rdds() == [1]
+
+    def test_cannot_move_backwards(self):
+        t = MrdTable()
+        t.advance(5, 1)
+        with pytest.raises(ValueError):
+            t.advance(4, 1)
+
+    def test_late_references_resurrect(self):
+        """Ad-hoc mode: a new job's references revive a dead RDD."""
+        t = MrdTable()
+        t.add_references(refs((1, 0, 9)))
+        t.advance(2, 0)
+        assert t.dead_rdds() == [9]
+        t.add_references(refs((4, 1, 9)))
+        assert t.dead_rdds() == []
+        assert t.distance(9) == 2.0
+
+
+class TestJobMetric:
+    def test_job_distance(self):
+        t = MrdTable(metric="job")
+        t.add_references(refs((10, 3, 1)))
+        t.advance(0, 0)
+        assert t.distance(1) == 3.0
+        t.advance(5, 2)
+        assert t.distance(1) == 1.0
+
+    def test_same_job_reference_is_zero(self):
+        t = MrdTable(metric="job")
+        t.add_references(refs((4, 1, 1)))
+        t.advance(2, 1)
+        assert t.distance(1) == 0.0
+
+
+class TestCandidates:
+    def test_sorted_nearest_first(self):
+        t = MrdTable()
+        t.add_references(refs((5, 0, 1), (2, 0, 2), (9, 0, 3)))
+        t.track(4)  # infinite: excluded
+        cands = t.candidates_by_distance()
+        assert [rdd for _, rdd in cands] == [2, 1, 3]
+        assert [d for d, _ in cands] == [2.0, 5.0, 9.0]
+
+    def test_forget_removes(self):
+        t = MrdTable()
+        t.add_references(refs((5, 0, 1)))
+        t.forget(1)
+        assert 1 not in t
+        assert t.candidates_by_distance() == []
+
+    def test_size_counts_references(self):
+        t = MrdTable()
+        t.add_references(refs((1, 0, 1), (2, 0, 1), (3, 0, 2)))
+        assert t.size() == 3

@@ -1,0 +1,65 @@
+"""Unit tests for reference extraction from job DAGs."""
+
+import pytest
+
+from repro.core.reference_distance import (
+    Reference,
+    cached_rdds_created_in_job,
+    parse_application_references,
+    parse_job_references,
+)
+from repro.dag.dag_builder import build_dag
+from tests.conftest import make_iterative_app, make_linear_app
+
+
+@pytest.fixture
+def dag():
+    return build_dag(make_linear_app(num_jobs=3))
+
+
+class TestParseJob:
+    def test_first_job_has_no_reads(self, dag):
+        assert parse_job_references(dag, 0) == []
+
+    def test_later_jobs_reference_cached_data(self, dag):
+        refs = parse_job_references(dag, 1)
+        assert len(refs) == 1
+        assert refs[0].job_id == 1
+        assert refs[0].seq == 1
+
+    def test_out_of_range_job(self, dag):
+        with pytest.raises(ValueError):
+            parse_job_references(dag, 99)
+
+    def test_references_sorted(self):
+        dag = build_dag(make_iterative_app(iterations=3))
+        for job in dag.jobs:
+            refs = parse_job_references(dag, job.id)
+            assert refs == sorted(refs)
+
+
+class TestParseApplication:
+    def test_union_of_jobs(self, dag):
+        all_refs = parse_application_references(dag)
+        per_job = [r for j in dag.jobs for r in parse_job_references(dag, j.id)]
+        assert sorted(all_refs) == sorted(per_job)
+
+    def test_matches_profile_counts(self, dag):
+        all_refs = parse_application_references(dag)
+        total = sum(p.reference_count for p in dag.profiles.values())
+        assert len(all_refs) == total
+
+
+class TestCreatedInJob:
+    def test_points_created_in_job_zero(self, dag):
+        created = cached_rdds_created_in_job(dag, 0)
+        assert len(created) == 1
+        assert dag.profiles[created[0]].rdd.name == "points"
+
+    def test_no_creations_in_later_jobs(self, dag):
+        assert cached_rdds_created_in_job(dag, 1) == []
+
+    def test_reference_ordering_dataclass(self):
+        a = Reference(seq=1, job_id=0, rdd_id=5)
+        b = Reference(seq=2, job_id=0, rdd_id=1)
+        assert a < b

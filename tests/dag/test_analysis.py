@@ -1,0 +1,123 @@
+"""Unit tests for DAG analysis (Table 1/3 statistics, peak live set)."""
+
+import pytest
+
+from repro.dag.analysis import (
+    distance_stats,
+    live_cached_profile,
+    peak_live_cached_mb,
+    reference_trace,
+    workload_characteristics,
+)
+from repro.dag.context import SparkApplication, SparkContext
+from repro.dag.dag_builder import build_dag
+from tests.conftest import make_iterative_app, make_linear_app
+
+
+def _no_cache_app():
+    ctx = SparkContext("nocache")
+    ctx.text_file("a", 8, 2).reduce_by_key().save()
+    return SparkApplication(ctx)
+
+
+class TestDistanceStats:
+    def test_no_cache_means_zero_distances(self):
+        stats = distance_stats(build_dag(_no_cache_app()))
+        assert stats.avg_job_distance == 0.0
+        assert stats.max_stage_distance == 0
+
+    def test_linear_app_gaps(self):
+        dag = build_dag(make_linear_app(num_jobs=4))
+        stats = distance_stats(dag)
+        # points touched in jobs 0,1,2,3 → three job gaps of 1.
+        assert stats.avg_job_distance == pytest.approx(1.0)
+        assert stats.max_job_distance == 1
+
+    def test_stage_distance_counts_skipped_ids(self):
+        dag = build_dag(make_iterative_app(iterations=4))
+        stats = distance_stats(dag)
+        # Skipped-stage inflation: StageID gaps exceed job gaps.
+        assert stats.avg_stage_distance > stats.avg_job_distance
+        assert stats.max_stage_distance > stats.max_job_distance
+
+    def test_workload_name_defaults_to_signature(self):
+        dag = build_dag(make_linear_app(name="sig-name"))
+        assert distance_stats(dag).workload == "sig-name"
+
+
+class TestWorkloadCharacteristics:
+    def test_counts(self):
+        dag = build_dag(make_linear_app(num_jobs=3))
+        chars = workload_characteristics(dag)
+        assert chars.num_jobs == 3
+        assert chars.num_active_stages == 3
+        assert chars.num_cached_rdds == 1
+        assert chars.refs_per_rdd == pytest.approx(2.0)
+        assert chars.refs_per_stage == pytest.approx(2 / 3)
+
+    def test_input_mb(self):
+        chars = workload_characteristics(build_dag(make_linear_app()))
+        assert chars.input_mb == pytest.approx(64.0)
+
+    def test_shuffle_volumes_positive_for_wide_app(self):
+        chars = workload_characteristics(build_dag(_no_cache_app()))
+        assert chars.shuffle_read_mb > 0
+        assert chars.shuffle_write_mb > 0
+
+    def test_stage_inputs_cover_cache_reads(self):
+        dag = build_dag(make_linear_app(num_jobs=3))
+        chars = workload_characteristics(dag)
+        # 1 input read (64) + 2 cached reads (64 each) = 192.
+        assert chars.total_stage_input_mb == pytest.approx(192.0)
+
+
+class TestPeakLive:
+    def test_no_cache_is_zero(self):
+        assert peak_live_cached_mb(build_dag(_no_cache_app())) == 0.0
+
+    def test_unpersist_lowers_peak(self):
+        kept = peak_live_cached_mb(build_dag(make_iterative_app(iterations=5)))
+        dropped = peak_live_cached_mb(
+            build_dag(make_iterative_app(iterations=5, unpersist=True))
+        )
+        assert dropped < kept
+
+    def test_peak_at_least_largest_rdd(self):
+        dag = build_dag(make_linear_app())
+        largest = max(p.rdd.size_mb for p in dag.profiles.values())
+        assert peak_live_cached_mb(dag) >= largest
+
+    def test_profile_covers_every_stage(self):
+        dag = build_dag(make_iterative_app(iterations=4, unpersist=True))
+        profile = live_cached_profile(dag)
+        assert [seq for seq, _ in profile] == list(range(dag.num_active_stages))
+        assert all(mb >= 0 for _, mb in profile)
+
+    def test_profile_is_nonmonotone_with_unpersists(self):
+        dag = build_dag(make_iterative_app(iterations=5, unpersist=True))
+        values = [mb for _, mb in live_cached_profile(dag)]
+        assert any(b < a for a, b in zip(values, values[1:])), (
+            "unpersists should make the live curve dip"
+        )
+
+    def test_peak_equals_profile_max(self):
+        dag = build_dag(make_iterative_app(iterations=4, unpersist=True))
+        assert peak_live_cached_mb(dag) == max(
+            mb for _, mb in live_cached_profile(dag)
+        )
+
+
+class TestReferenceTrace:
+    def test_sorted_and_typed(self):
+        dag = build_dag(make_iterative_app(iterations=3))
+        trace = reference_trace(dag)
+        assert trace == sorted(trace, key=lambda e: (e[0], e[1], e[2] == "read"))
+        assert {kind for _, _, kind in trace} <= {"write", "read"}
+
+    def test_writes_precede_reads_per_rdd(self):
+        dag = build_dag(make_linear_app())
+        trace = reference_trace(dag)
+        first_event = {}
+        for seq, rdd_id, kind in trace:
+            first_event.setdefault(rdd_id, kind)
+        assert all(kind == "write" for kind in first_event.values())

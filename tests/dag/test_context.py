@@ -1,0 +1,60 @@
+"""Unit tests for SparkContext / SparkApplication recording."""
+
+import pytest
+
+from repro.dag.context import SparkApplication, SparkContext, record_application
+
+
+class TestContext:
+    def test_parallelize_has_no_deps_and_no_input_flag(self):
+        ctx = SparkContext("t")
+        r = ctx.parallelize("p", size_mb=4, num_partitions=2)
+        assert r.deps == ()
+        assert not r.is_input
+
+    def test_text_file_is_input(self):
+        ctx = SparkContext("t")
+        assert ctx.text_file("f", 10, 2).is_input
+
+    def test_unpersist_records_event_after_latest_job(self):
+        ctx = SparkContext("t")
+        a = ctx.text_file("a", 10, 2).cache()
+        a.count()  # job 0
+        a.count()  # job 1
+        ctx.unpersist(a)
+        (ev,) = ctx.unpersist_events
+        assert ev.after_job_id == 1
+        assert ev.rdd is a
+        assert not a.is_cached
+
+    def test_cached_rdds_includes_unpersisted(self):
+        ctx = SparkContext("t")
+        a = ctx.text_file("a", 10, 2).cache()
+        b = a.map().cache()
+        a.count()
+        ctx.unpersist(a)
+        assert {r.id for r in ctx.cached_rdds} == {a.id, b.id}
+
+    def test_run_job_names_default(self):
+        ctx = SparkContext("t")
+        a = ctx.text_file("a", 10, 2)
+        a.count()
+        assert ctx.jobs[0].name == "count-0"
+
+
+class TestRecordApplication:
+    def test_records_signature(self):
+        app = record_application(lambda ctx: ctx.text_file("x", 1, 1).count(), "myapp")
+        assert app.signature == "myapp"
+        assert len(app.jobs) == 1
+
+    def test_rejects_actionless_program(self):
+        with pytest.raises(ValueError, match="no jobs"):
+            record_application(lambda ctx: ctx.text_file("x", 1, 1), "noop")
+
+    def test_application_defaults_signature_to_app_name(self):
+        ctx = SparkContext("named")
+        ctx.text_file("x", 1, 1).count()
+        app = SparkApplication(ctx)
+        assert app.signature == "named"
+        assert app.rdds == ctx.rdds

@@ -1,0 +1,123 @@
+"""Unit tests for the RDD lineage abstraction."""
+
+import pytest
+
+from repro.dag.context import SparkContext
+from repro.dag.rdd import (
+    NarrowDependency,
+    RDD,
+    ShuffleDependency,
+    StorageLevel,
+    total_size_mb,
+)
+
+
+@pytest.fixture
+def ctx():
+    return SparkContext("t")
+
+
+class TestRddConstruction:
+    def test_ids_are_sequential(self, ctx):
+        a = ctx.text_file("a", 10, 2)
+        b = a.map()
+        c = b.filter()
+        assert (a.id, b.id, c.id) == (0, 1, 2)
+
+    def test_registered_on_context(self, ctx):
+        a = ctx.text_file("a", 10, 2)
+        b = a.map()
+        assert ctx.rdds == [a, b]
+
+    def test_rejects_nonpositive_partitions(self, ctx):
+        with pytest.raises(ValueError, match="num_partitions"):
+            RDD(ctx, deps=[], num_partitions=0, partition_size_mb=1, compute_cost=0)
+
+    def test_rejects_negative_size(self, ctx):
+        with pytest.raises(ValueError, match="partition_size_mb"):
+            RDD(ctx, deps=[], num_partitions=1, partition_size_mb=-1, compute_cost=0)
+
+    def test_rejects_negative_cost(self, ctx):
+        with pytest.raises(ValueError, match="compute_cost"):
+            RDD(ctx, deps=[], num_partitions=1, partition_size_mb=1, compute_cost=-1)
+
+    def test_default_name_includes_op_and_id(self, ctx):
+        a = ctx.text_file("", 10, 2)
+        assert a.name == "textFile-0"
+
+    def test_size_mb_sums_partitions(self, ctx):
+        a = ctx.text_file("a", 10, 4)
+        assert a.size_mb == pytest.approx(10.0)
+        assert a.partition_size_mb == pytest.approx(2.5)
+
+    def test_total_size_helper(self, ctx):
+        a = ctx.text_file("a", 10, 2)
+        b = ctx.text_file("b", 6, 2)
+        assert total_size_mb([a, b]) == pytest.approx(16.0)
+
+
+class TestPersistence:
+    def test_default_not_cached(self, ctx):
+        assert not ctx.text_file("a", 10, 2).is_cached
+
+    def test_cache_sets_memory_and_disk(self, ctx):
+        a = ctx.text_file("a", 10, 2).cache()
+        assert a.storage_level is StorageLevel.MEMORY_AND_DISK
+        assert a.is_cached
+
+    def test_unpersist_clears(self, ctx):
+        a = ctx.text_file("a", 10, 2).cache()
+        a.unpersist()
+        assert not a.is_cached
+
+    def test_cache_returns_self_for_chaining(self, ctx):
+        a = ctx.text_file("a", 10, 2)
+        assert a.cache() is a
+
+
+class TestDependencies:
+    def test_map_creates_narrow_dep(self, ctx):
+        a = ctx.text_file("a", 10, 2)
+        b = a.map()
+        (dep,) = b.deps
+        assert isinstance(dep, NarrowDependency)
+        assert not dep.is_shuffle
+        assert dep.parent is a
+
+    def test_shuffle_dep_has_unique_id(self, ctx):
+        a = ctx.text_file("a", 10, 2)
+        b = a.reduce_by_key()
+        c = a.group_by_key()
+        (d1,) = b.deps
+        (d2,) = c.deps
+        assert isinstance(d1, ShuffleDependency) and d1.is_shuffle
+        assert d1.shuffle_id != d2.shuffle_id
+
+    def test_parents_property(self, ctx):
+        a = ctx.text_file("a", 10, 2)
+        b = ctx.text_file("b", 10, 2)
+        j = a.join(b)
+        assert j.parents == (a, b)
+
+
+class TestTraversal:
+    def test_narrow_ancestors_stops_at_shuffle(self, ctx):
+        a = ctx.text_file("a", 10, 2)
+        b = a.map()
+        c = b.reduce_by_key()
+        d = c.map()
+        names = {r.name for r in d.narrow_ancestors()}
+        assert names == {d.name, c.name}
+
+    def test_ancestors_crosses_shuffles(self, ctx):
+        a = ctx.text_file("a", 10, 2)
+        d = a.map().reduce_by_key().map()
+        assert {r.id for r in d.ancestors()} == {r.id for r in ctx.rdds}
+
+    def test_traversal_handles_diamonds_once(self, ctx):
+        a = ctx.text_file("a", 10, 2)
+        b = a.map()
+        c = a.filter()
+        d = b.union(c)
+        visited = list(d.narrow_ancestors())
+        assert len(visited) == len({r.id for r in visited}) == 4

@@ -1,0 +1,108 @@
+"""Unit tests for the transformation API (sizes, costs, wiring)."""
+
+import pytest
+
+from repro.dag.context import SparkContext
+from repro.dag.rdd import NarrowDependency, ShuffleDependency
+from repro.dag.transformations import DEFAULT_CPU_PER_MB, DEFAULT_WIDE_CPU_PER_MB
+
+
+@pytest.fixture
+def ctx():
+    return SparkContext("t")
+
+
+@pytest.fixture
+def base(ctx):
+    return ctx.text_file("base", size_mb=40.0, num_partitions=4)  # 10 MB/part
+
+
+class TestNarrowOps:
+    def test_map_preserves_size_by_default(self, base):
+        assert base.map().partition_size_mb == pytest.approx(10.0)
+
+    def test_map_size_factor(self, base):
+        assert base.map(size_factor=0.5).partition_size_mb == pytest.approx(5.0)
+
+    def test_map_default_cpu_cost(self, base):
+        assert base.map().compute_cost == pytest.approx(DEFAULT_CPU_PER_MB * 10.0)
+
+    def test_map_custom_cpu(self, base):
+        assert base.map(cpu_per_mb=0.1).compute_cost == pytest.approx(1.0)
+
+    def test_filter_selectivity_bounds(self, base):
+        with pytest.raises(ValueError, match="selectivity"):
+            base.filter(selectivity=1.5)
+
+    def test_filter_shrinks(self, base):
+        assert base.filter(selectivity=0.25).partition_size_mb == pytest.approx(2.5)
+
+    def test_flat_map_inflates(self, base):
+        assert base.flat_map(size_factor=3.0).partition_size_mb == pytest.approx(30.0)
+
+    def test_sample_fraction_bounds(self, base):
+        with pytest.raises(ValueError, match="fraction"):
+            base.sample(fraction=0.0)
+
+    def test_union_concatenates_partitions(self, ctx, base):
+        other = ctx.text_file("o", size_mb=20.0, num_partitions=2)
+        u = base.union(other)
+        assert u.num_partitions == 6
+        assert u.size_mb == pytest.approx(60.0)
+
+    def test_zip_partitions_requires_alignment(self, ctx, base):
+        other = ctx.text_file("o", size_mb=20.0, num_partitions=2)
+        with pytest.raises(ValueError, match="equal partition counts"):
+            base.zip_partitions(other)
+
+    def test_zip_partitions_combines_sizes(self, ctx, base):
+        other = ctx.text_file("o", size_mb=20.0, num_partitions=4)
+        z = base.zip_partitions(other, size_factor=0.5)
+        assert z.partition_size_mb == pytest.approx((10.0 + 5.0) * 0.5)
+        assert all(isinstance(d, NarrowDependency) for d in z.deps)
+
+
+class TestWideOps:
+    def test_reduce_by_key_is_shuffle(self, base):
+        r = base.reduce_by_key()
+        assert all(isinstance(d, ShuffleDependency) for d in r.deps)
+
+    def test_reduce_by_key_combines(self, base):
+        assert base.reduce_by_key(size_factor=0.5).partition_size_mb == pytest.approx(5.0)
+
+    def test_wide_default_cpu(self, base):
+        r = base.group_by_key()
+        assert r.compute_cost == pytest.approx(DEFAULT_WIDE_CPU_PER_MB * 10.0)
+
+    def test_join_has_two_shuffle_deps(self, ctx, base):
+        other = ctx.text_file("o", size_mb=40.0, num_partitions=4)
+        j = base.join(other)
+        assert len(j.deps) == 2
+        assert len({d.shuffle_id for d in j.deps}) == 2
+
+    def test_join_custom_partitions(self, ctx, base):
+        other = ctx.text_file("o", size_mb=40.0, num_partitions=4)
+        assert base.join(other, num_partitions=16).num_partitions == 16
+
+    def test_sort_is_shuffle(self, base):
+        assert base.sort_by_key().deps[0].is_shuffle
+
+    def test_distinct_shrinks(self, base):
+        assert base.distinct(size_factor=0.8).partition_size_mb == pytest.approx(8.0)
+
+    def test_partition_by_preserves_size(self, base):
+        assert base.partition_by().partition_size_mb == pytest.approx(10.0)
+
+
+class TestActions:
+    def test_actions_record_jobs_in_order(self, ctx, base):
+        base.count()
+        base.collect()
+        base.save()
+        assert [j.action for j in ctx.jobs] == ["count", "collect", "saveAsTextFile"]
+        assert [j.job_id for j in ctx.jobs] == [0, 1, 2]
+
+    def test_action_returns_job_id(self, base):
+        assert base.count() == 0
+        assert base.reduce() == 1
+        assert base.foreach() == 2

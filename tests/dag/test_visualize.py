@@ -1,0 +1,53 @@
+"""Tests for DAG export (networkx + DOT)."""
+
+import networkx as nx
+import pytest
+
+from repro.dag.visualize import (
+    lineage_graph,
+    lineage_to_dot,
+    stage_graph,
+    stages_to_dot,
+)
+
+
+class TestNetworkxViews:
+    def test_lineage_nodes_and_edges(self, iterative_dag):
+        g = lineage_graph(iterative_dag)
+        assert g.number_of_nodes() == len(iterative_dag.app.rdds)
+        assert nx.is_directed_acyclic_graph(g)
+        cached = [n for n, d in g.nodes(data=True) if d["cached"]]
+        assert len(cached) == len(iterative_dag.profiles)
+
+    def test_lineage_edge_kinds(self, iterative_dag):
+        g = lineage_graph(iterative_dag)
+        kinds = {d["narrow"] for _, _, d in g.edges(data=True)}
+        assert kinds == {True, False}  # both narrow and shuffle edges
+
+    def test_stage_graph_matches_dag(self, iterative_dag):
+        g = stage_graph(iterative_dag)
+        assert g.number_of_nodes() == iterative_dag.num_stages
+        assert nx.is_directed_acyclic_graph(g)
+        skipped = [n for n, d in g.nodes(data=True) if d["skipped"]]
+        assert len(skipped) == iterative_dag.num_stages - iterative_dag.num_active_stages
+
+
+class TestDot:
+    def test_lineage_dot_structure(self, iterative_dag):
+        dot = lineage_to_dot(iterative_dag)
+        assert dot.startswith("digraph lineage {") and dot.endswith("}")
+        assert dot.count("->") == sum(len(r.deps) for r in iterative_dag.app.rdds)
+        assert "shuffle" in dot
+        assert "fillcolor" in dot  # cached highlighting present
+
+    def test_stage_dot_clusters_jobs(self, iterative_dag):
+        dot = stages_to_dot(iterative_dag)
+        assert dot.count("subgraph cluster_job") == iterative_dag.num_jobs
+        assert "(skipped)" in dot
+
+    def test_stage_dot_without_skipped(self, iterative_dag):
+        dot = stages_to_dot(iterative_dag, include_skipped=False)
+        assert "(skipped)" not in dot
+        # Every active stage still present.
+        for stage in iterative_dag.active_stages:
+            assert f"s{stage.id} " in dot or f"s{stage.id}[" in dot or f"s{stage.id} [" in dot

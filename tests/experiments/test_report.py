@@ -1,0 +1,43 @@
+"""Smoke test for the markdown report generator (trimmed scope).
+
+The full report takes minutes (Figure 4 sweeps every workload), so the
+unit test patches the heavyweight drivers down to tiny scopes and
+checks the document structure; the real thing runs via
+``python -m repro report``.
+"""
+
+from repro.experiments import fig4, fig5, fig6, fig7, fig8, fig9, fig10
+from repro.experiments.report import generate_report
+
+
+def test_report_structure(tmp_path, monkeypatch):
+    fig4_run = fig4.run
+    fig5_run, fig6_run, fig7_run = fig5.run, fig6.run, fig7.run
+    fig8_run, fig9_run, fig10_run = fig8.run, fig9.run, fig10.run
+    monkeypatch.setattr(
+        fig4, "run", lambda *a, **k: fig4_run(workloads=("SP",), cache_fractions=(0.4,))
+    )
+    monkeypatch.setattr(
+        fig5, "run", lambda *a, **k: fig5_run(workloads=("CC",), cache_fractions=(0.4,))
+    )
+    monkeypatch.setattr(
+        fig6, "run", lambda *a, **k: fig6_run(workloads=("PR",), cache_fractions=(0.4,))
+    )
+    monkeypatch.setattr(
+        fig7, "run", lambda *a, **k: fig7_run(fractions=(0.3, 0.8), target_hit=0.3)
+    )
+    monkeypatch.setattr(fig8, "run", lambda *a, **k: fig8_run(cache_fractions=(0.4,)))
+    monkeypatch.setattr(fig9, "run", lambda *a, **k: fig9_run(cache_fractions=(0.4,)))
+    monkeypatch.setattr(
+        fig10, "run", lambda *a, **k: fig10_run(workloads=("CC",), cache_fractions=(0.4,))
+    )
+
+    out = tmp_path / "report.md"
+    text = generate_report(out=out)
+    assert out.exists() and out.read_text() == text
+    for heading in (
+        "Table 1", "Table 3", "Figure 2", "Figure 4", "Figure 5",
+        "Figure 6", "Figure 7", "Figure 8", "Figure 9", "Figure 10",
+        "Figures 11-12", "Headline summary",
+    ):
+        assert heading in text, heading

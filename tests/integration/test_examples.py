@@ -1,0 +1,46 @@
+"""Every example script must run cleanly end to end.
+
+Executed as subprocesses (fresh interpreter, no test-process state), so
+these catch import breakage, API drift and crashes in the documented
+entry points.  The two sweep-heavy studies dominate the runtime of this
+module (~30 s total).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["application:", "MRD"],
+    "policy_playground.py": ["Figure 2", "MRD"],
+    "adhoc_vs_recurring.py": ["ad-hoc penalty", "matches"],
+    "failure_study.py": ["Blocks lost", "advantage survives"],
+    "pagerank_cache_study.py": ["best MRD point", "vs LRU"],
+    "custom_workload.py": ["Custom workload", "exported"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} missing"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for marker in EXPECTED_MARKERS[script]:
+        assert marker in proc.stdout, f"{script}: missing {marker!r}"
+
+
+def test_all_examples_are_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_MARKERS), (
+        "new example scripts must be added to EXPECTED_MARKERS"
+    )

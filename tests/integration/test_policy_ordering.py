@@ -1,0 +1,147 @@
+"""Integration: cross-policy behaviour on real (scaled-down) workloads.
+
+These tests run complete workload simulations and assert the orderings
+the paper's evaluation rests on — MRD's eviction matches the MIN
+oracle, MRD never loses badly to LRU, DAG-aware policies beat LRU on
+I/O-intensive graph workloads, and the ad-hoc/job-distance ablations
+degrade exactly the workloads the paper says they degrade.
+"""
+
+import pytest
+
+from repro.core.policy import MrdScheme
+from repro.dag.analysis import peak_live_cached_mb
+from repro.dag.dag_builder import build_dag
+from repro.policies.scheme import BeladyScheme, LrcScheme, LruScheme, MemTuneScheme
+from repro.simulator.config import MAIN_CLUSTER
+from repro.simulator.engine import simulate
+from repro.workloads import WorkloadParams, get_workload
+
+#: Scaled-down builds so the whole matrix stays fast.
+_PARAMS = WorkloadParams(partitions=32)
+
+
+@pytest.fixture(scope="module")
+def dag_cache():
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            cache[name] = build_dag(get_workload(name).build(_PARAMS))
+        return cache[name]
+
+    return get
+
+
+def run(dag, scheme, fraction=0.5, cluster=MAIN_CLUSTER):
+    cache = max(peak_live_cached_mb(dag) * fraction / cluster.num_nodes, 8.0)
+    return simulate(dag, cluster.with_cache(cache), scheme)
+
+
+IO_WORKLOADS = ["PR", "CC", "PO", "SVD++", "LP"]
+
+
+@pytest.mark.parametrize("name", IO_WORKLOADS)
+def test_mrd_eviction_matches_min_oracle(dag_cache, name):
+    """MRD-evict implements the same ranking as Belady's MIN here."""
+    dag = dag_cache(name)
+    mrd = run(dag, MrdScheme(prefetch=False, eager_purge=False))
+    belady = run(dag, BeladyScheme())
+    assert mrd.stats.hits == belady.stats.hits
+    assert mrd.jct == pytest.approx(belady.jct, rel=1e-9)
+
+
+@pytest.mark.parametrize("name", IO_WORKLOADS)
+def test_full_mrd_beats_lru_on_io_workloads(dag_cache, name):
+    dag = dag_cache(name)
+    lru = run(dag, LruScheme())
+    mrd = run(dag, MrdScheme())
+    assert mrd.jct < lru.jct
+    assert mrd.hit_ratio > lru.hit_ratio
+
+
+@pytest.mark.parametrize("name", IO_WORKLOADS + ["KM", "SVM", "DT"])
+def test_mrd_never_loses_badly_to_lru(dag_cache, name):
+    dag = dag_cache(name)
+    lru = run(dag, LruScheme())
+    mrd = run(dag, MrdScheme())
+    assert mrd.jct <= lru.jct * 1.1
+
+
+@pytest.mark.parametrize("name", ["PR", "CC", "PO"])
+def test_mrd_at_least_matches_lrc_and_memtune(dag_cache, name):
+    dag = dag_cache(name)
+    mrd = run(dag, MrdScheme())
+    lrc = run(dag, LrcScheme())
+    memtune = run(dag, MemTuneScheme())
+    assert mrd.jct <= lrc.jct * 1.05
+    assert mrd.jct <= memtune.jct * 1.05
+
+
+def test_adhoc_hurts_kmeans_not_triangle_count(dag_cache):
+    """Fig. 9's contrast: cross-job reuse suffers without the full DAG."""
+    km = dag_cache("KM")
+    tc = dag_cache("TC")
+    km_rec = run(km, MrdScheme(mode="recurring"))
+    km_adhoc = run(km, MrdScheme(mode="adhoc"))
+    tc_rec = run(tc, MrdScheme(mode="recurring"))
+    tc_adhoc = run(tc, MrdScheme(mode="adhoc"))
+    km_penalty = km_adhoc.jct / km_rec.jct
+    tc_penalty = tc_adhoc.jct / tc_rec.jct
+    assert km_penalty > 1.05
+    assert tc_penalty < km_penalty
+
+
+def test_job_distance_hurts_lp_more_than_km(dag_cache):
+    """Fig. 8's contrast: LP has many stages per job, KM has ~1."""
+    lp = dag_cache("LP")
+    km = dag_cache("KM")
+    lp_stage = run(lp, MrdScheme(metric="stage"))
+    lp_job = run(lp, MrdScheme(metric="job"))
+    km_stage = run(km, MrdScheme(metric="stage"))
+    km_job = run(km, MrdScheme(metric="job"))
+    lp_degradation = lp_job.jct / lp_stage.jct
+    km_degradation = km_job.jct / km_stage.jct
+    assert lp_degradation >= km_degradation
+
+
+@pytest.mark.parametrize("name", ["CC", "PR"])
+def test_hit_ratio_ordering(dag_cache, name):
+    """LRU ≤ {LRC, MemTune} ≤ full MRD on dependency-rich workloads."""
+    dag = dag_cache(name)
+    lru = run(dag, LruScheme()).hit_ratio
+    lrc = run(dag, LrcScheme()).hit_ratio
+    mrd = run(dag, MrdScheme()).hit_ratio
+    assert lru <= lrc + 0.05
+    assert lrc <= mrd + 0.05
+    assert lru < mrd
+
+
+def test_every_scheme_completes_every_sparkbench_workload(dag_cache):
+    """Smoke: no scheme crashes or violates accounting on any workload."""
+    from repro.workloads import workload_names
+
+    schemes = [LruScheme, LrcScheme, MemTuneScheme, BeladyScheme, MrdScheme,
+               lambda: MrdScheme(mode="adhoc"), lambda: MrdScheme(metric="job")]
+    for name in workload_names("sparkbench"):
+        dag = dag_cache(name)
+        for factory in schemes:
+            metrics = run(dag, factory(), fraction=0.3)
+            assert metrics.jct > 0
+            assert 0.0 <= metrics.hit_ratio <= 1.0
+            assert metrics.num_stages_executed == dag.num_active_stages
+
+
+def test_hibench_workloads_are_policy_indifferent(dag_cache):
+    """The paper dropped HiBench because near-zero reference distances
+    give DAG-aware policies nothing to exploit — MRD must neither help
+    nor hurt meaningfully on any of the six."""
+    from repro.workloads import workload_names
+
+    for name in workload_names("hibench"):
+        dag = dag_cache(name)
+        lru = run(dag, LruScheme(), fraction=0.4)
+        mrd = run(dag, MrdScheme(), fraction=0.4)
+        assert mrd.jct <= lru.jct * 1.1, name
+        ratio = mrd.jct / lru.jct
+        assert 0.5 <= ratio <= 1.1, f"{name}: unexpected HiBench swing {ratio}"

@@ -1,0 +1,86 @@
+"""Unit tests for the DAG-oblivious baseline policies (LRU, FIFO, Random)."""
+
+import pytest
+
+from repro.cluster.block import Block, BlockId
+from repro.cluster.memory_store import MemoryStore
+from repro.policies.fifo import FifoPolicy
+from repro.policies.lru import LruPolicy
+from repro.policies.random_policy import RandomPolicy
+
+
+def blk(rdd, part, size=1.0):
+    return Block(id=BlockId(rdd, part), size_mb=size)
+
+
+def fill(store, n=4):
+    for i in range(n):
+        store.put(blk(0, i))
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        store = MemoryStore(100.0, LruPolicy())
+        fill(store)
+        store.get(BlockId(0, 0))
+        order = list(store.policy.eviction_order(store))
+        assert order[0] == BlockId(0, 1)
+        assert order[-1] == BlockId(0, 0)
+
+    def test_insert_counts_as_touch(self):
+        store = MemoryStore(100.0, LruPolicy())
+        fill(store)
+        assert list(store.policy.eviction_order(store))[-1] == BlockId(0, 3)
+
+    def test_removal_forgets(self):
+        store = MemoryStore(100.0, LruPolicy())
+        fill(store)
+        store.remove(BlockId(0, 0))
+        assert BlockId(0, 0) not in list(store.policy.eviction_order(store))
+
+    def test_access_untracked_block_registers(self):
+        policy = LruPolicy()
+        policy.on_access(blk(0, 0))
+        assert BlockId(0, 0) in list(policy._recency)
+
+
+class TestFifo:
+    def test_evicts_in_insertion_order(self):
+        store = MemoryStore(100.0, FifoPolicy())
+        fill(store)
+        store.get(BlockId(0, 0))  # access must NOT matter
+        order = list(store.policy.eviction_order(store))
+        assert order == [BlockId(0, i) for i in range(4)]
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        s1 = MemoryStore(100.0, RandomPolicy(seed=7))
+        s2 = MemoryStore(100.0, RandomPolicy(seed=7))
+        fill(s1)
+        fill(s2)
+        assert list(s1.policy.eviction_order(s1)) == list(s2.policy.eviction_order(s2))
+
+    def test_covers_all_blocks(self):
+        store = MemoryStore(100.0, RandomPolicy(seed=1))
+        fill(store, 8)
+        order = list(store.policy.eviction_order(store))
+        assert sorted(order) == [BlockId(0, i) for i in range(8)]
+
+    def test_different_seeds_eventually_differ(self):
+        orders = set()
+        for seed in range(5):
+            store = MemoryStore(100.0, RandomPolicy(seed=seed))
+            fill(store, 8)
+            orders.add(tuple(store.policy.eviction_order(store)))
+        assert len(orders) > 1
+
+
+@pytest.mark.parametrize("policy_cls", [LruPolicy, FifoPolicy])
+def test_eviction_order_is_snapshot(policy_cls):
+    """Mutating the store while iterating must not break iteration."""
+    store = MemoryStore(100.0, policy_cls())
+    fill(store, 4)
+    order = store.policy.eviction_order(store)
+    store.remove(BlockId(0, 2))
+    assert len(list(order)) == 4  # snapshot taken before the removal

@@ -1,0 +1,131 @@
+"""Tests for the scheme layer (cluster-level policy wiring)."""
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, build_cluster
+from repro.dag.dag_builder import build_dag
+from repro.policies.belady import BeladyPolicy
+from repro.policies.lrc import LrcPolicy
+from repro.policies.lru import LruPolicy
+from repro.policies.memtune import MemTunePolicy
+from repro.policies.scheme import (
+    BeladyScheme,
+    FifoScheme,
+    LfuScheme,
+    LrcScheme,
+    LruScheme,
+    MemTuneScheme,
+    RandomScheme,
+    StageOrders,
+)
+from tests.conftest import make_iterative_app, make_linear_app
+
+
+@pytest.fixture
+def dag():
+    return build_dag(make_linear_app(num_jobs=3))
+
+
+def tiny_cluster(scheme, cache=64.0, nodes=2):
+    return build_cluster(
+        ClusterConfig(num_nodes=nodes, cache_mb_per_node=cache),
+        scheme.policy_factory,
+    )
+
+
+class TestSimpleSchemes:
+    @pytest.mark.parametrize(
+        "scheme_cls,policy_cls",
+        [(LruScheme, LruPolicy), (LrcScheme, LrcPolicy), (BeladyScheme, BeladyPolicy)],
+    )
+    def test_factories_produce_expected_policy(self, dag, scheme_cls, policy_cls):
+        scheme = scheme_cls()
+        scheme.prepare(dag)
+        assert isinstance(scheme.policy_factory(0), policy_cls)
+
+    def test_default_orders_are_empty(self, dag):
+        scheme = LruScheme()
+        scheme.prepare(dag)
+        cluster = tiny_cluster(scheme)
+        orders = scheme.on_stage_start(0, cluster)
+        assert orders.purge_rdds == [] and orders.prefetches == []
+
+    def test_oracle_schemes_share_one_oracle(self, dag):
+        scheme = LrcScheme()
+        scheme.prepare(dag)
+        p0 = scheme.policy_factory(0)
+        p1 = scheme.policy_factory(1)
+        assert p0._oracle is p1._oracle
+
+    def test_oracle_advances_with_stages(self, dag):
+        scheme = LrcScheme()
+        scheme.prepare(dag)
+        cluster = tiny_cluster(scheme)
+        scheme.on_stage_start(2, cluster)
+        assert scheme.oracle.current_seq == 2
+
+    def test_random_scheme_per_node_seeds(self, dag):
+        scheme = RandomScheme(seed=3)
+        scheme.prepare(dag)
+        a = scheme.policy_factory(0)
+        b = scheme.policy_factory(1)
+        assert a is not b
+
+    @pytest.mark.parametrize("scheme_cls", [FifoScheme, LfuScheme])
+    def test_stateless_schemes_prepare_noop(self, dag, scheme_cls):
+        scheme = scheme_cls()
+        scheme.prepare(dag)  # must not raise
+        assert scheme.policy_factory(0) is not scheme.policy_factory(0)
+
+
+class TestMemTunePrefetch:
+    def test_prefetches_current_stage_disk_blocks(self):
+        dag = build_dag(make_iterative_app(iterations=3))
+        scheme = MemTuneScheme()
+        scheme.prepare(dag)
+        cluster = tiny_cluster(scheme, cache=256.0)
+        # Materialize some blocks on disk only.
+        stage = next(s for s in dag.active_stages if s.cache_reads)
+        rdd = stage.cache_reads[0]
+        from repro.cluster.block import Block, BlockId
+
+        for p in range(rdd.num_partitions):
+            bid = BlockId(rdd.id, p)
+            cluster.master.manager_for(bid).node.disk.put(
+                Block(id=bid, size_mb=rdd.partition_size_mb)
+            )
+        orders = scheme.on_stage_start(stage.seq, cluster)
+        assert orders.prefetches
+        assert all(b.id.rdd_id == rdd.id for b in orders.prefetches)
+
+    def test_no_prefetch_flag(self):
+        dag = build_dag(make_iterative_app(iterations=3))
+        scheme = MemTuneScheme(prefetch=False)
+        scheme.prepare(dag)
+        cluster = tiny_cluster(scheme)
+        orders = scheme.on_stage_start(0, cluster)
+        assert orders.prefetches == []
+
+    def test_prefetch_respects_free_memory(self):
+        dag = build_dag(make_iterative_app(iterations=3))
+        scheme = MemTuneScheme()
+        scheme.prepare(dag)
+        cluster = tiny_cluster(scheme, cache=0.0)  # no room at all
+        stage = next(s for s in dag.active_stages if s.cache_reads)
+        rdd = stage.cache_reads[0]
+        from repro.cluster.block import Block, BlockId
+
+        for p in range(rdd.num_partitions):
+            bid = BlockId(rdd.id, p)
+            cluster.master.manager_for(bid).node.disk.put(
+                Block(id=bid, size_mb=rdd.partition_size_mb)
+            )
+        orders = scheme.on_stage_start(stage.seq, cluster)
+        assert orders.prefetches == []
+
+
+class TestStageOrders:
+    def test_defaults(self):
+        orders = StageOrders()
+        assert orders.purge_rdds == []
+        assert orders.prefetches == []

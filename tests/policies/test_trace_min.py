@@ -1,0 +1,85 @@
+"""Tests for the true block-level MIN oracle (two-pass)."""
+
+import pytest
+
+from repro.cluster.block import Block, BlockId
+from repro.cluster.memory_store import MemoryStore
+from repro.dag.dag_builder import build_dag
+from repro.policies.scheme import BeladyScheme, LruScheme
+from repro.policies.trace_min import (
+    TraceMinPolicy,
+    TraceMinScheme,
+    record_access_trace,
+    true_min_metrics,
+)
+from repro.simulator.engine import simulate
+from tests.conftest import make_iterative_app
+from tests.simulator.test_engine import small_config
+
+
+def blk(rdd, part, size=1.0):
+    return Block(id=BlockId(rdd, part), size_mb=size)
+
+
+class TestTraceMinPolicy:
+    def test_next_use_lookup(self):
+        trace = [BlockId(0, 0), BlockId(1, 0), BlockId(0, 0)]
+        policy = TraceMinPolicy(trace)
+        assert policy.next_use(BlockId(0, 0)) == 0
+        policy.on_miss(BlockId(0, 0))  # position advances past index 0
+        assert policy.next_use(BlockId(0, 0)) == 2
+        assert policy.next_use(BlockId(9, 9)) == float("inf")
+
+    def test_eviction_order_furthest_first(self):
+        trace = [BlockId(0, 0), BlockId(1, 0), BlockId(2, 0), BlockId(0, 0)]
+        policy = TraceMinPolicy(trace)
+        store = MemoryStore(100.0, policy)
+        for r in range(3):
+            store.put(blk(r, 0))
+        # Make position 1: block 0's next use becomes index 3.
+        policy.on_miss(BlockId(0, 0))
+        order = list(policy.eviction_order(store))
+        # Block 2 next used at idx 2... order: furthest first. Positions:
+        # b0→3, b1→1, b2→2 ⇒ order b0, b2, b1.
+        assert order == [BlockId(0, 0), BlockId(2, 0), BlockId(1, 0)]
+
+    def test_never_used_again_leads(self):
+        trace = [BlockId(0, 0)]
+        policy = TraceMinPolicy(trace)
+        store = MemoryStore(100.0, policy)
+        store.put(blk(0, 0))
+        store.put(blk(5, 0))  # absent from the trace: infinite next use
+        assert list(policy.eviction_order(store))[0] == BlockId(5, 0)
+
+
+class TestRecordedTraces:
+    @pytest.fixture(scope="class")
+    def dag(self):
+        return build_dag(make_iterative_app(iterations=4))
+
+    def test_trace_covers_all_accesses(self, dag):
+        cfg = small_config(cache_mb=20.0)
+        traces = record_access_trace(dag, cfg)
+        lru = simulate(dag, cfg, LruScheme())
+        assert sum(len(t) for t in traces.values()) == lru.stats.accesses
+
+    def test_trace_is_policy_independent_per_node(self, dag):
+        """Recording twice (different cache sizes) gives the same order."""
+        t1 = record_access_trace(dag, small_config(cache_mb=20.0))
+        t2 = record_access_trace(dag, small_config(cache_mb=500.0))
+        assert t1 == t2
+
+    def test_true_min_dominates_lru_and_stage_belady(self, dag):
+        cfg = small_config(cache_mb=20.0)
+        lru = simulate(dag, cfg, LruScheme())
+        belady = simulate(dag, cfg, BeladyScheme())
+        tmin = true_min_metrics(dag, cfg)
+        assert tmin.stats.hits >= lru.stats.hits
+        assert tmin.stats.hits >= belady.stats.hits - 1  # remote-access slack
+
+    def test_true_min_scheme_runs_standalone(self, dag):
+        cfg = small_config(cache_mb=20.0)
+        traces = record_access_trace(dag, cfg)
+        metrics = simulate(dag, cfg, TraceMinScheme(traces))
+        assert metrics.scheme == "True-MIN"
+        assert metrics.jct > 0

@@ -1,0 +1,92 @@
+"""Property: Belady's MIN dominates online policies on uniform traces.
+
+A miniature single-node cache simulation over random block-access
+traces (uniform block sizes).  For each trace we precompute the exact
+future-access positions — a stage-granular oracle exactly like the
+simulator's — and check that MIN's hit count is at least that of LRU,
+FIFO and Random.  This is the classical optimality result and validates
+both the Belady implementation and the store/eviction plumbing it runs
+on.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.block import Block, BlockId
+from repro.cluster.memory_store import MemoryStore
+from repro.policies.base import EvictionPolicy
+from repro.policies.fifo import FifoPolicy
+from repro.policies.lru import LruPolicy
+from repro.policies.random_policy import RandomPolicy
+
+
+class _TraceMin(EvictionPolicy):
+    """MIN over an explicit access trace (block-level oracle)."""
+
+    name = "trace-min"
+
+    def __init__(self, trace: list[int]) -> None:
+        self.trace = trace
+        self.pos = 0
+
+    def on_insert(self, block) -> None:
+        pass
+
+    def on_access(self, block) -> None:
+        pass
+
+    def on_remove(self, block_id) -> None:
+        pass
+
+    def _next_use(self, bid: BlockId) -> float:
+        for i in range(self.pos, len(self.trace)):
+            if self.trace[i] == bid.rdd_id:
+                return i
+        return float("inf")
+
+    def eviction_order(self, store):
+        return iter(sorted(store.block_ids(), key=lambda b: -self._next_use(b)))
+
+
+def run_trace(trace: list[int], policy: EvictionPolicy, capacity: int) -> int:
+    """Replay ``trace`` through a store of ``capacity`` unit blocks."""
+    store = MemoryStore(float(capacity), policy)
+    hits = 0
+    for i, block_num in enumerate(trace):
+        if isinstance(policy, _TraceMin):
+            policy.pos = i + 1  # future = strictly after this access
+        bid = BlockId(block_num, 0)
+        if bid in store:
+            hits += 1
+            store.get(bid)
+        else:
+            store.put(Block(id=bid, size_mb=1.0))
+    return hits
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(st.integers(0, 9), min_size=5, max_size=80),
+    st.integers(2, 6),
+)
+def test_min_dominates_online_policies(trace, capacity):
+    min_hits = run_trace(trace, _TraceMin(trace), capacity)
+    for policy in (LruPolicy(), FifoPolicy(), RandomPolicy(seed=11)):
+        online_hits = run_trace(trace, policy, capacity)
+        assert min_hits >= online_hits, (
+            f"MIN ({min_hits}) lost to {policy.name} ({online_hits}) on {trace}"
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 9), min_size=5, max_size=60))
+def test_all_policies_equal_with_ample_capacity(trace):
+    """With capacity ≥ distinct blocks there are no evictions at all."""
+    capacity = len(set(trace))
+    expected = len(trace) - capacity  # every first touch misses
+    for policy in (_TraceMin(trace), LruPolicy(), FifoPolicy()):
+        assert run_trace(trace, policy, capacity) == expected

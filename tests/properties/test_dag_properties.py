@@ -1,0 +1,145 @@
+"""Property-based tests: DAG-builder invariants on random programs."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.context import SparkApplication, SparkContext
+from repro.dag.dag_builder import ApplicationDAG, build_dag
+
+# ----------------------------------------------------------------------
+# random program generator
+# ----------------------------------------------------------------------
+#: One program step: (op, arg) applied to a randomly chosen existing RDD.
+_STEP = st.sampled_from(
+    ["map", "filter", "reduce_by_key", "group_by_key", "join", "union",
+     "cache", "action", "unpersist"]
+)
+
+
+@st.composite
+def programs(draw) -> SparkApplication:
+    """A random but well-formed application with ≥1 job."""
+    ctx = SparkContext("random")
+    rdds = [ctx.text_file("in", size_mb=16.0, num_partitions=4)]
+    cached: list = []
+    steps = draw(st.lists(_STEP, min_size=3, max_size=30))
+    for op in steps:
+        src = rdds[draw(st.integers(0, len(rdds) - 1))]
+        if op == "map":
+            rdds.append(src.map())
+        elif op == "filter":
+            rdds.append(src.filter())
+        elif op == "reduce_by_key":
+            rdds.append(src.reduce_by_key())
+        elif op == "group_by_key":
+            rdds.append(src.group_by_key())
+        elif op == "join":
+            other = rdds[draw(st.integers(0, len(rdds) - 1))]
+            rdds.append(src.join(other, num_partitions=4))
+        elif op == "union":
+            other = rdds[draw(st.integers(0, len(rdds) - 1))]
+            rdds.append(src.union(other))
+        elif op == "cache":
+            src.cache()
+            cached.append(src)
+        elif op == "action":
+            src.count()
+        elif op == "unpersist" and cached and ctx.jobs:
+            victim = cached.pop(draw(st.integers(0, len(cached) - 1)))
+            if victim.is_cached:
+                ctx.unpersist(victim)
+    rdds[-1].collect()  # guarantee at least one job
+    return SparkApplication(ctx)
+
+
+def stage_graph(dag: ApplicationDAG) -> nx.DiGraph:
+    g = nx.DiGraph()
+    for stage in dag.stages:
+        g.add_node(stage.id)
+        for pid in stage.parent_stage_ids:
+            g.add_edge(pid, stage.id)
+    return g
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_stage_graph_is_acyclic(app):
+    dag = build_dag(app)
+    assert nx.is_directed_acyclic_graph(stage_graph(dag))
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_stage_ids_topologically_consistent(app):
+    dag = build_dag(app)
+    for stage in dag.stages:
+        assert all(pid < stage.id for pid in stage.parent_stage_ids)
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_active_seq_contiguous(app):
+    dag = build_dag(app)
+    assert [s.seq for s in dag.active_stages] == list(range(dag.num_active_stages))
+    for stage in dag.stages:
+        assert stage.is_active == (stage.seq >= 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_every_job_has_an_active_result_stage(app):
+    dag = build_dag(app)
+    for job in dag.jobs:
+        result_stages = [
+            dag.stage(sid) for sid in job.active_stage_ids if dag.stage(sid).is_result
+        ]
+        assert len(result_stages) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_references_never_precede_creation(app):
+    dag = build_dag(app)
+    for prof in dag.profiles.values():
+        if prof.created_seq < 0:
+            assert not prof.read_seqs
+            continue
+        assert all(s >= prof.created_seq for s in prof.read_seqs)
+        assert all(j >= prof.created_job for j in prof.read_jobs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_distance_gaps_non_negative(app):
+    dag = build_dag(app)
+    for prof in dag.profiles.values():
+        assert all(g >= 0 for g in prof.stage_gaps())
+        assert all(g >= 0 for g in prof.job_gaps())
+        assert all(g >= 0 for g in prof.active_stage_gaps())
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_skipped_stages_only_when_shuffle_materialized(app):
+    """A stage can only be skipped if an earlier active stage (or earlier
+    job) materialized its shuffle output or its outputs are reachable
+    through cached data — which implies it is never a result stage."""
+    dag = build_dag(app)
+    for stage in dag.stages:
+        if stage.skipped:
+            assert stage.shuffle_dep is not None
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_builder_is_deterministic(app):
+    a = build_dag(app)
+    b = build_dag(app)
+    assert a.num_stages == b.num_stages
+    assert [s.seq for s in a.stages] == [s.seq for s in b.stages]
+    assert {r: p.read_seqs for r, p in a.profiles.items()} == {
+        r: p.read_seqs for r, p in b.profiles.items()
+    }

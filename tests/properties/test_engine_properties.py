@@ -1,0 +1,88 @@
+"""Property-based tests: end-to-end simulator invariants.
+
+Random applications (synthetic generator) × random cache sizes ×
+policies: whatever the configuration, the accounting must balance and
+the run must be deterministic.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.network import DiskModel, NetworkModel
+from repro.core.policy import MrdScheme
+from repro.dag.dag_builder import build_dag
+from repro.policies.scheme import BeladyScheme, LrcScheme, LruScheme
+from repro.simulator.engine import SparkSimulator
+from repro.workloads.synthetic import SyntheticConfig, generate_application
+
+SCHEMES = [LruScheme, LrcScheme, BeladyScheme, MrdScheme,
+           lambda: MrdScheme(mode="adhoc")]
+
+
+def small_cluster(cache_mb: float) -> ClusterConfig:
+    return ClusterConfig(
+        num_nodes=2,
+        slots_per_node=2,
+        cache_mb_per_node=cache_mb,
+        network=NetworkModel(bandwidth_mbps=800.0, latency_s=0.0),
+        disk=DiskModel(bandwidth_mb_per_s=100.0, seek_s=0.0),
+    )
+
+
+@st.composite
+def scenarios(draw):
+    seed = draw(st.integers(0, 30))
+    cache = draw(st.floats(4.0, 200.0))
+    scheme_factory = draw(st.sampled_from(SCHEMES))
+    cfg = SyntheticConfig(num_jobs=draw(st.integers(2, 8)), partitions=8)
+    return seed, cache, scheme_factory, cfg
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenarios())
+def test_accounting_invariants(scenario):
+    seed, cache, scheme_factory, cfg = scenario
+    dag = build_dag(generate_application(seed, cfg))
+    sim = SparkSimulator(dag, small_cluster(cache), scheme_factory())
+    metrics = sim.run()
+    stats = metrics.stats
+
+    # Every active stage executed exactly once, in order, gap-free.
+    assert metrics.num_stages_executed == dag.num_active_stages
+    for prev, cur in zip(metrics.stage_records, metrics.stage_records[1:]):
+        assert cur.start == prev.end
+        assert cur.seq == prev.seq + 1
+
+    # Access accounting balances against the static reference profile.
+    expected_accesses = sum(
+        len(s.cache_reads) * s.num_tasks for s in dag.active_stages
+    )
+    assert stats.accesses == expected_accesses
+    assert stats.hits + stats.misses == stats.accesses
+    assert stats.prefetches_used <= stats.prefetches_issued
+
+    # No store exceeds capacity and all accounting is internally
+    # consistent at the end of the run.
+    for node in sim.cluster.nodes:
+        assert node.memory.used_mb <= node.memory.capacity_mb + 1e-6
+        total = sum(b.size_mb for b in node.memory.blocks())
+        assert abs(node.memory.used_mb - total) < 1e-6
+
+    # Simulated time is non-negative and finite.
+    assert 0 <= metrics.jct < float("inf")
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 20), st.sampled_from(SCHEMES))
+def test_runs_are_reproducible(seed, scheme_factory):
+    dag = build_dag(generate_application(seed, SyntheticConfig(num_jobs=4, partitions=8)))
+    cfg = small_cluster(24.0)
+    a = SparkSimulator(dag, cfg, scheme_factory()).run()
+    b = SparkSimulator(dag, cfg, scheme_factory()).run()
+    assert a.jct == b.jct
+    assert a.stats.hits == b.stats.hits
+    assert a.stats.evictions == b.stats.evictions
+    assert [r.end for r in a.stage_records] == [r.end for r in b.stage_records]

@@ -1,0 +1,100 @@
+"""Property-based tests: MRD_Table distance semantics."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mrd_table import MrdTable
+from repro.core.reference_distance import Reference
+
+
+@st.composite
+def reference_sets(draw):
+    n = draw(st.integers(1, 30))
+    refs = []
+    for _ in range(n):
+        seq = draw(st.integers(0, 50))
+        refs.append(Reference(seq=seq, job_id=seq // 5, rdd_id=draw(st.integers(0, 5))))
+    return refs
+
+
+@settings(max_examples=100, deadline=None)
+@given(reference_sets())
+def test_distances_non_negative(refs):
+    t = MrdTable()
+    t.add_references(refs)
+    for rdd_id in t.tracked_rdd_ids():
+        d = t.distance(rdd_id)
+        assert d >= 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(reference_sets(), st.integers(0, 50))
+def test_advance_matches_bruteforce(refs, seq):
+    """Distance after advance == min future ref − seq, computed naively."""
+    t = MrdTable()
+    t.add_references(refs)
+    t.advance(seq, seq // 5)
+    by_rdd: dict[int, list[int]] = {}
+    for r in refs:
+        by_rdd.setdefault(r.rdd_id, []).append(r.seq)
+    for rdd_id, seqs in by_rdd.items():
+        future = [s for s in seqs if s >= seq]
+        expected = min(future) - seq if future else math.inf
+        assert t.distance(rdd_id) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(reference_sets())
+def test_advance_monotonically_drains(refs):
+    """Advancing forward never increases the stored reference count."""
+    t = MrdTable()
+    t.add_references(refs)
+    prev_size = t.size()
+    for seq in range(0, 51, 5):
+        t.advance(seq, seq // 5)
+        assert t.size() <= prev_size
+        prev_size = t.size()
+    t.advance(51, 10)
+    assert t.size() == 0
+    assert set(t.dead_rdds()) == set(t.tracked_rdd_ids())
+
+
+@settings(max_examples=100, deadline=None)
+@given(reference_sets())
+def test_candidates_sorted_and_finite(refs):
+    t = MrdTable()
+    t.add_references(refs)
+    cands = t.candidates_by_distance()
+    dists = [d for d, _ in cands]
+    assert dists == sorted(dists)
+    assert all(math.isfinite(d) for d in dists)
+
+
+@settings(max_examples=60, deadline=None)
+@given(reference_sets(), st.integers(0, 50))
+def test_job_metric_is_coarser(refs, seq):
+    """Jobs partition stages, so the job metric is never finer.
+
+    Two coarsenings are possible: a finite job distance is at most the
+    stage distance, and a stage-exhausted RDD (infinite stage distance)
+    may *linger* at job distance 0 when its last reference sits earlier
+    in the still-running job (references are only consumed at job
+    boundaries under the coarse metric).
+    """
+    stage_t = MrdTable(metric="stage")
+    job_t = MrdTable(metric="job")
+    stage_t.add_references(refs)
+    job_t.add_references(refs)
+    stage_t.advance(seq, seq // 5)
+    job_t.advance(seq, seq // 5)
+    for rdd_id in stage_t.tracked_rdd_ids():
+        sd = stage_t.distance(rdd_id)
+        jd = job_t.distance(rdd_id)
+        if math.isinf(sd):
+            assert math.isinf(jd) or jd == 0.0
+        else:
+            assert jd <= sd

@@ -1,0 +1,44 @@
+"""Tests for the Table-4 cluster presets."""
+
+import pytest
+
+from repro.simulator.config import (
+    CLUSTERS,
+    LRC_CLUSTER,
+    MAIN_CLUSTER,
+    MEMTUNE_CLUSTER,
+    TEST_CLUSTER,
+)
+
+
+class TestPresets:
+    def test_main_cluster_matches_table4(self):
+        assert MAIN_CLUSTER.num_nodes == 25
+        assert MAIN_CLUSTER.slots_per_node == 4
+        assert MAIN_CLUSTER.network.bandwidth_mbps == 500.0
+
+    def test_lrc_cluster_matches_table4(self):
+        assert LRC_CLUSTER.num_nodes == 20
+        assert LRC_CLUSTER.slots_per_node == 2  # m4.large: 2 vCPU
+        assert LRC_CLUSTER.network.bandwidth_mbps == 450.0
+
+    def test_memtune_cluster_matches_table4(self):
+        assert MEMTUNE_CLUSTER.num_nodes == 6
+        assert MEMTUNE_CLUSTER.slots_per_node == 8
+        assert MEMTUNE_CLUSTER.network.bandwidth_mbps == 1000.0  # 1 Gbps
+
+    def test_registry_contains_all(self):
+        assert set(CLUSTERS) == {"main", "lrc", "memtune", "test"}
+        assert CLUSTERS["main"] is MAIN_CLUSTER
+
+    def test_names_match_keys(self):
+        for key, cfg in CLUSTERS.items():
+            assert cfg.name == key
+
+    def test_test_cluster_is_small(self):
+        assert TEST_CLUSTER.num_nodes <= 4
+
+    @pytest.mark.parametrize("cfg", list(CLUSTERS.values()))
+    def test_presets_are_immutable(self, cfg):
+        with pytest.raises(Exception):
+            cfg.num_nodes = 99  # frozen dataclass

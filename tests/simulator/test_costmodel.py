@@ -1,0 +1,79 @@
+"""Unit tests for the task cost model."""
+
+import pytest
+
+from repro.cluster.network import DiskModel, NetworkModel
+from repro.dag.context import SparkApplication, SparkContext
+from repro.dag.dag_builder import build_dag
+from repro.simulator.costmodel import CostModel
+
+
+@pytest.fixture
+def cost():
+    return CostModel(
+        network=NetworkModel(bandwidth_mbps=800.0, latency_s=0.0),
+        disk=DiskModel(bandwidth_mb_per_s=100.0, seek_s=0.0),
+        cpu_speed=1.0,
+        task_overhead_s=0.0,
+    )
+
+
+def shuffle_app_dag():
+    ctx = SparkContext("t")
+    ctx.text_file("in", size_mb=100.0, num_partitions=4).reduce_by_key(
+        size_factor=1.0
+    ).count()
+    return build_dag(SparkApplication(ctx))
+
+
+class TestCostModel:
+    def test_input_read_time_per_task(self, cost):
+        dag = shuffle_app_dag()
+        map_stage = dag.active_stages[0]
+        # 100 MB input over 4 tasks at 100 MB/s = 0.25 s each.
+        assert cost.input_read_time(map_stage) == pytest.approx(0.25)
+        assert cost.shuffle_read_time(map_stage) == 0.0
+
+    def test_shuffle_read_time_per_task(self, cost):
+        dag = shuffle_app_dag()
+        result = dag.active_stages[1]
+        # 100 MB shuffled over 4 tasks at 100 MB/s net = 0.25 s each.
+        assert cost.shuffle_read_time(result) == pytest.approx(0.25)
+        assert result.input_reads == ()
+
+    def test_cpu_speed_scales_compute(self):
+        dag = shuffle_app_dag()
+        stage = dag.active_stages[0]
+        slow = CostModel(network=NetworkModel(), disk=DiskModel(), cpu_speed=0.5)
+        fast = CostModel(network=NetworkModel(), disk=DiskModel(), cpu_speed=2.0)
+        assert slow.compute_time(stage) == pytest.approx(4 * fast.compute_time(stage))
+
+    def test_fixed_task_time_sums_components(self, cost):
+        dag = shuffle_app_dag()
+        stage = dag.active_stages[0]
+        expected = (
+            cost.compute_time(stage)
+            + cost.shuffle_read_time(stage)
+            + cost.input_read_time(stage)
+        )
+        assert cost.fixed_task_time(stage) == pytest.approx(expected)
+
+    def test_overhead_added(self):
+        dag = shuffle_app_dag()
+        stage = dag.active_stages[0]
+        with_oh = CostModel(
+            network=NetworkModel(), disk=DiskModel(), task_overhead_s=0.5
+        )
+        without = CostModel(
+            network=NetworkModel(), disk=DiskModel(), task_overhead_s=0.0
+        )
+        assert with_oh.fixed_task_time(stage) == pytest.approx(
+            without.fixed_task_time(stage) + 0.5
+        )
+
+    def test_invalid_cpu_speed(self):
+        with pytest.raises(ValueError):
+            CostModel(network=NetworkModel(), disk=DiskModel(), cpu_speed=0.0)
+
+    def test_remote_transfer(self, cost):
+        assert cost.remote_transfer_time(100.0) == pytest.approx(1.0)

@@ -1,0 +1,173 @@
+"""Engine tests: exact cache behaviour on hand-built miniature apps."""
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.network import DiskModel, NetworkModel
+from repro.core.policy import MrdScheme
+from repro.dag.context import SparkApplication, SparkContext
+from repro.dag.dag_builder import build_dag
+from repro.policies.scheme import BeladyScheme, LrcScheme, LruScheme
+from repro.simulator.engine import SparkSimulator, simulate
+from tests.conftest import make_iterative_app, make_linear_app
+
+
+def small_config(cache_mb=1000.0, nodes=2, slots=2):
+    return ClusterConfig(
+        num_nodes=nodes,
+        slots_per_node=slots,
+        cache_mb_per_node=cache_mb,
+        network=NetworkModel(bandwidth_mbps=800.0, latency_s=0.0),
+        disk=DiskModel(bandwidth_mb_per_s=100.0, seek_s=0.0),
+    )
+
+
+class TestHitAccounting:
+    def test_ample_cache_all_hits(self):
+        dag = build_dag(make_linear_app(num_jobs=4))
+        metrics = simulate(dag, small_config(), LruScheme())
+        # 3 reading jobs x 8 blocks each, all in memory.
+        assert metrics.stats.misses == 0
+        assert metrics.stats.hits == 24
+        assert metrics.hit_ratio == 1.0
+
+    def test_accesses_match_profile_reads(self):
+        dag = build_dag(make_iterative_app(iterations=3))
+        metrics = simulate(dag, small_config(), LruScheme())
+        expected_stage_reads = sum(
+            len(s.cache_reads) * s.num_tasks for s in dag.active_stages
+        )
+        assert metrics.stats.accesses == expected_stage_reads
+
+    def test_tiny_cache_produces_misses(self):
+        dag = build_dag(make_linear_app(num_jobs=4))
+        metrics = simulate(dag, small_config(cache_mb=10.0), LruScheme())
+        assert metrics.stats.misses > 0
+        assert metrics.hit_ratio < 1.0
+
+    def test_misses_cost_time(self):
+        dag = build_dag(make_linear_app(num_jobs=4))
+        fast = simulate(dag, small_config(), LruScheme())
+        slow = simulate(dag, small_config(cache_mb=10.0), LruScheme())
+        assert slow.jct > fast.jct
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("scheme_factory", [LruScheme, LrcScheme, BeladyScheme, MrdScheme])
+    def test_same_run_twice_identical(self, scheme_factory):
+        dag = build_dag(make_iterative_app(iterations=3))
+        cfg = small_config(cache_mb=20.0)
+        a = simulate(dag, cfg, scheme_factory())
+        b = simulate(dag, cfg, scheme_factory())
+        assert a.jct == b.jct
+        assert a.stats.hits == b.stats.hits
+        assert a.stats.misses == b.stats.misses
+        assert a.stats.evictions == b.stats.evictions
+
+
+class TestStageTiming:
+    def test_stage_records_cover_active_stages(self):
+        dag = build_dag(make_iterative_app(iterations=3))
+        metrics = simulate(dag, small_config(), LruScheme())
+        assert metrics.num_stages_executed == dag.num_active_stages
+        assert [r.seq for r in metrics.stage_records] == list(range(dag.num_active_stages))
+
+    def test_stages_are_sequential_barriers(self):
+        dag = build_dag(make_iterative_app(iterations=3))
+        metrics = simulate(dag, small_config(), LruScheme())
+        for prev, cur in zip(metrics.stage_records, metrics.stage_records[1:]):
+            assert cur.start == pytest.approx(prev.end)
+        assert metrics.jct == pytest.approx(metrics.stage_records[-1].end)
+
+    def test_wave_scheduling_with_limited_slots(self):
+        """8 equal tasks on 2 nodes x 2 slots run in 2 waves."""
+        ctx = SparkContext("waves")
+        data = ctx.text_file("in", size_mb=80.0, num_partitions=8)
+        data.map(cpu_per_mb=0.1).count()
+        dag = build_dag(SparkApplication(ctx))
+        metrics = simulate(dag, small_config(), LruScheme())
+        (record,) = metrics.stage_records
+        # Per task: overhead 0.01 + input 10MB/100MBps = 0.1 + compute
+        # (map: 0.1 s/MB x 10 MB = 1.0, textFile: 0.001 x 10 = 0.01).
+        per_task = 0.01 + 0.1 + 1.0 + 0.01
+        assert record.duration == pytest.approx(2 * per_task)
+
+    def test_more_slots_shorten_stage(self):
+        ctx = SparkContext("slots")
+        ctx.text_file("in", size_mb=80.0, num_partitions=8).map(cpu_per_mb=0.1).count()
+        dag = build_dag(SparkApplication(ctx))
+        two = simulate(dag, small_config(slots=2), LruScheme())
+        four = simulate(dag, small_config(slots=4), LruScheme())
+        assert four.jct < two.jct
+
+
+class TestUnpersist:
+    def test_unpersisted_blocks_leave_cluster(self):
+        dag = build_dag(make_iterative_app(iterations=3, unpersist=True))
+        sim = SparkSimulator(dag, small_config(), LruScheme())
+        metrics = sim.run()
+        assert metrics.stats.purged > 0
+        unpersisted = {
+            p.rdd.id for p in dag.profiles.values() if p.unpersist_after_job is not None
+        }
+        for mgr in sim.cluster.master.managers:
+            leftover = {b.rdd_id for b in mgr.node.memory.block_ids()}
+            assert not (leftover & unpersisted)
+
+    def test_unpersist_frees_cache_space(self):
+        cfg = small_config(cache_mb=30.0)
+        kept = simulate(build_dag(make_iterative_app(iterations=4)), cfg, LruScheme())
+        freed = simulate(
+            build_dag(make_iterative_app(iterations=4, unpersist=True)), cfg, LruScheme()
+        )
+        assert freed.hit_ratio >= kept.hit_ratio
+
+
+class TestPrefetchMechanics:
+    def test_full_mrd_issues_and_uses_prefetches(self):
+        dag = build_dag(make_iterative_app(iterations=4))
+        cfg = small_config(cache_mb=15.0)
+        metrics = simulate(dag, cfg, MrdScheme())
+        assert metrics.stats.prefetches_issued > 0
+        assert metrics.stats.prefetches_used <= metrics.stats.prefetches_issued
+
+    def test_prefetch_never_fires_for_lru(self):
+        dag = build_dag(make_iterative_app(iterations=4))
+        metrics = simulate(dag, small_config(cache_mb=15.0), LruScheme())
+        assert metrics.stats.prefetches_issued == 0
+
+    def test_prefetched_blocks_convert_to_hits(self):
+        dag = build_dag(make_iterative_app(iterations=5))
+        cfg = small_config(cache_mb=20.0)
+        full = simulate(dag, cfg, MrdScheme())
+        # At this pressure point prefetches fire and some are consumed
+        # as hits before eviction (waits on in-flight fetches count as
+        # hits because the I/O was already overlapped).
+        assert full.stats.prefetches_issued > 0
+        assert full.stats.prefetches_used > 0
+
+
+class TestMetadata:
+    def test_metrics_carry_scheme_and_workload(self):
+        dag = build_dag(make_linear_app(name="tagged"))
+        metrics = simulate(dag, small_config(), MrdScheme())
+        assert metrics.workload == "tagged"
+        assert metrics.scheme == "MRD"
+        assert metrics.cache_mb_per_node == 1000.0
+
+    def test_per_node_hit_ratios_length(self):
+        dag = build_dag(make_linear_app())
+        metrics = simulate(dag, small_config(nodes=3), LruScheme())
+        assert len(metrics.per_node_hit_ratio) == 3
+
+    def test_normalized_jct(self):
+        dag = build_dag(make_linear_app())
+        base = simulate(dag, small_config(), LruScheme())
+        other = simulate(dag, small_config(), MrdScheme())
+        assert other.normalized_jct(base) == pytest.approx(other.jct / base.jct)
+
+    def test_summary_renders(self):
+        dag = build_dag(make_linear_app())
+        metrics = simulate(dag, small_config(), LruScheme())
+        text = metrics.summary()
+        assert "LRU" in text and "JCT" in text

@@ -1,0 +1,85 @@
+"""Tests for heterogeneous per-node CPU speeds."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, build_cluster
+from repro.dag.context import SparkApplication, SparkContext
+from repro.dag.dag_builder import build_dag
+from repro.core.policy import MrdScheme
+from repro.policies.lru import LruPolicy
+from repro.policies.scheme import LruScheme
+from repro.simulator.engine import simulate
+from tests.conftest import make_iterative_app
+from tests.simulator.test_engine import small_config
+
+
+def compute_heavy_dag():
+    ctx = SparkContext("cpu")
+    ctx.text_file("in", size_mb=80.0, num_partitions=8).map(cpu_per_mb=0.2).count()
+    return build_dag(SparkApplication(ctx))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(heterogeneity=1.0)
+        with pytest.raises(ValueError):
+            ClusterConfig(heterogeneity=-0.1)
+
+    def test_homogeneous_by_default(self):
+        cluster = build_cluster(ClusterConfig(num_nodes=4), lambda i: LruPolicy())
+        assert all(node.cpu_factor == 1.0 for node in cluster.nodes)
+
+    def test_factors_deterministic_per_seed(self):
+        cfg = ClusterConfig(num_nodes=4, heterogeneity=0.3, heterogeneity_seed=7)
+        a = build_cluster(cfg, lambda i: LruPolicy())
+        b = build_cluster(cfg, lambda i: LruPolicy())
+        assert [n.cpu_factor for n in a.nodes] == [n.cpu_factor for n in b.nodes]
+
+    def test_factors_within_spread(self):
+        cfg = ClusterConfig(num_nodes=16, heterogeneity=0.3)
+        cluster = build_cluster(cfg, lambda i: LruPolicy())
+        factors = [n.cpu_factor for n in cluster.nodes]
+        assert all(0.7 <= f <= 1.3 for f in factors)
+        assert len(set(factors)) > 1
+
+
+class TestSimulation:
+    def test_zero_heterogeneity_unchanged(self):
+        dag = build_dag(make_iterative_app(iterations=3))
+        base = simulate(dag, small_config(), LruScheme())
+        explicit = simulate(
+            dag, replace(small_config(), heterogeneity=0.0), LruScheme()
+        )
+        assert base.jct == explicit.jct
+
+    def test_stragglers_slow_compute_bound_stages(self):
+        dag = compute_heavy_dag()
+        fast = simulate(dag, small_config(), LruScheme())
+        slow = simulate(
+            dag,
+            replace(small_config(), heterogeneity=0.4, heterogeneity_seed=1),
+            LruScheme(),
+        )
+        # The stage barrier waits for the slowest node, so heterogeneity
+        # can only lengthen a compute-bound stage.
+        assert slow.jct > fast.jct
+
+    def test_policy_comparison_stays_fair(self):
+        """Both policies see the identical heterogeneous cluster."""
+        dag = build_dag(make_iterative_app(iterations=4))
+        cfg = replace(
+            small_config(cache_mb=20.0), heterogeneity=0.3, heterogeneity_seed=5
+        )
+        lru = simulate(dag, cfg, LruScheme())
+        mrd = simulate(dag, cfg, MrdScheme())
+        assert mrd.jct <= lru.jct * 1.05
+
+    def test_deterministic_with_heterogeneity(self):
+        dag = build_dag(make_iterative_app(iterations=3))
+        cfg = replace(small_config(), heterogeneity=0.25, heterogeneity_seed=3)
+        a = simulate(dag, cfg, LruScheme())
+        b = simulate(dag, cfg, LruScheme())
+        assert a.jct == b.jct

@@ -1,0 +1,56 @@
+"""Direct unit tests for run metrics and stage records."""
+
+import pytest
+
+from repro.cluster.block_manager import BlockManagerStats
+from repro.simulator.metrics import RunMetrics, StageRecord
+
+
+class TestStageRecord:
+    def test_duration(self):
+        r = StageRecord(seq=0, stage_id=3, job_id=1, start=2.0, end=5.5, num_tasks=8)
+        assert r.duration == pytest.approx(3.5)
+
+
+class TestRunMetrics:
+    def make(self, jct=10.0, hits=8, misses=2):
+        return RunMetrics(
+            scheme="X",
+            workload="w",
+            jct=jct,
+            stats=BlockManagerStats(hits=hits, misses=misses),
+        )
+
+    def test_hit_ratio(self):
+        assert self.make().hit_ratio == pytest.approx(0.8)
+
+    def test_hit_ratio_no_accesses(self):
+        assert self.make(hits=0, misses=0).hit_ratio == 0.0
+
+    def test_normalized_jct(self):
+        base = self.make(jct=20.0)
+        assert self.make(jct=10.0).normalized_jct(base) == pytest.approx(0.5)
+
+    def test_normalized_jct_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            self.make().normalized_jct(self.make(jct=0.0))
+
+    def test_summary_contains_key_fields(self):
+        text = self.make().summary()
+        for token in ("X", "w", "JCT", "80.0%"):
+            assert token in text
+
+    def test_stage_count(self):
+        m = self.make()
+        assert m.num_stages_executed == 0
+        m.stage_records.append(
+            StageRecord(seq=0, stage_id=0, job_id=0, start=0, end=1, num_tasks=1)
+        )
+        assert m.num_stages_executed == 1
+
+
+class TestStatsAggregation:
+    def test_accesses_property(self):
+        s = BlockManagerStats(hits=3, misses=7)
+        assert s.accesses == 10
+        assert s.hit_ratio == pytest.approx(0.3)

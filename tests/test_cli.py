@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import SCHEME_FACTORIES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "PR"])
+        assert args.scheme == "MRD"
+        assert args.cluster == "main"
+        assert args.cache_fraction == 0.5
+
+
+class TestCommands:
+    def test_workloads_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("KM", "SCC", "Sort", "HiKMeans"):
+            assert name in out
+
+    def test_run_prints_summary(self, capsys):
+        assert main(["run", "SP", "--scheme", "LRU", "--partitions", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "LRU" in out and "JCT" in out
+
+    def test_run_verbose_prints_stages(self, capsys):
+        assert main(["run", "SP", "--scheme", "MRD", "--partitions", "16", "-v"]) == 0
+        assert "stage seq=" in capsys.readouterr().out
+
+    def test_run_absolute_cache(self, capsys):
+        assert main(["run", "SP", "--cache-mb", "16", "--partitions", "16"]) == 0
+        assert "cache=16.0 MB/node" in capsys.readouterr().out
+
+    def test_run_adhoc_mode(self, capsys):
+        assert main(["run", "SP", "--mode", "adhoc", "--partitions", "16"]) == 0
+        assert "MRD-adhoc" in capsys.readouterr().out
+
+    def test_run_job_metric(self, capsys):
+        assert main(["run", "SP", "--metric", "job", "--partitions", "16"]) == 0
+        assert "MRD-jobdist" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main([
+            "sweep", "SP", "--schemes", "LRU,MRD", "--fractions", "0.3,0.6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep: SP" in out
+        assert out.count("MRD") >= 2
+
+    def test_experiment_table3(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_unknown_scheme_exits(self):
+        with pytest.raises(SystemExit, match="unknown scheme"):
+            main(["run", "SP", "--scheme", "MAGIC"])
+
+    def test_unknown_cluster_exits(self):
+        with pytest.raises(SystemExit, match="unknown cluster"):
+            main(["run", "SP", "--cluster", "moon"])
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["experiment", "fig99"])
+
+    def test_dot_lineage(self, capsys):
+        assert main(["dot", "SP", "--view", "lineage"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph lineage")
+
+    def test_dot_stages_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "pr.dot"
+        assert main(["dot", "SP", "--view", "stages", "-o", str(out_file)]) == 0
+        assert out_file.read_text().startswith("digraph stages")
+        assert "written" in capsys.readouterr().out
+
+    def test_dot_no_skipped(self, capsys):
+        assert main(["dot", "CC", "--no-skipped"]) == 0
+        assert "(skipped)" not in capsys.readouterr().out
+
+    def test_every_scheme_name_runs(self, capsys):
+        for name in SCHEME_FACTORIES:
+            assert main([
+                "run", "SP", "--scheme", name, "--partitions", "8",
+                "--cache-fraction", "0.4",
+            ]) == 0

@@ -1,0 +1,123 @@
+"""Tests for the shared workload-builder helpers."""
+
+import pytest
+
+from repro.dag.context import SparkApplication, SparkContext
+from repro.dag.dag_builder import build_dag
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    gradient_descent_loop,
+    iterations_or_default,
+    pregel_superstep_loop,
+    scaled,
+)
+
+
+def ctx_with_graph(parts=8):
+    ctx = SparkContext("helper-test")
+    raw = ctx.text_file("edges", size_mb=80.0, num_partitions=parts)
+    edges = raw.map(name="edges").cache()
+    vertices = edges.map(size_factor=0.25, name="v0").cache()
+    vertices.count()
+    return ctx, edges, vertices
+
+
+class TestPregelLoop:
+    def test_one_job_per_superstep(self):
+        ctx, edges, vertices = ctx_with_graph()
+        pregel_superstep_loop(ctx, edges, vertices, supersteps=4)
+        # init job + 4 superstep jobs.
+        assert len(ctx.jobs) == 5
+
+    def test_extra_jobs_per_superstep(self):
+        ctx, edges, vertices = ctx_with_graph()
+        pregel_superstep_loop(ctx, edges, vertices, supersteps=3, jobs_per_superstep=2)
+        assert len(ctx.jobs) == 1 + 3 * 2
+
+    def test_vertex_keep_controls_unpersists(self):
+        ctx, edges, vertices = ctx_with_graph()
+        pregel_superstep_loop(ctx, edges, vertices, supersteps=5, vertex_keep=2)
+        assert len(ctx.unpersist_events) == 4  # 6 generations, keep 2
+
+    def test_vertex_size_stays_stable(self):
+        ctx, edges, vertices = ctx_with_graph()
+        final = pregel_superstep_loop(ctx, edges, vertices, supersteps=5)
+        assert final.partition_size_mb == pytest.approx(
+            vertices.partition_size_mb, rel=0.01
+        )
+
+    def test_messages_stay_small(self):
+        """Shuffle volume per superstep ≈ msg_factor × vertex size."""
+        ctx, edges, vertices = ctx_with_graph()
+        pregel_superstep_loop(ctx, edges, vertices, supersteps=2, msg_factor=0.3)
+        dag = build_dag(SparkApplication(ctx))
+        from repro.dag.analysis import workload_characteristics
+
+        chars = workload_characteristics(dag)
+        assert chars.shuffle_read_mb < chars.total_stage_input_mb / 3
+
+    def test_stages_per_superstep_adds_shuffles(self):
+        ctx1, e1, v1 = ctx_with_graph()
+        pregel_superstep_loop(ctx1, e1, v1, supersteps=3, stages_per_superstep=1)
+        dag1 = build_dag(SparkApplication(ctx1))
+        ctx2, e2, v2 = ctx_with_graph()
+        pregel_superstep_loop(ctx2, e2, v2, supersteps=3, stages_per_superstep=3)
+        dag2 = build_dag(SparkApplication(ctx2))
+        assert dag2.num_active_stages > dag1.num_active_stages
+
+    def test_rejects_zero_supersteps(self):
+        ctx, edges, vertices = ctx_with_graph()
+        with pytest.raises(ValueError):
+            pregel_superstep_loop(ctx, edges, vertices, supersteps=0)
+
+    def test_delta_tracking_reads_previous_generation(self):
+        ctx, edges, vertices = ctx_with_graph()
+        pregel_superstep_loop(ctx, edges, vertices, supersteps=3, vertex_keep=3)
+        dag = build_dag(SparkApplication(ctx))
+        # With delta tracking, at least one vertex generation is read by
+        # more than one later superstep.
+        multi_read = [p for p in dag.profiles.values() if p.reference_count >= 2]
+        assert multi_read
+
+
+class TestGradientDescentLoop:
+    def test_one_job_per_iteration(self):
+        ctx = SparkContext("gd")
+        data = ctx.text_file("d", 32.0, 4).map(name="points").cache()
+        data.count()
+        gradient_descent_loop(ctx, data, iterations=4)
+        assert len(ctx.jobs) == 5
+
+    def test_tree_stages(self):
+        ctx = SparkContext("gd")
+        data = ctx.text_file("d", 32.0, 4).map(name="points").cache()
+        data.count()
+        gradient_descent_loop(ctx, data, iterations=2, stages_per_iteration=3)
+        dag = build_dag(SparkApplication(ctx))
+        # load (1) + 2 iterations x 3 stages each.
+        assert dag.num_active_stages == 1 + 2 * 3
+
+    def test_rejects_zero_iterations(self):
+        ctx = SparkContext("gd")
+        data = ctx.text_file("d", 32.0, 4)
+        with pytest.raises(ValueError):
+            gradient_descent_loop(ctx, data, iterations=0)
+
+
+class TestSmallHelpers:
+    def test_scaled(self):
+        assert scaled(WorkloadParams(scale=0.25), 100.0) == 25.0
+
+    def test_iterations_or_default(self):
+        assert iterations_or_default(WorkloadParams(), 7) == 7
+        assert iterations_or_default(WorkloadParams(iterations=3), 7) == 3
+
+    def test_spec_rejects_jobless_builder(self):
+        spec = WorkloadSpec(
+            name="empty", full_name="Empty", suite="test", category="t",
+            job_type="Mixed", input_mb=1.0, default_iterations=1,
+            builder=lambda ctx, params: None,
+        )
+        with pytest.raises(RuntimeError, match="no jobs"):
+            spec.build()

@@ -1,0 +1,69 @@
+"""Unit tests for the workload registry."""
+
+import pytest
+
+from repro.workloads import (
+    ALL_WORKLOADS,
+    HIBENCH_WORKLOADS,
+    SPARKBENCH_WORKLOADS,
+    WorkloadParams,
+    build_workload,
+    get_workload,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_fourteen_sparkbench(self):
+        assert len(SPARKBENCH_WORKLOADS) == 14
+
+    def test_six_hibench(self):
+        assert len(HIBENCH_WORKLOADS) == 6
+
+    def test_names_unique(self):
+        names = [s.name for s in ALL_WORKLOADS]
+        assert len(names) == len(set(names))
+
+    def test_paper_order(self):
+        assert workload_names("sparkbench") == [
+            "KM", "LinR", "LogR", "SVM", "DT", "MF", "PR",
+            "TC", "SP", "LP", "SVD++", "CC", "SCC", "PO",
+        ]
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("NOPE")
+
+    def test_suite_filter(self):
+        assert set(workload_names("hibench")) == {
+            "Sort", "WordCount", "TeraSort", "HiPageRank", "Bayes", "HiKMeans"
+        }
+
+
+class TestBuild:
+    def test_build_returns_application(self):
+        app = build_workload("CC")
+        assert app.signature == "CC"
+        assert app.jobs
+
+    def test_kwargs_forwarded(self):
+        app = build_workload("CC", partitions=8)
+        assert all(r.num_partitions in (8,) or True for r in app.rdds)
+        assert app.rdds[0].num_partitions == 8
+
+    def test_params_and_kwargs_exclusive(self):
+        with pytest.raises(TypeError):
+            build_workload("CC", WorkloadParams(), partitions=8)
+
+    def test_scale_shrinks_input(self):
+        small = build_workload("CC", scale=0.5)
+        full = build_workload("CC")
+        assert small.rdds[0].size_mb == pytest.approx(full.rdds[0].size_mb * 0.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(scale=0.0)
+        with pytest.raises(ValueError):
+            WorkloadParams(partitions=0)
+        with pytest.raises(ValueError):
+            WorkloadParams(iterations=0)

@@ -1,0 +1,124 @@
+"""Shape tests: every workload's DAG must track its paper Table 1/3 row.
+
+These are deliberately tolerant (the generators are synthetic), but
+they pin the *orderings* the paper's analysis rests on: LP/SCC have the
+most stages and largest stage distances, HiBench has near-zero reuse,
+CPU-intensive ML workloads have single-digit stage counts, and stage
+counts exceed active counts exactly for the iterative workloads.
+"""
+
+import pytest
+
+from repro.dag.analysis import distance_stats, workload_characteristics
+from repro.dag.dag_builder import build_dag
+from repro.workloads import WorkloadParams, get_workload
+
+#: name -> (jobs, stages, active_stages) exact expectations at defaults.
+EXACT_SHAPES = {
+    "KM": (17, 19, 19),
+    "LinR": (6, 9, 9),
+    "LogR": (6, 9, 9),
+    "SVM": (10, 29, 20),
+    "DT": (10, 16, 16),
+    "MF": (8, 77, 22),
+    "PR": (7, 75, 24),
+    "TC": (2, 13, 9),
+    "SP": (3, 6, 5),
+    "LP": (23, 780, 87),
+    "SVD++": (14, 124, 27),
+    "CC": (6, 49, 19),
+    "SCC": (26, 967, 95),
+    "PO": (17, 423, 63),
+}
+
+
+@pytest.fixture(scope="module")
+def dags():
+    params = WorkloadParams(partitions=16)  # small partitions: fast builds
+    return {
+        name: build_dag(get_workload(name).build(params)) for name in EXACT_SHAPES
+    }
+
+
+@pytest.mark.parametrize("name", sorted(EXACT_SHAPES))
+def test_exact_job_and_stage_counts(name, dags):
+    """Partition count must not change the job/stage structure."""
+    dag = dags[name]
+    jobs, stages, active = EXACT_SHAPES[name]
+    assert dag.num_jobs == jobs
+    assert dag.num_stages == stages
+    assert dag.num_active_stages == active
+
+
+def test_iterative_workloads_have_skipped_stages(dags):
+    for name in ("MF", "PR", "LP", "SVD++", "CC", "SCC", "PO"):
+        assert dags[name].num_stages > dags[name].num_active_stages, name
+
+
+def test_lp_scc_have_largest_stage_distances(dags):
+    sd = {name: distance_stats(dag).avg_stage_distance for name, dag in dags.items()}
+    top_two = sorted(sd, key=sd.get, reverse=True)[:2]
+    assert set(top_two) == {"LP", "SCC"}
+
+
+def test_cpu_intensive_have_small_distances(dags):
+    sd = {name: distance_stats(dag).avg_stage_distance for name, dag in dags.items()}
+    for cpu_wl in ("LinR", "LogR", "SVM", "DT"):
+        assert sd[cpu_wl] < sd["LP"] / 3
+
+
+def test_every_sparkbench_workload_has_cached_rdds(dags):
+    for name, dag in dags.items():
+        assert dag.profiles, f"{name} caches nothing"
+
+
+def test_tc_has_lowest_refs_per_rdd(dags):
+    refs = {
+        name: workload_characteristics(dag).refs_per_rdd for name, dag in dags.items()
+    }
+    assert refs["TC"] == min(refs.values())
+    assert refs["TC"] < 1.0  # paper: 0.80
+
+
+class TestHiBench:
+    @pytest.mark.parametrize("name", ["Sort", "WordCount"])
+    def test_no_reuse_workloads_have_zero_distances(self, name):
+        dag = build_dag(get_workload(name).build(WorkloadParams(partitions=8)))
+        stats = distance_stats(dag)
+        assert stats.avg_job_distance == 0.0
+        assert stats.max_stage_distance == 0
+
+    def test_terasort_single_cross_job_reference(self):
+        dag = build_dag(get_workload("TeraSort").build(WorkloadParams(partitions=8)))
+        stats = distance_stats(dag)
+        assert stats.max_job_distance == 1
+
+    def test_hibench_distances_below_sparkbench_iterative(self, ):
+        params = WorkloadParams(partitions=8)
+        hibench_max = max(
+            distance_stats(build_dag(get_workload(n).build(params))).avg_stage_distance
+            for n in ("Sort", "WordCount", "TeraSort", "HiPageRank", "Bayes")
+        )
+        lp = distance_stats(
+            build_dag(get_workload("LP").build(WorkloadParams(partitions=8)))
+        ).avg_stage_distance
+        assert hibench_max < lp / 4
+
+
+class TestIterationsKnob:
+    def test_triple_iterations_grows_jobs(self):
+        spec = get_workload("CC")
+        base = build_dag(spec.build(WorkloadParams(partitions=8)))
+        tripled = build_dag(
+            spec.build(WorkloadParams(partitions=8, iterations=spec.default_iterations * 3))
+        )
+        assert tripled.num_jobs > base.num_jobs
+        assert tripled.num_stages > base.num_stages
+
+    def test_dt_iterations_ineffective_flag(self):
+        spec = get_workload("DT")
+        assert not spec.iterations_effective
+        base = build_dag(spec.build(WorkloadParams(partitions=8)))
+        # The builder ignores the knob entirely (fixed tree depth).
+        same = build_dag(spec.build(WorkloadParams(partitions=8, iterations=99)))
+        assert same.num_jobs == base.num_jobs

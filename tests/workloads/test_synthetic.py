@@ -1,0 +1,60 @@
+"""Tests for the synthetic random-DAG workload generator."""
+
+import pytest
+
+from repro.dag.dag_builder import build_dag
+from repro.policies.scheme import LruScheme
+from repro.simulator.engine import simulate
+from repro.workloads.synthetic import SyntheticConfig, generate_application
+from tests.simulator.test_engine import small_config
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        a = build_dag(generate_application(7))
+        b = build_dag(generate_application(7))
+        assert a.num_stages == b.num_stages
+        assert a.num_jobs == b.num_jobs
+        assert {r: p.read_seqs for r, p in a.profiles.items()} == {
+            r: p.read_seqs for r, p in b.profiles.items()
+        }
+
+    def test_different_seeds_differ(self):
+        shapes = {
+            (dag.num_stages, dag.num_active_stages, len(dag.profiles))
+            for dag in (build_dag(generate_application(s)) for s in range(6))
+        }
+        assert len(shapes) > 1
+
+    def test_job_count_matches_config(self):
+        cfg = SyntheticConfig(num_jobs=5)
+        app = generate_application(1, cfg)
+        assert len(app.jobs) == 5
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_jobs=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(cache_probability=1.5)
+        with pytest.raises(ValueError):
+            SyntheticConfig(stages_per_job=(3, 2))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_dags_are_valid(self, seed):
+        dag = build_dag(generate_application(seed))
+        assert dag.num_active_stages > 0
+        for prof in dag.profiles.values():
+            assert all(s >= prof.created_seq for s in prof.read_seqs)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_generated_apps_simulate(self, seed):
+        dag = build_dag(generate_application(seed))
+        metrics = simulate(dag, small_config(cache_mb=32.0), LruScheme())
+        assert metrics.jct > 0
+        assert metrics.num_stages_executed == dag.num_active_stages
+
+    def test_large_envelope(self):
+        cfg = SyntheticConfig(num_jobs=40, stages_per_job=(2, 6))
+        dag = build_dag(generate_application(3, cfg))
+        assert dag.num_jobs == 40
+        assert dag.num_stages >= dag.num_active_stages

@@ -1,0 +1,122 @@
+"""Per-workload structural deep-dives.
+
+These lock each SparkBench generator to its documented structure:
+which RDDs it caches, how references flow, which unpersists happen.
+If a builder is edited, these say exactly what changed.
+"""
+
+import pytest
+
+from repro.dag.analysis import workload_characteristics
+from repro.dag.dag_builder import ApplicationDAG, build_dag
+from repro.workloads import WorkloadParams, get_workload
+
+
+@pytest.fixture(scope="module")
+def dag_of():
+    cache: dict[str, ApplicationDAG] = {}
+
+    def get(name: str) -> ApplicationDAG:
+        if name not in cache:
+            cache[name] = build_dag(get_workload(name).build(WorkloadParams(partitions=8)))
+        return cache[name]
+
+    return get
+
+
+def cached_names(dag):
+    return {p.rdd.name for p in dag.profiles.values()}
+
+
+def profile_by_name(dag, name):
+    for p in dag.profiles.values():
+        if p.rdd.name == name:
+            return p
+    raise KeyError(name)
+
+
+class TestKMeans:
+    def test_caches_points_norms_sample(self, dag_of):
+        assert cached_names(dag_of("KM")) == {"km-points", "km-norms", "km-sample"}
+
+    def test_points_read_every_iteration(self, dag_of):
+        dag = dag_of("KM")
+        points = profile_by_name(dag, "km-points")
+        # 15 Lloyd iterations + final evaluation + init sampling.
+        assert points.reference_count >= 16
+
+    def test_sample_has_long_gap(self, dag_of):
+        dag = dag_of("KM")
+        sample = profile_by_name(dag, "km-sample")
+        gaps = sample.job_gaps()
+        assert max(gaps, default=0) >= 10  # init → final evaluation
+
+
+class TestGradientDescentFamily:
+    @pytest.mark.parametrize("name,data_rdd", [
+        ("LinR", "linr-points"), ("LogR", "logr-points"),
+    ])
+    def test_single_cached_training_set(self, dag_of, name, data_rdd):
+        dag = dag_of(name)
+        assert cached_names(dag) == {data_rdd}
+
+    def test_svm_validation_read_once_at_end(self, dag_of):
+        dag = dag_of("SVM")
+        val = profile_by_name(dag, "svm-validation")
+        assert val.reference_count == 1
+        assert val.read_jobs[0] == dag.num_jobs - 1
+
+    def test_dt_caches_only_treepoints(self, dag_of):
+        assert cached_names(dag_of("DT")) == {"dt-treepoints"}
+
+
+class TestGraphFamily:
+    @pytest.mark.parametrize("name,edges_rdd", [
+        ("PR", "pr-edges"), ("CC", "cc-edges"), ("PO", "po-edges"),
+        ("LP", "lp-edges"), ("SCC", "scc-edges"), ("SVD++", "svdpp-edges"),
+    ])
+    def test_edges_are_the_hot_rdd(self, dag_of, name, edges_rdd):
+        dag = dag_of(name)
+        edges = profile_by_name(dag, edges_rdd)
+        assert edges.reference_count == max(
+            p.reference_count for p in dag.profiles.values()
+        )
+
+    @pytest.mark.parametrize("name", ["PR", "CC", "PO", "LP", "SCC", "SVD++", "SP"])
+    def test_vertex_generations_unpersisted(self, dag_of, name):
+        dag = dag_of(name)
+        assert dag.app.ctx.unpersist_events, f"{name} never unpersists"
+
+    @pytest.mark.parametrize("name", ["PR", "CC", "PO", "LP"])
+    def test_edges_never_unpersisted(self, dag_of, name):
+        dag = dag_of(name)
+        unpersisted = {ev.rdd.name for ev in dag.app.ctx.unpersist_events}
+        assert not any("edges" in n for n in unpersisted)
+
+    def test_mf_alternates_user_item_factors(self, dag_of):
+        dag = dag_of("MF")
+        names = cached_names(dag)
+        assert any(n.startswith("mf-users-") for n in names)
+        assert any(n.startswith("mf-items-") for n in names)
+        assert "mf-user-part" in names and "mf-item-part" in names
+
+    def test_tc_majority_single_use(self, dag_of):
+        dag = dag_of("TC")
+        single_or_none = [
+            p for p in dag.profiles.values() if p.reference_count <= 1
+        ]
+        assert len(single_or_none) >= len(dag.profiles) * 0.6
+
+
+class TestJobTypesDriveCosts:
+    def test_cpu_intensive_have_higher_compute_density(self, dag_of):
+        def compute_per_input_mb(dag):
+            total_cpu = sum(
+                s.compute_cost_per_task * s.num_tasks for s in dag.active_stages
+            )
+            chars = workload_characteristics(dag)
+            return total_cpu / max(chars.total_stage_input_mb, 1.0)
+
+        cpu_heavy = min(compute_per_input_mb(dag_of(n)) for n in ("LinR", "LogR", "DT"))
+        io_heavy = max(compute_per_input_mb(dag_of(n)) for n in ("PR", "CC", "PO", "LP"))
+        assert cpu_heavy > io_heavy * 3
