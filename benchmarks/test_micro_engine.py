@@ -38,6 +38,25 @@ def test_engine_throughput_mrd(benchmark):
     )
 
 
+def test_engine_throughput_mrd_recorded(benchmark):
+    """Same MRD run with trace recording on — compare against the
+    benchmark above to see the recording overhead (the recorder's
+    design target is <5%; disabled recording costs only a branch)."""
+    from repro.trace.recorder import TraceRecorder
+
+    dag = build_workload_dag("PO", partitions=32)
+    config = MAIN_CLUSTER.with_cache(cache_mb_for(dag, 0.4, MAIN_CLUSTER))
+    recorders = []
+
+    def run_recorded():
+        recorder = TraceRecorder()
+        recorders.append(recorder)
+        return simulate(dag, config, MrdScheme(), recorder=recorder)
+
+    benchmark.pedantic(run_recorded, rounds=3, iterations=1)
+    assert len(recorders[-1]) > 1000  # the trace actually captured the run
+
+
 def _filled_store(policy, blocks=256):
     store = MemoryStore(float(blocks), policy)
     for i in range(blocks):

@@ -193,6 +193,128 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# trace subcommands
+# ----------------------------------------------------------------------
+def cmd_trace_ingest(args: argparse.Namespace) -> int:
+    from repro.trace import EventLogError, ingest_eventlog, profile_from_trace
+
+    try:
+        trace = ingest_eventlog(args.eventlog)
+    except (EventLogError, OSError) as exc:
+        raise SystemExit(f"ingest failed: {exc}")
+    print(trace.summary())
+    for warning in trace.warnings:
+        print(f"warning: {warning}")
+    if args.profile_store:
+        from pathlib import Path
+
+        from repro.core.app_profiler import ProfileStore
+
+        store = ProfileStore(path=Path(args.profile_store))
+        profile = profile_from_trace(trace, store=store)
+        print(
+            f"profile     {profile.signature!r}: {len(profile.references)} "
+            f"references -> {args.profile_store}"
+        )
+    return 0
+
+
+def _write_trace_outputs(recorder, args: argparse.Namespace) -> None:
+    if args.output:
+        recorder.to_jsonl(args.output)
+        print(f"trace written to {args.output} ({len(recorder)} events)")
+    if args.chrome:
+        recorder.to_chrome(args.chrome)
+        print(f"chrome trace written to {args.chrome}")
+
+
+def cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro.dag.dag_builder import build_dag
+    from repro.trace import TraceRecorder
+    from repro.trace.replay import build_scheme
+    from repro.workloads.registry import build_workload
+
+    kwargs = {
+        k: getattr(args, k)
+        for k in ("scale", "iterations", "partitions")
+        if getattr(args, k) is not None
+    }
+    try:
+        dag = build_dag(build_workload(args.workload, **kwargs))
+    except KeyError as exc:
+        raise SystemExit(f"record failed: {exc.args[0]}")
+    args.cluster = args.cluster or "main"
+    cluster = _cluster(args)
+    try:
+        scheme = build_scheme(args.scheme)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    cache = (
+        args.cache_mb
+        if args.cache_mb is not None
+        else cache_mb_for(dag, args.cache_fraction, cluster)
+    )
+    recorder = TraceRecorder(meta={
+        "workload": args.workload,
+        **kwargs,
+        "scheme": scheme.name,
+        "cluster": cluster.name,
+        "cache_mb": cache,
+        "source": "recorded",
+    })
+    metrics = simulate(dag, cluster.with_cache(cache), scheme, recorder=recorder)
+    print(metrics.summary())
+    print(f"recorded {len(recorder)} events")
+    _write_trace_outputs(recorder, args)
+    return 0
+
+
+def cmd_trace_replay(args: argparse.Namespace) -> int:
+    from repro.trace import EventLogError, TraceFormatError
+    from repro.trace.replay import replay
+
+    store = None
+    if args.profile_store:
+        from pathlib import Path
+
+        from repro.core.app_profiler import ProfileStore
+
+        store = ProfileStore(path=Path(args.profile_store))
+    try:
+        result = replay(
+            args.trace,
+            scheme=args.scheme,
+            cluster=args.cluster,
+            cache_mb=args.cache_mb,
+            cache_fraction=args.cache_fraction,
+            profile_store=store,
+        )
+    except (EventLogError, TraceFormatError, ValueError, OSError) as exc:
+        raise SystemExit(f"replay failed: {exc}")
+    print(f"source={result.source} scheme={result.scheme} "
+          f"cache={result.cache_mb_per_node:.1f} MB/node")
+    print(result.metrics.summary())
+    print(f"recorded {len(result.recorder)} events")
+    _write_trace_outputs(result.recorder, args)
+    return 0
+
+
+def cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.trace import TraceFormatError
+    from repro.trace.replay import diff_trace_files
+
+    try:
+        diff = diff_trace_files(args.left, args.right)
+    except (TraceFormatError, OSError) as exc:
+        raise SystemExit(f"diff failed: {exc}")
+    if diff is None:
+        print("traces are identical (zero divergence)")
+        return 0
+    print(diff.describe())
+    return 1
+
+
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -233,6 +355,58 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp_p.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")
     exp_p.set_defaults(func=cmd_experiment)
+
+    trace_p = sub.add_parser(
+        "trace", help="ingest, record, replay and diff cache-management traces"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    def _trace_run_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scheme", "--policy", dest="scheme", default="lru",
+                       help="cache scheme (case-insensitive; e.g. lru, mrd)")
+        p.add_argument("--cluster", default=None,
+                       help=f"one of {sorted(CLUSTERS)}; replay defaults to "
+                            "the recorded trace's cluster")
+        p.add_argument("--cache-fraction", type=float, default=0.5)
+        p.add_argument("--cache-mb", type=float, default=None)
+        p.add_argument("-o", "--output", default=None,
+                       help="write the recorded trace as JSONL")
+        p.add_argument("--chrome", default=None,
+                       help="also write a Chrome trace_event JSON file")
+
+    ingest_p = trace_sub.add_parser(
+        "ingest", help="parse a Spark event log and summarize its DAG"
+    )
+    ingest_p.add_argument("eventlog")
+    ingest_p.add_argument("--profile-store", default=None,
+                          help="persist a reference-distance profile here")
+    ingest_p.set_defaults(func=cmd_trace_ingest)
+
+    record_p = trace_sub.add_parser(
+        "record", help="simulate a registered workload and record its trace"
+    )
+    record_p.add_argument("workload")
+    record_p.add_argument("--scale", type=float, default=1.0)
+    record_p.add_argument("--iterations", type=int, default=None)
+    record_p.add_argument("--partitions", type=int, default=None)
+    _trace_run_args(record_p)
+    record_p.set_defaults(func=cmd_trace_record)
+
+    replay_p = trace_sub.add_parser(
+        "replay", help="replay an event log or recorded trace under a scheme"
+    )
+    replay_p.add_argument("trace", help="Spark event log or recorded JSONL trace")
+    replay_p.add_argument("--profile-store", default=None,
+                          help="feed an ingested profile to recurring-mode MRD")
+    _trace_run_args(replay_p)
+    replay_p.set_defaults(func=cmd_trace_replay)
+
+    diff_p = trace_sub.add_parser(
+        "diff", help="first divergence between two recorded traces"
+    )
+    diff_p.add_argument("left")
+    diff_p.add_argument("right")
+    diff_p.set_defaults(func=cmd_trace_diff)
 
     report_p = sub.add_parser(
         "report", help="regenerate the full evaluation as markdown"

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 from repro.cluster.block import Block, BlockId
 from repro.cluster.node import WorkerNode
+from repro.trace.events import CacheHit, CacheMiss, Eviction
+from repro.trace.recorder import NULL_RECORDER, TraceRecorder
 
 
 class AccessOutcome(enum.Enum):
@@ -50,9 +52,12 @@ class BlockManagerStats:
 class BlockManager:
     """Block bookkeeping for one :class:`WorkerNode`."""
 
-    def __init__(self, node: WorkerNode) -> None:
+    def __init__(self, node: WorkerNode, recorder: TraceRecorder = NULL_RECORDER) -> None:
         self.node = node
         self.stats = BlockManagerStats()
+        #: Event sink (no-op by default; the engine installs a live one
+        #: when the run is recorded).
+        self.recorder = recorder
         #: Block ids currently being prefetched -> completion time.
         self.inflight_prefetch: dict[BlockId, float] = {}
         #: Blocks that entered memory via prefetch and were not yet read.
@@ -63,16 +68,28 @@ class BlockManager:
     # ------------------------------------------------------------------
     def access(self, block_id: BlockId) -> AccessOutcome:
         """Classify (and account) a cached-block read on this node."""
+        rec = self.recorder
         if block_id in self.node.memory:
             self.node.memory.get(block_id)
             self.stats.hits += 1
             if block_id in self._prefetched_unread:
                 self._prefetched_unread.discard(block_id)
                 self.stats.prefetches_used += 1
+            if rec.enabled:
+                rec.emit(CacheHit(
+                    t=rec.now, rdd_id=block_id.rdd_id, partition=block_id.partition,
+                    node_id=self.node.node_id, source="memory",
+                ))
             return AccessOutcome.MEMORY_HIT
         self.stats.misses += 1
         self.node.memory.policy.on_miss(block_id)
-        if block_id in self.node.disk:
+        on_disk = block_id in self.node.disk
+        if rec.enabled:
+            rec.emit(CacheMiss(
+                t=rec.now, rdd_id=block_id.rdd_id, partition=block_id.partition,
+                node_id=self.node.node_id, where="disk" if on_disk else "missing",
+            ))
+        if on_disk:
             return AccessOutcome.DISK_READ
         return AccessOutcome.MISSING
 
@@ -87,6 +104,12 @@ class BlockManager:
         """
         self.stats.hits += 1
         self.stats.prefetches_used += 1
+        rec = self.recorder
+        if rec.enabled:
+            rec.emit(CacheHit(
+                t=rec.now, rdd_id=block_id.rdd_id, partition=block_id.partition,
+                node_id=self.node.node_id, source="buffer",
+            ))
 
     # ------------------------------------------------------------------
     # writes
@@ -103,7 +126,7 @@ class BlockManager:
             self.stats.insertions += 1
         else:
             self.stats.failed_insertions += 1
-        self._account_evictions(result.evicted)
+        self._account_evictions(result.evicted, cause="insert")
         return result.stored
 
     def promote_from_disk(self, block: Block, protect: frozenset[BlockId] = frozenset(), prefetch: bool = False) -> bool:
@@ -115,24 +138,37 @@ class BlockManager:
         if block.id not in self.node.disk:
             raise KeyError(f"{block.id} not on node {self.node.node_id} disk")
         result = self.node.memory.put(block, protect, prefetch=prefetch)
-        self._account_evictions(result.evicted)
+        self._account_evictions(result.evicted, cause="prefetch" if prefetch else "promote")
         if result.stored and prefetch:
             self._prefetched_unread.add(block.id)
             self.stats.prefetched_mb += block.size_mb
         return result.stored
 
-    def purge_block(self, block_id: BlockId, drop_disk: bool = False) -> None:
-        """Remove a block (manager-ordered purge, not capacity pressure)."""
+    def purge_block(self, block_id: BlockId, drop_disk: bool = False) -> bool:
+        """Remove a block (manager-ordered purge, not capacity pressure).
+
+        Returns True when a memory-resident copy was actually dropped.
+        """
+        dropped = False
         if block_id in self.node.memory and not self.node.memory.is_pinned(block_id):
             removed = self.node.memory.remove(block_id)
             if removed is not None:
                 self.stats.purged += 1
                 self._prefetched_unread.discard(block_id)
+                dropped = True
         if drop_disk:
             self.node.disk.remove(block_id)
+        return dropped
 
-    def _account_evictions(self, evicted: list[Block]) -> None:
+    def _account_evictions(self, evicted: list[Block], cause: str = "insert") -> None:
+        rec = self.recorder
         for block in evicted:
             self.stats.evictions += 1
             self.stats.evicted_mb += block.size_mb
             self._prefetched_unread.discard(block.id)
+            if rec.enabled:
+                rec.emit(Eviction(
+                    t=rec.now, rdd_id=block.id.rdd_id, partition=block.id.partition,
+                    node_id=self.node.node_id, size_mb=block.size_mb,
+                    distance=rec.lookup_distance(block.id.rdd_id), cause=cause,
+                ))

@@ -14,6 +14,7 @@ from typing import Iterable
 from repro.cluster.block import Block, BlockId
 from repro.cluster.block_manager import BlockManager, BlockManagerStats
 from repro.cluster.node import WorkerNode
+from repro.trace.events import Purge
 
 
 class BlockManagerMaster:
@@ -55,13 +56,21 @@ class BlockManagerMaster:
         """
         dropped = 0
         for mgr in self.managers:
+            node_dropped = 0
             for bid in [b for b in mgr.node.memory.block_ids() if b.rdd_id == rdd_id]:
                 if not mgr.node.memory.is_pinned(bid):
-                    mgr.purge_block(bid, drop_disk=drop_disk)
-                    dropped += 1
+                    if mgr.purge_block(bid, drop_disk=drop_disk):
+                        node_dropped += 1
             if drop_disk:
                 for bid in [b for b in list(mgr.node.disk.block_ids()) if b.rdd_id == rdd_id]:
                     mgr.node.disk.remove(bid)
+            dropped += node_dropped
+            rec = mgr.recorder
+            if rec.enabled and node_dropped:
+                rec.emit(Purge(
+                    t=rec.now, rdd_id=rdd_id, node_id=mgr.node.node_id,
+                    dropped_blocks=node_dropped, drop_disk=drop_disk,
+                ))
         return dropped
 
     def memory_contains(self, block_id: BlockId) -> bool:

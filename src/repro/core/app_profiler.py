@@ -18,9 +18,12 @@ partially profiled application resumes profiling on its next run.
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
+
+logger = logging.getLogger(__name__)
 
 from repro.core.reference_distance import (
     Reference,
@@ -81,11 +84,27 @@ class ProfileStore:
         self.path.write_text(json.dumps(payload))
 
     def _load(self) -> None:
+        """Load profiles from disk, ignoring corrupted or truncated files.
+
+        A damaged profile store must never take the application down —
+        it is treated as empty (first-run behaviour: the profiler works
+        without stored references) and a fresh profile overwrites the
+        bad file on the next ``put``.
+        """
         assert self.path is not None
-        payload = json.loads(self.path.read_text())
-        self._profiles = {
-            sig: ApplicationProfile.from_json(data) for sig, data in payload.items()
-        }
+        try:
+            payload = json.loads(self.path.read_text())
+            self._profiles = {
+                sig: ApplicationProfile.from_json(data)
+                for sig, data in payload.items()
+            }
+        except (OSError, ValueError, KeyError, TypeError, AttributeError) as exc:
+            logger.warning(
+                "ignoring unreadable profile store %s (%s: %s); "
+                "falling back to first-run (ad-hoc) profiling behaviour",
+                self.path, type(exc).__name__, exc,
+            )
+            self._profiles = {}
 
 
 class AppProfiler:

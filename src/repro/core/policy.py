@@ -136,6 +136,11 @@ class MrdScheme(CacheScheme):
         assert self.manager is not None
         self.manager.on_block_created(rdd_id)
 
+    def reference_distance(self, rdd_id: int) -> Optional[float]:
+        """The MRD_Table's current distance (trace-recorder hook)."""
+        assert self.manager is not None
+        return self.manager.distance(rdd_id)
+
     def finalize(self) -> None:
         if self.manager is not None:
             self.manager.finalize()

@@ -67,6 +67,15 @@ class CacheScheme(abc.ABC):
     def on_block_created(self, rdd_id: int) -> None:
         """A cached RDD's blocks were computed for the first time."""
 
+    def reference_distance(self, rdd_id: int) -> Optional[float]:
+        """Current reference distance of ``rdd_id``, if tracked.
+
+        Distance-tracking schemes (MRD) override this so the trace
+        recorder can stamp eviction events with the victim's distance
+        at the tick it was chosen; others return ``None``.
+        """
+        return None
+
     def finalize(self) -> None:
         """The application finished (persist profiles, etc.)."""
 

@@ -34,6 +34,15 @@ from repro.policies.scheme import CacheScheme
 from repro.simulator.costmodel import CostModel
 from repro.simulator.failures import FailurePlan
 from repro.simulator.metrics import RunMetrics, StageRecord
+from repro.trace.events import (
+    JobStart,
+    PrefetchCancel,
+    PrefetchComplete,
+    PrefetchIssue,
+    StageEnd,
+    StageStart,
+)
+from repro.trace.recorder import NULL_RECORDER, TraceRecorder
 
 
 class SimulationError(RuntimeError):
@@ -51,10 +60,14 @@ class SparkSimulator:
         cost_model: Optional[CostModel] = None,
         promote_on_miss: bool = True,
         failure_plan: Optional[FailurePlan] = None,
+        recorder: Optional[TraceRecorder] = None,
     ) -> None:
         self.dag = dag
         self.cluster_config = cluster_config
         self.scheme = scheme
+        #: Structured-event sink; the shared no-op recorder by default,
+        #: so an unrecorded run constructs no event objects at all.
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.cost = cost_model or CostModel(
             network=cluster_config.network,
             disk=cluster_config.disk,
@@ -73,8 +86,15 @@ class SparkSimulator:
     def run(self) -> RunMetrics:
         """Simulate the whole application; returns the collected metrics."""
         self.scheme.prepare(self.dag)
+        rec = self.recorder
+        if rec.enabled:
+            rec.now = 0.0
+            rec.distance_of = self.scheme.reference_distance
         self.cluster = build_cluster(self.cluster_config, self.scheme.policy_factory)
         master = self.cluster.master
+        if rec.enabled:
+            for mgr in master.managers:
+                mgr.recorder = rec
         now = 0.0
         current_job = -1
         records: list[StageRecord] = []
@@ -88,15 +108,28 @@ class SparkSimulator:
                 # Newly submitted jobs reveal their DAGs to the scheme.
                 for j in range(current_job + 1, stage.job_id + 1):
                     self.scheme.on_job_submit(j)
+                    if rec.enabled:
+                        rec.emit(JobStart(t=now, job_id=j))
                 current_job = stage.job_id
             if self.failure_plan is not None:
                 lost_blocks += self.failure_plan.apply(stage.seq, self.cluster)
+            if rec.enabled:
+                rec.now = now
+                rec.emit(StageStart(
+                    t=now, seq=stage.seq, stage_id=stage.id,
+                    job_id=stage.job_id, num_tasks=stage.num_tasks,
+                ))
             orders = self.scheme.on_stage_start(stage.seq, self.cluster)
             for rdd_id in orders.purge_rdds:
                 master.purge_rdd(rdd_id, drop_disk=False)
             self._issue_prefetches(orders.prefetches, now)
             start = now
             now = self._run_stage(stage, start)
+            if rec.enabled:
+                rec.now = now
+                rec.emit(StageEnd(
+                    t=now, seq=stage.seq, stage_id=stage.id, job_id=stage.job_id,
+                ))
             records.append(
                 StageRecord(
                     seq=stage.seq,
@@ -186,6 +219,8 @@ class SparkSimulator:
                 t += self.cost.remote_transfer_time(rdd.partition_size_mb)
             protect.add(bid)
 
+        if self.recorder.enabled:
+            self.recorder.now = t
         frozen_protect = frozenset(protect)
         for rdd in stage.cache_writes:
             for q in range(partition, rdd.num_partitions, stage.num_tasks):
@@ -202,6 +237,8 @@ class SparkSimulator:
         protect: set[BlockId],
     ) -> float:
         """Make ``bid`` readable at the returned time; accounts hit/miss."""
+        if self.recorder.enabled:
+            self.recorder.now = t
         inflight = mgr.inflight_prefetch.get(bid)
         if inflight is not None:
             # Wait for the in-flight prefetch, then complete it.  Even
@@ -281,6 +318,7 @@ class SparkSimulator:
     def _issue_prefetches(self, blocks: list[Block], now: float) -> None:
         assert self.cluster is not None
         master = self.cluster.master
+        rec = self.recorder
         for block in blocks:
             mgr = master.manager_for(block.id)
             if block.id in mgr.node.memory or block.id in mgr.inflight_prefetch:
@@ -290,6 +328,11 @@ class SparkSimulator:
             done = mgr.node.reserve_io(now, block.size_mb)
             mgr.inflight_prefetch[block.id] = done
             mgr.stats.prefetches_issued += 1
+            if rec.enabled:
+                rec.emit(PrefetchIssue(
+                    t=now, rdd_id=block.id.rdd_id, partition=block.id.partition,
+                    node_id=mgr.node.node_id, size_mb=block.size_mb, eta=done,
+                ))
 
     def _apply_due_prefetches(self, t: float) -> None:
         assert self.cluster is not None
@@ -301,11 +344,25 @@ class SparkSimulator:
                 self._complete_prefetch(mgr, bid)
 
     def _complete_prefetch(self, mgr: BlockManager, bid: BlockId) -> None:
-        mgr.inflight_prefetch.pop(bid, None)
+        done = mgr.inflight_prefetch.pop(bid, None)
         block = mgr.node.disk.get(bid)
+        rec = self.recorder
+        if rec.enabled and done is not None:
+            rec.now = done
         if block is None:
-            return  # unpersisted while in flight
-        mgr.promote_from_disk(block, prefetch=True)
+            # Unpersisted while in flight: the transfer is abandoned.
+            if rec.enabled:
+                rec.emit(PrefetchCancel(
+                    t=rec.now, rdd_id=bid.rdd_id, partition=bid.partition,
+                    node_id=mgr.node.node_id, reason="unpersisted",
+                ))
+            return
+        admitted = mgr.promote_from_disk(block, prefetch=True)
+        if rec.enabled:
+            rec.emit(PrefetchComplete(
+                t=rec.now, rdd_id=bid.rdd_id, partition=bid.partition,
+                node_id=mgr.node.node_id, admitted=admitted,
+            ))
 
     # ------------------------------------------------------------------
     def _apply_unpersists(self, job_id: int) -> None:

@@ -1,0 +1,430 @@
+"""Spark event-log ingestion: JSON lines → :class:`ApplicationDAG`.
+
+A real Spark application's history (as written by
+``spark.eventLog.enabled=true``) contains everything the MRD machinery
+needs: the per-job DAGs (``SparkListenerJobStart`` stage infos carry the
+full RDD lineage with storage levels), the stage execution order, and
+runtime cost signals (stage wall times, per-task executor metrics).
+:func:`ingest_eventlog` streams a log once, reconstructs the RDD
+lineage graph as a :class:`~repro.dag.context.SparkApplication`, and
+compiles it through the ordinary :func:`~repro.dag.dag_builder.build_dag`
+pipeline — so an ingested trace is a first-class citizen everywhere a
+synthetic workload is (simulation, profiling, experiments).
+
+Reconstruction rules
+--------------------
+* RDD identity: Spark RDD ids are remapped densely (registration
+  order = ascending Spark id); ``IngestedTrace.rdd_id_map`` keeps the
+  correspondence.
+* Dependency kind: an edge ``child → parent`` is *narrow* when some
+  stage's RDD-info list contains both endpoints (they were pipelined
+  together), otherwise it crossed a stage boundary and becomes a
+  *shuffle* dependency.
+* Sizes: the largest ``Memory Size``/``Disk Size`` sighting of an RDD
+  (Spark reports live sizes on stage completion), falling back to
+  input/shuffle byte counts and finally a small default.
+* Costs: each stage's mean task executor time is spread over the RDDs
+  the stage computed, giving per-RDD compute costs that reproduce the
+  log's relative stage weights.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.dag.context import SparkApplication, SparkContext
+from repro.dag.dag_builder import ApplicationDAG, build_dag
+from repro.dag.rdd import NarrowDependency, RDD, ShuffleDependency
+from repro.trace.spark_schema import (
+    EVENT_APP_END,
+    EVENT_APP_START,
+    EVENT_JOB_END,
+    EVENT_JOB_START,
+    EVENT_LOG_START,
+    EVENT_STAGE_COMPLETED,
+    EVENT_STAGE_SUBMITTED,
+    EVENT_TASK_END,
+    EVENT_UNPERSIST_RDD,
+    EventLogError,
+    HANDLED_EVENTS,
+    IGNORED_EVENTS,
+    JobRecord,
+    RddInfoRecord,
+    StageHint,
+    StageInfoRecord,
+    UnsupportedEventError,
+    check_version,
+    parse_job_start,
+    parse_stage_info,
+    parse_task_end,
+)
+
+#: Partition size assumed when the log never reports a materialized size.
+DEFAULT_PARTITION_MB = 4.0
+
+#: Compute cost per MB assumed when the log has no task metrics.
+DEFAULT_CPU_PER_MB = 0.002
+
+_BYTES_PER_MB = 1024.0 * 1024.0
+
+
+@dataclass
+class IngestedTrace:
+    """Everything reconstructed from one Spark event log."""
+
+    app_name: str
+    spark_version: Optional[str]
+    application: SparkApplication
+    dag: ApplicationDAG
+    #: Spark RDD id -> repro RDD id (dense registration order).
+    rdd_id_map: dict[int, int]
+    #: Spark stage id -> cost hints distilled from runtime metrics.
+    stage_hints: dict[int, StageHint] = field(default_factory=dict)
+    warnings: list[str] = field(default_factory=list)
+    num_events: int = 0
+
+    @property
+    def signature(self) -> str:
+        return self.application.signature
+
+    def summary(self) -> str:
+        dag = self.dag
+        version = self.spark_version or "unknown"
+        lines = [
+            f"application  {self.app_name!r} (Spark {version}, "
+            f"{self.num_events} events)",
+            f"jobs         {dag.num_jobs}",
+            f"stages       {dag.num_stages} total, {dag.num_active_stages} active",
+            f"cached RDDs  {len(dag.profiles)}",
+        ]
+        if self.stage_hints:
+            timed = [h for h in self.stage_hints.values() if h.wall_time_ms]
+            if timed:
+                total_s = sum(h.wall_time_ms for h in timed) / 1000.0
+                lines.append(
+                    f"recorded     {len(timed)} stage timings, "
+                    f"{total_s:.1f}s total stage wall time"
+                )
+        if self.warnings:
+            lines.append(f"warnings     {len(self.warnings)} (see .warnings)")
+        return "\n".join(lines)
+
+
+def iter_raw_events(path: Union[str, Path]):
+    """Yield ``(lineno, record)`` for each JSON line of an event log."""
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise EventLogError(
+                    f"{path}:{lineno}: not valid JSON ({exc.msg})"
+                ) from None
+            if not isinstance(record, dict) or "Event" not in record:
+                raise EventLogError(
+                    f"{path}:{lineno}: not a Spark listener event "
+                    "(missing 'Event' field)"
+                )
+            yield lineno, record
+
+
+class _LogCollector:
+    """Single streaming pass over the log, accumulating typed records."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = path
+        self.app_name: Optional[str] = None
+        self.spark_version: Optional[str] = None
+        self.jobs: list[JobRecord] = []
+        #: Stream-ordered (kind, payload) for order-sensitive replay:
+        #: ("job", JobRecord) and ("unpersist", spark_rdd_id).
+        self.timeline: list[tuple[str, object]] = []
+        self.stage_infos: dict[int, StageInfoRecord] = {}
+        self.submitted_stage_ids: set[int] = set()
+        self.stage_hints: dict[int, StageHint] = {}
+        self.num_events = 0
+
+    # ------------------------------------------------------------------
+    def collect(self) -> "_LogCollector":
+        for lineno, raw in iter_raw_events(self.path):
+            self.num_events += 1
+            event = raw["Event"]
+            if event in IGNORED_EVENTS:
+                continue
+            if event not in HANDLED_EVENTS:
+                raise UnsupportedEventError(
+                    f"{self.path}:{lineno}: unsupported event type {event!r}; "
+                    "add it to IGNORED_EVENTS if it carries no cache state"
+                )
+            self._dispatch(event, raw)
+        if not self.jobs:
+            raise EventLogError(f"{self.path}: log contains no job-start events")
+        return self
+
+    def _dispatch(self, event: str, raw: dict) -> None:
+        if event == EVENT_LOG_START:
+            self.spark_version = check_version(raw.get("Spark Version", ""))
+        elif event == EVENT_APP_START:
+            self.app_name = str(raw.get("App Name", "")) or None
+        elif event == EVENT_JOB_START:
+            job = parse_job_start(raw)
+            self.jobs.append(job)
+            self.timeline.append(("job", job))
+            for info in job.stage_infos:
+                self._merge_stage_info(info)
+        elif event in (EVENT_STAGE_SUBMITTED, EVENT_STAGE_COMPLETED):
+            info = parse_stage_info(raw.get("Stage Info", {}))
+            self._merge_stage_info(info)
+            self.submitted_stage_ids.add(info.stage_id)
+            if info.submission_time_ms and info.completion_time_ms:
+                hint = self._hint(info.stage_id)
+                hint.num_tasks = info.num_tasks
+                hint.wall_time_ms = info.completion_time_ms - info.submission_time_ms
+        elif event == EVENT_TASK_END:
+            metrics = parse_task_end(raw)
+            if metrics is not None:
+                hint = self._hint(metrics.stage_id)
+                hint.executor_run_time_ms += metrics.executor_run_time_ms
+                hint.tasks_seen += 1
+        elif event == EVENT_UNPERSIST_RDD:
+            rdd_id = raw.get("RDD ID")
+            if rdd_id is None:
+                raise EventLogError(f"{EVENT_UNPERSIST_RDD} without 'RDD ID'")
+            self.timeline.append(("unpersist", int(rdd_id)))
+        # EVENT_APP_END / EVENT_JOB_END carry no DAG state.
+
+    def _hint(self, stage_id: int) -> StageHint:
+        hint = self.stage_hints.get(stage_id)
+        if hint is None:
+            hint = self.stage_hints[stage_id] = StageHint(stage_id=stage_id)
+        return hint
+
+    def _merge_stage_info(self, info: StageInfoRecord) -> None:
+        """Keep the richest sighting of each stage (completion > start)."""
+        existing = self.stage_infos.get(info.stage_id)
+        if existing is None:
+            self.stage_infos[info.stage_id] = info
+            return
+        # Later sightings refresh sizes/levels; merge RDD infos by id,
+        # preferring records that report materialized bytes.
+        by_id = {r.rdd_id: r for r in existing.rdd_infos}
+        for rdd in info.rdd_infos:
+            old = by_id.get(rdd.rdd_id)
+            if old is None or rdd.memory_size_bytes >= old.memory_size_bytes:
+                by_id[rdd.rdd_id] = rdd
+        existing.rdd_infos = sorted(by_id.values(), key=lambda r: r.rdd_id)
+        if info.submission_time_ms:
+            existing.submission_time_ms = info.submission_time_ms
+        if info.completion_time_ms:
+            existing.completion_time_ms = info.completion_time_ms
+
+
+# ----------------------------------------------------------------------
+# DAG reconstruction
+# ----------------------------------------------------------------------
+class _DagReconstructor:
+    """Turn collected records into a :class:`SparkApplication`."""
+
+    def __init__(self, collected: _LogCollector, app_name: Optional[str]) -> None:
+        self.c = collected
+        self.app_name = app_name or collected.app_name or "ingested-app"
+        self.warnings: list[str] = []
+        # Best sighting of every RDD across all stages.
+        self.rdd_infos: dict[int, RddInfoRecord] = {}
+        # Spark stage id -> set of Spark RDD ids pipelined in that stage.
+        self.stage_members: dict[int, frozenset[int]] = {}
+        for stage in collected.stage_infos.values():
+            self.stage_members[stage.stage_id] = frozenset(
+                r.rdd_id for r in stage.rdd_infos
+            )
+            for rdd in stage.rdd_infos:
+                old = self.rdd_infos.get(rdd.rdd_id)
+                if old is None:
+                    self.rdd_infos[rdd.rdd_id] = rdd
+                else:
+                    # Cache flags and sizes are sticky: an RDD counted
+                    # cached in any sighting was cached in the program.
+                    old.use_memory = old.use_memory or rdd.use_memory
+                    old.use_disk = old.use_disk or rdd.use_disk
+                    old.memory_size_bytes = max(old.memory_size_bytes, rdd.memory_size_bytes)
+                    old.disk_size_bytes = max(old.disk_size_bytes, rdd.disk_size_bytes)
+
+    # ------------------------------------------------------------------
+    def build(self) -> tuple[SparkApplication, dict[int, int]]:
+        ctx = SparkContext(self.app_name)
+        mapping: dict[int, int] = {}
+        rdds: dict[int, RDD] = {}
+        for spark_id in sorted(self.rdd_infos):
+            info = self.rdd_infos[spark_id]
+            rdd = self._build_rdd(ctx, info, rdds)
+            rdds[spark_id] = rdd
+            mapping[spark_id] = rdd.id
+            if info.is_cached:
+                rdd.cache()
+        self._apply_cost_hints(rdds)
+        # Replay jobs and unpersists in stream order so unpersist events
+        # land after the correct job, exactly like the driver emitted them.
+        for kind, payload in self.c.timeline:
+            if kind == "job":
+                job = payload
+                target = self._result_rdd(job, rdds)
+                ctx.run_job(
+                    target,
+                    action="collect",
+                    name=job.description or f"job-{job.job_id}",
+                )
+            else:
+                spark_id = payload
+                rdd = rdds.get(spark_id)
+                if rdd is None:
+                    self.warnings.append(
+                        f"unpersist of unknown RDD {spark_id} ignored"
+                    )
+                elif not ctx.jobs:
+                    self.warnings.append(
+                        f"unpersist of RDD {spark_id} before any job ignored"
+                    )
+                else:
+                    ctx.unpersist(rdd)
+        return SparkApplication(ctx=ctx, signature=self.app_name), mapping
+
+    def _build_rdd(
+        self, ctx: SparkContext, info: RddInfoRecord, built: dict[int, RDD]
+    ) -> RDD:
+        deps = []
+        for parent_id in info.parent_ids:
+            parent = built.get(parent_id)
+            if parent is None:
+                if parent_id not in self.rdd_infos:
+                    self.warnings.append(
+                        f"RDD {info.rdd_id} ({info.name!r}) references parent "
+                        f"{parent_id} never described by any stage; edge dropped"
+                    )
+                    continue
+                raise EventLogError(
+                    f"RDD {info.rdd_id} depends on RDD {parent_id} with a "
+                    "higher id; event log is not topologically ordered"
+                )
+            if self._is_narrow(info.rdd_id, parent_id):
+                deps.append(NarrowDependency(parent=parent))
+            else:
+                deps.append(
+                    ShuffleDependency(parent=parent, shuffle_id=ctx._next_shuffle_id())
+                )
+        size_mb = max(info.memory_size_bytes, info.disk_size_bytes) / _BYTES_PER_MB
+        partition_mb = (
+            size_mb / info.num_partitions if size_mb > 0 else DEFAULT_PARTITION_MB
+        )
+        return RDD(
+            ctx,
+            deps=deps,
+            num_partitions=max(info.num_partitions, 1),
+            partition_size_mb=partition_mb,
+            compute_cost=DEFAULT_CPU_PER_MB * partition_mb,
+            name=info.name or f"rdd-{info.rdd_id}",
+            op=info.callsite or "ingested",
+            is_input=not info.parent_ids,
+        )
+
+    def _is_narrow(self, child_id: int, parent_id: int) -> bool:
+        """Pipelined together in at least one stage → narrow dependency."""
+        return any(
+            child_id in members and parent_id in members
+            for members in self.stage_members.values()
+        )
+
+    def _result_rdd(self, job: JobRecord, rdds: dict[int, RDD]) -> RDD:
+        """The RDD the job's action materialized (its result stage's top)."""
+        if not job.stage_infos:
+            raise EventLogError(f"job {job.job_id} has no stage infos")
+        parents_of_others = {
+            pid for s in job.stage_infos for pid in s.parent_ids
+        }
+        result_stages = [
+            s for s in job.stage_infos if s.stage_id not in parents_of_others
+        ]
+        result = max(
+            result_stages or job.stage_infos, key=lambda s: s.stage_id
+        )
+        members = {r.rdd_id for r in result.rdd_infos}
+        if not members:
+            raise EventLogError(
+                f"job {job.job_id}: result stage {result.stage_id} lists no RDDs"
+            )
+        # The stage's output RDD is the one no other member depends on
+        # (highest id breaks the tie, matching Spark's creation order).
+        narrow_parents = {
+            pid
+            for rid in members
+            for pid in self.rdd_infos[rid].parent_ids
+            if pid in members
+        }
+        candidates = members - narrow_parents or members
+        return rdds[max(candidates)]
+
+    def _apply_cost_hints(self, rdds: dict[int, RDD]) -> None:
+        """Spread each stage's mean task time over the RDDs it computed.
+
+        An RDD is attributed to the first stage whose member set contains
+        it (creation order), so shared cached RDDs are not double-billed
+        by every stage that merely read them.
+        """
+        attributed: set[int] = set()
+        for stage_id in sorted(self.stage_members):
+            hint = self.c.stage_hints.get(stage_id)
+            members = [
+                rid for rid in self.stage_members[stage_id] if rid not in attributed
+            ]
+            attributed.update(members)
+            if hint is None or hint.mean_task_seconds <= 0 or not members:
+                continue
+            per_rdd = hint.mean_task_seconds / len(members)
+            for rid in members:
+                rdds[rid].compute_cost = per_rdd
+
+
+def ingest_eventlog(path: Union[str, Path]) -> IngestedTrace:
+    """Parse a Spark event log and compile it into an application DAG."""
+    collected = _LogCollector(path).collect()
+    reconstructor = _DagReconstructor(collected, collected.app_name)
+    application, mapping = reconstructor.build()
+    dag = build_dag(application)
+    return IngestedTrace(
+        app_name=reconstructor.app_name,
+        spark_version=collected.spark_version,
+        application=application,
+        dag=dag,
+        rdd_id_map=mapping,
+        stage_hints=collected.stage_hints,
+        warnings=reconstructor.warnings,
+        num_events=collected.num_events,
+    )
+
+
+def profile_from_trace(trace: IngestedTrace, store=None):
+    """Build a complete reference-distance profile from an ingested trace.
+
+    The returned :class:`~repro.core.app_profiler.ApplicationProfile` is
+    marked complete, so a recurring-mode :class:`AppProfiler` keyed by
+    the same signature consumes it exactly as if a previous real run had
+    been profiled (paper §4.1).  When ``store`` is given the profile is
+    also persisted there.
+    """
+    from repro.core.app_profiler import ApplicationProfile
+    from repro.core.reference_distance import parse_application_references
+
+    profile = ApplicationProfile(
+        signature=trace.signature,
+        references=parse_application_references(trace.dag),
+        num_jobs_profiled=trace.dag.num_jobs,
+        complete=True,
+    )
+    if store is not None:
+        store.put(profile)
+    return profile

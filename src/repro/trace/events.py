@@ -1,0 +1,344 @@
+"""Structured simulation events: the trace subsystem's vocabulary.
+
+Every observable decision the engine and the block managers make maps
+to one frozen dataclass here.  Events serialize losslessly to JSON
+dictionaries (``to_dict`` / ``event_from_dict``) so a recorded run can
+be written as JSONL, diffed against another run, or exported in Chrome's
+``trace_event`` format for timeline inspection in ``chrome://tracing``
+or Perfetto.
+
+The ``kind`` string on each class is the stable wire tag; adding a new
+event type means adding a dataclass and listing it in
+:data:`EVENT_TYPES`.  All timestamps are simulated seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterable, Optional, Union
+
+
+class TraceFormatError(ValueError):
+    """A serialized trace line could not be decoded."""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class: every event carries the simulated time ``t``."""
+
+    kind = "event"
+
+    t: float
+
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["type"] = self.kind
+        return data
+
+
+# ----------------------------------------------------------------------
+# scheduler-level events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobStart(TraceEvent):
+    """The DAGScheduler submitted a job (its DAG became visible)."""
+
+    kind = "job_start"
+
+    job_id: int
+
+
+@dataclass(frozen=True)
+class StageStart(TraceEvent):
+    """An active stage began executing."""
+
+    kind = "stage_start"
+
+    seq: int
+    stage_id: int
+    job_id: int
+    num_tasks: int
+
+
+@dataclass(frozen=True)
+class StageEnd(TraceEvent):
+    """An active stage finished (its last task completed)."""
+
+    kind = "stage_end"
+
+    seq: int
+    stage_id: int
+    job_id: int
+
+
+# ----------------------------------------------------------------------
+# block-level events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CacheHit(TraceEvent):
+    """A cached-block read was served from memory (or a fetch buffer)."""
+
+    kind = "cache_hit"
+
+    rdd_id: int
+    partition: int
+    node_id: int
+    #: "memory" for a resident block, "buffer" for a read consumed
+    #: straight from an arriving prefetch that was denied admission.
+    source: str = "memory"
+
+
+@dataclass(frozen=True)
+class CacheMiss(TraceEvent):
+    """A cached-block read missed memory."""
+
+    kind = "cache_miss"
+
+    rdd_id: int
+    partition: int
+    node_id: int
+    #: "disk" when the spilled copy is re-read, "missing" when the
+    #: block exists nowhere (failure-recovery path).
+    where: str = "disk"
+
+
+@dataclass(frozen=True)
+class Eviction(TraceEvent):
+    """Capacity pressure evicted a block.
+
+    ``distance`` is the victim's reference distance at eviction time as
+    the managing scheme saw it (``inf`` for dead blocks, ``None`` for
+    schemes that do not track distances).
+    """
+
+    kind = "eviction"
+
+    rdd_id: int
+    partition: int
+    node_id: int
+    size_mb: float
+    distance: Optional[float] = None
+    #: "insert" for demand insertions, "prefetch" when a prefetch
+    #: forced the pressure, "promote" for read-through promotions.
+    cause: str = "insert"
+
+
+@dataclass(frozen=True)
+class Purge(TraceEvent):
+    """A manager-ordered purge dropped a block (not capacity pressure)."""
+
+    kind = "purge"
+
+    rdd_id: int
+    node_id: int
+    dropped_blocks: int
+    drop_disk: bool = False
+
+
+@dataclass(frozen=True)
+class PrefetchIssue(TraceEvent):
+    """A prefetch order entered a node's disk channel."""
+
+    kind = "prefetch_issue"
+
+    rdd_id: int
+    partition: int
+    node_id: int
+    size_mb: float
+    #: Predicted completion time on the serialized disk channel.
+    eta: float = 0.0
+
+
+@dataclass(frozen=True)
+class PrefetchComplete(TraceEvent):
+    """An in-flight prefetch finished its transfer."""
+
+    kind = "prefetch_complete"
+
+    rdd_id: int
+    partition: int
+    node_id: int
+    #: False when cache admission refused the block (the transfer still
+    #: happened; a waiting task may consume it as a buffered hit).
+    admitted: bool = True
+
+
+@dataclass(frozen=True)
+class PrefetchCancel(TraceEvent):
+    """An in-flight prefetch was abandoned before promotion."""
+
+    kind = "prefetch_cancel"
+
+    rdd_id: int
+    partition: int
+    node_id: int
+    reason: str = "unpersisted"
+
+
+#: Wire tag -> event class, the round-trip registry.
+EVENT_TYPES: dict[str, type[TraceEvent]] = {
+    cls.kind: cls
+    for cls in (
+        JobStart, StageStart, StageEnd,
+        CacheHit, CacheMiss, Eviction, Purge,
+        PrefetchIssue, PrefetchComplete, PrefetchCancel,
+    )
+}
+
+
+def event_from_dict(data: dict) -> TraceEvent:
+    """Rebuild an event from its ``to_dict`` form."""
+    try:
+        kind = data["type"]
+    except KeyError:
+        raise TraceFormatError(f"trace record has no 'type' field: {data!r}") from None
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise TraceFormatError(
+            f"unknown trace event type {kind!r}; known: {sorted(EVENT_TYPES)}"
+        )
+    fields = {f.name for f in dataclasses.fields(cls)}
+    try:
+        return cls(**{k: v for k, v in data.items() if k in fields})
+    except TypeError as exc:
+        raise TraceFormatError(f"malformed {kind!r} record: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# JSONL serialization
+# ----------------------------------------------------------------------
+def write_jsonl(
+    path: Union[str, Path],
+    events: Iterable[TraceEvent],
+    meta: Optional[dict] = None,
+) -> None:
+    """Write a trace file: one optional meta header line, then events.
+
+    The meta line (``{"type": "meta", ...}``) carries whatever the
+    recorder knows about the run (workload, scheme, cluster) so a
+    recorded trace is self-describing enough to be replayed.
+    """
+    with open(path, "w") as fh:
+        if meta is not None:
+            fh.write(json.dumps({"type": "meta", **meta}) + "\n")
+        for ev in events:
+            fh.write(json.dumps(ev.to_dict()) + "\n")
+
+
+def read_jsonl(path: Union[str, Path]) -> tuple[dict, list[TraceEvent]]:
+    """Read a trace file back; returns ``(meta, events)``.
+
+    ``meta`` is ``{}`` when the file has no header line.  Raises
+    :class:`TraceFormatError` on undecodable lines, naming the line.
+    """
+    meta: dict = {}
+    events: list[TraceEvent] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(f"{path}:{lineno}: not valid JSON ({exc})") from None
+            if lineno == 1 and data.get("type") == "meta":
+                meta = {k: v for k, v in data.items() if k != "type"}
+                continue
+            events.append(event_from_dict(data))
+    return meta, events
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event export
+# ----------------------------------------------------------------------
+#: Event kind -> Chrome trace category (for per-category filtering).
+_CHROME_CATEGORIES = {
+    "job_start": "scheduler",
+    "stage_start": "scheduler",
+    "stage_end": "scheduler",
+    "cache_hit": "cache",
+    "cache_miss": "cache",
+    "eviction": "cache",
+    "purge": "cache",
+    "prefetch_issue": "prefetch",
+    "prefetch_complete": "prefetch",
+    "prefetch_cancel": "prefetch",
+}
+
+
+def _finite(value: Optional[float]) -> Optional[Union[float, str]]:
+    """Chrome's JSON parser rejects Infinity; stringify it."""
+    if value is not None and isinstance(value, float) and math.isinf(value):
+        return "inf"
+    return value
+
+
+def to_chrome_trace(events: Iterable[TraceEvent], meta: Optional[dict] = None) -> dict:
+    """Convert a recorded event stream into Chrome ``trace_event`` JSON.
+
+    Stages become duration ("X") events on the scheduler track (pid 0,
+    tid 0); block-level events become instant ("i") events on one track
+    per node (tid = node_id + 1).  Timestamps are microseconds, so one
+    simulated second reads as one millisecond-scale span in the viewer.
+    """
+    out: list[dict] = []
+    open_stages: dict[int, StageStart] = {}
+    for ev in events:
+        ts = ev.t * 1e6
+        if isinstance(ev, StageStart):
+            open_stages[ev.seq] = ev
+            continue
+        if isinstance(ev, StageEnd):
+            start = open_stages.pop(ev.seq, None)
+            begin = start.t * 1e6 if start else ts
+            out.append({
+                "name": f"stage {ev.stage_id} (seq {ev.seq})",
+                "cat": "scheduler",
+                "ph": "X",
+                "ts": begin,
+                "dur": max(ts - begin, 0.0),
+                "pid": 0,
+                "tid": 0,
+                "args": {"job_id": ev.job_id, "seq": ev.seq},
+            })
+            continue
+        record = ev.to_dict()
+        kind = record.pop("type")
+        record.pop("t")
+        node_id = record.pop("node_id", None)
+        args = {k: _finite(v) for k, v in record.items()}
+        out.append({
+            "name": kind,
+            "cat": _CHROME_CATEGORIES.get(kind, "misc"),
+            "ph": "i",
+            "s": "t",
+            "ts": ts,
+            "pid": 0,
+            "tid": 0 if node_id is None else node_id + 1,
+            "args": args,
+        })
+    # A stage still open at the end of the stream renders as zero-width.
+    for start in open_stages.values():
+        out.append({
+            "name": f"stage {start.stage_id} (seq {start.seq})",
+            "cat": "scheduler", "ph": "X", "ts": start.t * 1e6, "dur": 0.0,
+            "pid": 0, "tid": 0, "args": {"job_id": start.job_id, "seq": start.seq},
+        })
+    trace: dict = {"traceEvents": out, "displayTimeUnit": "ms"}
+    if meta:
+        trace["otherData"] = meta
+    return trace
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    events: Iterable[TraceEvent],
+    meta: Optional[dict] = None,
+) -> None:
+    """Write the Chrome ``trace_event`` JSON file for ``events``."""
+    Path(path).write_text(json.dumps(to_chrome_trace(events, meta)))

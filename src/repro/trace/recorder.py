@@ -1,0 +1,100 @@
+"""Low-overhead event sink wired into the engine and block managers.
+
+Two implementations share one tiny interface:
+
+* :class:`TraceRecorder` — collects :class:`~repro.trace.events.TraceEvent`
+  instances in memory and exports them as JSONL or Chrome trace JSON.
+* :data:`NULL_RECORDER` — the default no-op sink.  Its ``enabled`` flag
+  is ``False``, and every instrumentation site guards event
+  *construction* behind that flag, so a run without recording allocates
+  nothing on the hot path (the only residual cost is the branch).
+
+The recorder is deliberately dumb: it owns a simulated-time cursor
+(``now``) that the engine advances, and an optional reference-distance
+lookup that distance-tracking schemes install so eviction events can
+carry the victim's distance at the moment of eviction.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.trace.events import (
+    TraceEvent,
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+class TraceRecorder:
+    """In-memory event sink for one simulation run."""
+
+    enabled = True
+
+    def __init__(self, meta: Optional[dict] = None) -> None:
+        self.events: list[TraceEvent] = []
+        self.meta: dict = dict(meta or {})
+        #: Simulated-time cursor, advanced by the engine so that block
+        #: managers (which have no clock) can stamp their events.
+        self.now: float = 0.0
+        #: Installed by distance-tracking schemes (MRD): rdd_id -> the
+        #: scheme's current reference distance, or None when untracked.
+        self.distance_of: Optional[Callable[[int], float]] = None
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    def lookup_distance(self, rdd_id: int) -> Optional[float]:
+        """Current reference distance of ``rdd_id``, if anyone tracks it."""
+        return self.distance_of(rdd_id) if self.distance_of is not None else None
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All recorded events with the given wire tag (test convenience)."""
+        return [ev for ev in self.events if ev.kind == kind]
+
+    # ------------------------------------------------------------------
+    # export / import
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path: Union[str, Path]) -> None:
+        write_jsonl(path, self.events, meta=self.meta or None)
+
+    def to_chrome(self, path: Union[str, Path]) -> None:
+        write_chrome_trace(path, self.events, meta=self.meta or None)
+
+    def chrome_trace(self) -> dict:
+        return to_chrome_trace(self.events, meta=self.meta or None)
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path]) -> "TraceRecorder":
+        meta, events = read_jsonl(path)
+        rec = cls(meta=meta)
+        rec.events = events
+        return rec
+
+
+class NullRecorder(TraceRecorder):
+    """Disabled sink: instrumentation sites skip event construction.
+
+    ``emit`` still exists (and discards) so that a site that forgot the
+    ``enabled`` guard stays correct — just not allocation-free.
+    """
+
+    enabled = False
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - guard
+        pass
+
+
+#: Shared default sink; assigning per-run state to it is a bug, so the
+#: engine never touches ``now``/``distance_of`` on a disabled recorder.
+NULL_RECORDER = NullRecorder()

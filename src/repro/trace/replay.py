@@ -1,0 +1,316 @@
+"""Trace replay: run ingested or recorded traces under any cache scheme.
+
+Three entry points:
+
+* :func:`replay` — take a trace file (a Spark event log *or* a JSONL
+  trace recorded by :class:`~repro.trace.recorder.TraceRecorder`),
+  reconstruct the application it describes, and simulate it under a
+  chosen scheme while recording a fresh trace.  Replaying the same file
+  under two schemes is how policies are compared on real applications.
+* :func:`diff_traces` — first divergence between two recorded traces.
+  Replays are deterministic, so two runs of the same (file, scheme,
+  cache) must produce byte-identical event streams; a non-empty diff
+  localizes the first simulator tick where behaviour differed.
+* :class:`TraceWorkloadSpec` — wraps an event log as a registry
+  workload, so experiments and the harness treat a real application's
+  trace exactly like a synthetic SparkBench program.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.core.app_profiler import ProfileStore
+from repro.core.policy import MrdScheme
+from repro.policies.scheme import (
+    BeladyScheme,
+    CacheScheme,
+    FifoScheme,
+    LfuScheme,
+    LrcScheme,
+    LruScheme,
+    MemTuneScheme,
+    RandomScheme,
+)
+from repro.simulator.config import CLUSTERS, ClusterConfig
+from repro.simulator.engine import simulate
+from repro.simulator.metrics import RunMetrics
+from repro.trace.eventlog import IngestedTrace, ingest_eventlog, profile_from_trace
+from repro.trace.events import TraceEvent, TraceFormatError, read_jsonl
+from repro.trace.recorder import TraceRecorder
+from repro.workloads.base import WorkloadParams, WorkloadSpec
+
+#: Scheme factories keyed by the lowercase names the trace CLI accepts.
+SCHEME_BUILDERS: dict[str, Callable[[], CacheScheme]] = {
+    "lru": LruScheme,
+    "fifo": FifoScheme,
+    "lfu": LfuScheme,
+    "random": RandomScheme,
+    "lrc": LrcScheme,
+    "memtune": MemTuneScheme,
+    "belady": BeladyScheme,
+    "mrd": MrdScheme,
+    "mrd-evict": lambda: MrdScheme(prefetch=False),
+    "mrd-prefetch": lambda: MrdScheme(evict=False),
+}
+
+
+def build_scheme(name: str) -> CacheScheme:
+    """Scheme instance for a (case-insensitive) policy name."""
+    try:
+        factory = SCHEME_BUILDERS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(SCHEME_BUILDERS)}"
+        ) from None
+    return factory()
+
+
+def detect_format(path: Union[str, Path]) -> str:
+    """``"eventlog"`` (Spark listener JSON) or ``"recorded"`` (our JSONL)."""
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    f"{path}: first line is not JSON ({exc.msg})"
+                ) from None
+            if isinstance(record, dict) and "Event" in record:
+                return "eventlog"
+            if isinstance(record, dict) and "type" in record:
+                return "recorded"
+            raise TraceFormatError(
+                f"{path}: neither a Spark event log (no 'Event' field) nor "
+                "a recorded trace (no 'type' field)"
+            )
+    raise TraceFormatError(f"{path}: file is empty")
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one :func:`replay` call."""
+
+    source: str  # "eventlog" | "recorded"
+    scheme: str
+    cache_mb_per_node: float
+    metrics: RunMetrics
+    recorder: TraceRecorder
+    #: Present when the source was a Spark event log.
+    ingested: Optional[IngestedTrace] = None
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return self.recorder.events
+
+
+def _cluster_config(name: str) -> ClusterConfig:
+    try:
+        return CLUSTERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown cluster {name!r}; choose from {sorted(CLUSTERS)}"
+        ) from None
+
+
+def replay(
+    path: Union[str, Path],
+    scheme: Union[str, CacheScheme] = "lru",
+    cluster: Optional[str] = None,
+    cache_mb: Optional[float] = None,
+    cache_fraction: float = 0.5,
+    profile_store: Optional[ProfileStore] = None,
+) -> ReplayResult:
+    """Reconstruct the application behind ``path`` and simulate it.
+
+    ``path`` may be a Spark event log (ingested via
+    :func:`~repro.trace.eventlog.ingest_eventlog`) or a JSONL trace
+    previously recorded by ``repro trace record`` (replayed by
+    rebuilding the workload named in its meta header).  The run is
+    always recorded; the fresh trace is in ``result.recorder``.
+
+    When ``profile_store`` is given and the source is an event log, a
+    complete reference-distance profile is derived from the ingested
+    DAG and put into the store *before* the run — an ``MrdScheme`` in
+    recurring mode sharing that store then starts fully informed, the
+    paper's recurring-application scenario.
+    """
+    from repro.experiments.harness import cache_mb_for
+
+    source = detect_format(path)
+    ingested: Optional[IngestedTrace] = None
+    meta: dict = {}
+    if source == "eventlog":
+        ingested = ingest_eventlog(path)
+        dag = ingested.dag
+        app_label = ingested.app_name
+    else:
+        header, _ = read_jsonl(path)
+        meta = header or {}
+        workload = meta.get("workload")
+        if not workload:
+            raise TraceFormatError(
+                f"{path}: recorded trace has no 'workload' meta field; "
+                "cannot rebuild the application it came from"
+            )
+        from repro.workloads.registry import build_workload
+        from repro.dag.dag_builder import build_dag
+
+        params = {
+            k: meta[k]
+            for k in ("scale", "iterations", "partitions", "seed")
+            if meta.get(k) is not None
+        }
+        dag = build_dag(build_workload(workload, **params))
+        app_label = workload
+
+    if isinstance(scheme, str):
+        scheme = build_scheme(scheme)
+    if profile_store is not None:
+        if ingested is not None:
+            profile_from_trace(ingested, store=profile_store)
+        if isinstance(scheme, MrdScheme) and scheme.profile_store is None:
+            scheme.profile_store = profile_store
+
+    # An unspecified cluster/cache falls back to what the recorded
+    # trace's meta header says, so a bare replay reproduces the
+    # original run exactly.
+    config = _cluster_config(cluster or meta.get("cluster") or "main")
+    if cache_mb is None:
+        if meta.get("cache_mb") is not None:
+            cache_mb = float(meta["cache_mb"])
+        else:
+            cache_mb = cache_mb_for(dag, cache_fraction, config)
+    config = config.with_cache(cache_mb)
+
+    recorder = TraceRecorder(meta={
+        "workload": app_label,
+        "scheme": scheme.name,
+        "cluster": config.name,
+        "cache_mb": cache_mb,
+        "source": source,
+        "source_path": str(path),
+    })
+    metrics = simulate(dag, config, scheme, recorder=recorder)
+    return ReplayResult(
+        source=source,
+        scheme=scheme.name,
+        cache_mb_per_node=cache_mb,
+        metrics=metrics,
+        recorder=recorder,
+        ingested=ingested,
+    )
+
+
+#: Package-level alias (``repro.trace.replay_trace``): the bare name
+#: ``replay`` on the package is taken by this submodule itself.
+replay_trace = replay
+
+
+# ----------------------------------------------------------------------
+# trace diffing
+# ----------------------------------------------------------------------
+@dataclass
+class TraceDiff:
+    """First divergence between two event streams."""
+
+    index: int
+    left: Optional[dict]
+    right: Optional[dict]
+    len_left: int
+    len_right: int
+
+    def describe(self) -> str:
+        if self.left is None or self.right is None:
+            shorter = "left" if self.left is None else "right"
+            return (
+                f"traces diverge at event {self.index}: {shorter} trace ends "
+                f"early ({self.len_left} vs {self.len_right} events)"
+            )
+        return (
+            f"traces diverge at event {self.index}:\n"
+            f"  left:  {json.dumps(self.left, sort_keys=True)}\n"
+            f"  right: {json.dumps(self.right, sort_keys=True)}"
+        )
+
+
+def diff_traces(
+    left: list[TraceEvent], right: list[TraceEvent]
+) -> Optional[TraceDiff]:
+    """First event where two traces differ, or ``None`` if identical."""
+    for i, (a, b) in enumerate(zip(left, right)):
+        da, db = a.to_dict(), b.to_dict()
+        if da != db:
+            return TraceDiff(
+                index=i, left=da, right=db,
+                len_left=len(left), len_right=len(right),
+            )
+    if len(left) != len(right):
+        i = min(len(left), len(right))
+        return TraceDiff(
+            index=i,
+            left=left[i].to_dict() if i < len(left) else None,
+            right=right[i].to_dict() if i < len(right) else None,
+            len_left=len(left), len_right=len(right),
+        )
+    return None
+
+
+def diff_trace_files(
+    left: Union[str, Path], right: Union[str, Path]
+) -> Optional[TraceDiff]:
+    """File-level :func:`diff_traces` (reads both JSONL traces)."""
+    _, a = read_jsonl(left)
+    _, b = read_jsonl(right)
+    return diff_traces(a, b)
+
+
+# ----------------------------------------------------------------------
+# event logs as registry workloads
+# ----------------------------------------------------------------------
+def _no_builder(ctx, params) -> None:  # pragma: no cover - never called
+    raise RuntimeError("TraceWorkloadSpec builds from its event log")
+
+
+@dataclass(frozen=True)
+class TraceWorkloadSpec(WorkloadSpec):
+    """A Spark event log exposed as an ordinary registry workload.
+
+    ``build()`` re-ingests the log every time, so each simulation gets a
+    fresh, isolated RDD graph — exactly like synthetic builders that
+    re-record their program.  ``WorkloadParams`` are accepted but do not
+    reshape the trace (a recorded application has one fixed shape); the
+    spec reports ``iterations_effective=False`` accordingly.
+    """
+
+    eventlog_path: str = ""
+
+    def build(self, params: Optional[WorkloadParams] = None):
+        if not self.eventlog_path:
+            raise ValueError("TraceWorkloadSpec requires eventlog_path")
+        return ingest_eventlog(self.eventlog_path).application
+
+
+def workload_from_eventlog(
+    path: Union[str, Path], name: Optional[str] = None
+) -> TraceWorkloadSpec:
+    """Ingest ``path`` once and wrap it as a registerable workload spec."""
+    trace = ingest_eventlog(path)
+    return TraceWorkloadSpec(
+        name=name or trace.app_name,
+        full_name=f"trace of {trace.app_name}",
+        suite="trace",
+        category="Ingested trace",
+        job_type="Recorded",
+        input_mb=sum(r.size_mb for r in trace.application.rdds if r.is_input),
+        default_iterations=1,
+        builder=_no_builder,
+        iterations_effective=False,
+        eventlog_path=str(path),
+    )

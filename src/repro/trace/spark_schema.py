@@ -1,0 +1,232 @@
+"""Spark event-log schema: field names, versioning, raw-record parsing.
+
+Spark writes its event log as JSON lines, one ``SparkListener*`` event
+per line.  This module knows the (stable-across-2.x/3.x/4.x) field
+layout of the events the trace subsystem consumes and converts raw
+dictionaries into light typed records; :mod:`repro.trace.eventlog`
+assembles those records into an application DAG.
+
+The schema here deliberately models only what cache management needs:
+job submissions with their stage infos, stage lifecycle with
+submission/completion times, per-task executor metrics, RDD storage
+levels and sizes, and unpersist events.  Everything else that a real
+log contains (executor/block-manager topology, environment dumps,
+SQL-plan events, ...) is explicitly listed as ignorable; an event type
+in neither set raises, so silently-misparsed logs cannot happen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class EventLogError(ValueError):
+    """The event log is malformed (bad JSON, missing fields, bad refs)."""
+
+
+class UnsupportedEventError(EventLogError):
+    """The log contains an event type or version this parser rejects."""
+
+
+#: Major Spark versions whose event-log layout this parser understands.
+SUPPORTED_MAJOR_VERSIONS = (1, 2, 3, 4)
+
+#: Events this subsystem consumes.
+EVENT_LOG_START = "SparkListenerLogStart"
+EVENT_APP_START = "SparkListenerApplicationStart"
+EVENT_APP_END = "SparkListenerApplicationEnd"
+EVENT_JOB_START = "SparkListenerJobStart"
+EVENT_JOB_END = "SparkListenerJobEnd"
+EVENT_STAGE_SUBMITTED = "SparkListenerStageSubmitted"
+EVENT_STAGE_COMPLETED = "SparkListenerStageCompleted"
+EVENT_TASK_END = "SparkListenerTaskEnd"
+EVENT_UNPERSIST_RDD = "SparkListenerUnpersistRDD"
+
+HANDLED_EVENTS = frozenset({
+    EVENT_LOG_START, EVENT_APP_START, EVENT_APP_END,
+    EVENT_JOB_START, EVENT_JOB_END,
+    EVENT_STAGE_SUBMITTED, EVENT_STAGE_COMPLETED,
+    EVENT_TASK_END, EVENT_UNPERSIST_RDD,
+})
+
+#: Events that carry no cache-management information; skipped silently.
+IGNORED_EVENTS = frozenset({
+    "SparkListenerEnvironmentUpdate",
+    "SparkListenerBlockManagerAdded",
+    "SparkListenerBlockManagerRemoved",
+    "SparkListenerExecutorAdded",
+    "SparkListenerExecutorRemoved",
+    "SparkListenerExecutorMetricsUpdate",
+    "SparkListenerExecutorBlacklisted",
+    "SparkListenerExecutorExcluded",
+    "SparkListenerNodeBlacklisted",
+    "SparkListenerNodeExcluded",
+    "SparkListenerTaskStart",
+    "SparkListenerTaskGettingResult",
+    "SparkListenerSpeculativeTaskSubmitted",
+    "SparkListenerBlockUpdated",
+    "SparkListenerStageExecutorMetrics",
+    "SparkListenerResourceProfileAdded",
+    "org.apache.spark.sql.execution.ui.SparkListenerSQLExecutionStart",
+    "org.apache.spark.sql.execution.ui.SparkListenerSQLExecutionEnd",
+    "org.apache.spark.sql.execution.ui.SparkListenerDriverAccumUpdates",
+    "org.apache.spark.sql.execution.ui.SparkListenerSQLAdaptiveExecutionUpdate",
+})
+
+
+def check_version(version: str) -> str:
+    """Validate a ``Spark Version`` string; returns it unchanged."""
+    try:
+        major = int(str(version).split(".", 1)[0])
+    except (ValueError, AttributeError):
+        raise UnsupportedEventError(
+            f"unparseable Spark version {version!r} in {EVENT_LOG_START}"
+        ) from None
+    if major not in SUPPORTED_MAJOR_VERSIONS:
+        raise UnsupportedEventError(
+            f"unsupported Spark major version {major} (log version {version!r}); "
+            f"supported: {list(SUPPORTED_MAJOR_VERSIONS)}"
+        )
+    return str(version)
+
+
+def _require(record: dict, key: str, context: str):
+    try:
+        return record[key]
+    except KeyError:
+        raise EventLogError(f"{context}: missing required field {key!r}") from None
+
+
+# ----------------------------------------------------------------------
+# typed views of raw records
+# ----------------------------------------------------------------------
+@dataclass
+class RddInfoRecord:
+    """One entry of a stage info's ``RDD Info`` list."""
+
+    rdd_id: int
+    name: str
+    parent_ids: tuple[int, ...]
+    num_partitions: int
+    use_memory: bool
+    use_disk: bool
+    memory_size_bytes: int
+    disk_size_bytes: int
+    callsite: str = ""
+
+    @property
+    def is_cached(self) -> bool:
+        return self.use_memory or self.use_disk
+
+
+@dataclass
+class StageInfoRecord:
+    """One ``Stage Info`` object (from job start or stage lifecycle)."""
+
+    stage_id: int
+    name: str
+    num_tasks: int
+    parent_ids: tuple[int, ...]
+    rdd_infos: list[RddInfoRecord]
+    submission_time_ms: Optional[int] = None
+    completion_time_ms: Optional[int] = None
+
+
+@dataclass
+class JobRecord:
+    """One ``SparkListenerJobStart`` event."""
+
+    job_id: int
+    stage_infos: list[StageInfoRecord]
+    stage_ids: tuple[int, ...]
+    description: str = ""
+
+
+@dataclass
+class TaskMetricsRecord:
+    """The slice of ``Task Metrics`` used for cost hints."""
+
+    stage_id: int
+    executor_run_time_ms: int = 0
+    bytes_read: int = 0
+    shuffle_read_bytes: int = 0
+
+
+@dataclass
+class StageHint:
+    """Per-stage cost hints distilled from the log's runtime metrics."""
+
+    stage_id: int
+    num_tasks: int = 0
+    wall_time_ms: int = 0
+    executor_run_time_ms: int = 0
+    tasks_seen: int = 0
+
+    @property
+    def mean_task_seconds(self) -> float:
+        if self.tasks_seen == 0:
+            return 0.0
+        return self.executor_run_time_ms / self.tasks_seen / 1000.0
+
+
+# ----------------------------------------------------------------------
+# raw-record parsing
+# ----------------------------------------------------------------------
+def parse_rdd_info(raw: dict) -> RddInfoRecord:
+    ctx = "RDD Info"
+    level = raw.get("Storage Level", {})
+    return RddInfoRecord(
+        rdd_id=int(_require(raw, "RDD ID", ctx)),
+        name=str(raw.get("Name", "")),
+        parent_ids=tuple(int(p) for p in raw.get("Parent IDs", ())),
+        num_partitions=int(_require(raw, "Number of Partitions", ctx)),
+        use_memory=bool(level.get("Use Memory", False)),
+        use_disk=bool(level.get("Use Disk", False)),
+        memory_size_bytes=int(raw.get("Memory Size", 0)),
+        disk_size_bytes=int(raw.get("Disk Size", 0)),
+        callsite=str(raw.get("Callsite", "")),
+    )
+
+
+def parse_stage_info(raw: dict) -> StageInfoRecord:
+    ctx = "Stage Info"
+    return StageInfoRecord(
+        stage_id=int(_require(raw, "Stage ID", ctx)),
+        name=str(raw.get("Stage Name", "")),
+        num_tasks=int(raw.get("Number of Tasks", 0)),
+        parent_ids=tuple(int(p) for p in raw.get("Parent IDs", ())),
+        rdd_infos=[parse_rdd_info(r) for r in raw.get("RDD Info", ())],
+        submission_time_ms=raw.get("Submission Time"),
+        completion_time_ms=raw.get("Completion Time"),
+    )
+
+
+def parse_job_start(raw: dict) -> JobRecord:
+    ctx = EVENT_JOB_START
+    props = raw.get("Properties") or {}
+    return JobRecord(
+        job_id=int(_require(raw, "Job ID", ctx)),
+        stage_infos=[parse_stage_info(s) for s in raw.get("Stage Infos", ())],
+        stage_ids=tuple(int(s) for s in raw.get("Stage IDs", ())),
+        description=str(props.get("spark.job.description", "")),
+    )
+
+
+def parse_task_end(raw: dict) -> Optional[TaskMetricsRecord]:
+    """Task metrics, or ``None`` for failed tasks (no useful metrics)."""
+    reason = (raw.get("Task End Reason") or {}).get("Reason", "Success")
+    if reason != "Success":
+        return None
+    metrics = raw.get("Task Metrics") or {}
+    input_metrics = metrics.get("Input Metrics") or {}
+    shuffle_read = metrics.get("Shuffle Read Metrics") or {}
+    return TaskMetricsRecord(
+        stage_id=int(_require(raw, "Stage ID", EVENT_TASK_END)),
+        executor_run_time_ms=int(metrics.get("Executor Run Time", 0)),
+        bytes_read=int(input_metrics.get("Bytes Read", 0)),
+        shuffle_read_bytes=int(
+            shuffle_read.get("Remote Bytes Read", 0)
+            + shuffle_read.get("Local Bytes Read", 0)
+        ),
+    )

@@ -49,11 +49,38 @@ ALL_WORKLOADS: tuple[WorkloadSpec, ...] = SPARKBENCH_WORKLOADS + HIBENCH_WORKLOA
 _BY_NAME: dict[str, WorkloadSpec] = {spec.name: spec for spec in ALL_WORKLOADS}
 
 
+def register_workload(spec: WorkloadSpec, replace: bool = False) -> WorkloadSpec:
+    """Register a dynamically created spec (e.g. an ingested trace).
+
+    Registered specs are first-class: :func:`get_workload`,
+    :func:`build_workload` and :func:`workload_names` all see them, so
+    experiment harnesses can sweep a recorded application next to the
+    synthetic benchmarks.  Re-registering an existing name requires
+    ``replace=True``; the built-in benchmark names cannot be replaced.
+    """
+    if spec.name in _BY_NAME:
+        builtin = any(s.name == spec.name for s in ALL_WORKLOADS)
+        if builtin:
+            raise ValueError(f"cannot replace built-in workload {spec.name!r}")
+        if not replace:
+            raise ValueError(
+                f"workload {spec.name!r} already registered (pass replace=True)"
+            )
+    _BY_NAME[spec.name] = spec
+    return spec
+
+
 def workload_names(suite: Optional[str] = None) -> list[str]:
-    """Registered workload names, optionally filtered by suite."""
-    specs = ALL_WORKLOADS if suite is None else tuple(
-        s for s in ALL_WORKLOADS if s.suite == suite
+    """Registered workload names, optionally filtered by suite.
+
+    Built-in benchmarks come first in paper order; dynamically
+    registered specs follow in registration order.
+    """
+    specs: tuple[WorkloadSpec, ...] = ALL_WORKLOADS + tuple(
+        s for s in _BY_NAME.values() if s not in ALL_WORKLOADS
     )
+    if suite is not None:
+        specs = tuple(s for s in specs if s.suite == suite)
     return [s.name for s in specs]
 
 

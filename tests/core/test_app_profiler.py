@@ -102,3 +102,42 @@ class TestProfileStorePersistence:
     def test_profile_json_schema(self):
         prof = ApplicationProfile(signature="x", complete=True)
         assert ApplicationProfile.from_json(prof.to_json()) == prof
+
+
+class TestProfileStoreRobustness:
+    """A damaged on-disk store must never take the simulation down."""
+
+    @pytest.mark.parametrize("payload", [
+        "{not json at all",                      # truncated / invalid JSON
+        '{"sig": {"wrong": "shape"}}',           # valid JSON, wrong schema
+        '{"sig": {"signature": "sig", "references": [[0]], '
+        '"num_jobs_profiled": 1, "complete": true}}',  # malformed reference
+        '[1, 2, 3]',                             # not even a mapping
+    ], ids=["truncated", "wrong-schema", "bad-reference", "not-a-mapping"])
+    def test_corrupted_store_ignored(self, payload, dag, tmp_path, caplog):
+        path = tmp_path / "profiles.json"
+        path.write_text(payload)
+        with caplog.at_level("WARNING"):
+            store = ProfileStore(path)
+        assert store.get("sig") is None
+        assert any("falling back" in r.message for r in caplog.records)
+
+    def test_recurring_profiler_survives_corruption(self, dag, tmp_path):
+        path = tmp_path / "profiles.json"
+        path.write_text("{corrupted")
+        profiler = AppProfiler(dag, mode="recurring", store=ProfileStore(path))
+        # No stored profile survived: first-run behaviour (the profiler
+        # derives references instead of crashing on the bad file).
+        assert profiler.initial_references() == parse_application_references(dag)
+
+    def test_corrupted_store_is_recoverable(self, dag, tmp_path):
+        path = tmp_path / "profiles.json"
+        path.write_text("{corrupted")
+        store = ProfileStore(path)
+        profiler = AppProfiler(dag, mode="adhoc", store=store)
+        for job in dag.jobs:
+            profiler.on_job_submit(job.id)
+        profiler.finalize()
+        # The rewrite replaced the damaged file with a valid store.
+        reloaded = ProfileStore(path)
+        assert reloaded.get(dag.app.signature) is not None

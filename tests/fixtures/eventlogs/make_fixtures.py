@@ -1,0 +1,353 @@
+"""Regenerate the synthetic Spark event-log fixtures in this directory.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/fixtures/eventlogs/make_fixtures.py
+
+The fixtures are JSON-lines files following the layout Spark's
+``EventLoggingListener`` writes (the field names and nesting match real
+3.x logs; values are synthetic but self-consistent).  Three application
+shapes cover the ingestion paths the trace subsystem must handle:
+
+* ``iterative_ml.jsonl`` — a cached training set re-read by every
+  iteration job; narrow-only stages (the MLlib gradient-descent shape).
+* ``linear_agg.jsonl`` — textFile → cached map → per-job reduceByKey
+  shuffles (the quickstart shape: two stages per job).
+* ``shared_lineage.jsonl`` — a second job reuses the first job's
+  shuffle output, so its map stage appears in the job's DAG but is
+  never submitted (Spark's skipped-stage behaviour), plus an
+  ``UnpersistRDD`` event between jobs.
+
+Deterministic: timestamps advance on a fixed cadence from a fixed
+epoch, so regenerating produces byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+SPARK_VERSION = "3.5.1"
+EPOCH_MS = 1_700_000_000_000  # fixed epoch; keeps regeneration stable
+MB = 1024 * 1024
+
+
+class LogWriter:
+    """Accumulates events and tracks a fake wall clock."""
+
+    def __init__(self, app_name: str, app_id: str) -> None:
+        self.events: list[dict] = []
+        self.now_ms = EPOCH_MS
+        self.events.append(
+            {"Event": "SparkListenerLogStart", "Spark Version": SPARK_VERSION}
+        )
+        # A realistic log carries topology/environment noise the parser
+        # must skip; include some so the fixtures exercise that path.
+        self.events.append({
+            "Event": "SparkListenerEnvironmentUpdate",
+            "JVM Information": {"Java Version": "17.0.9"},
+            "Spark Properties": {"spark.app.name": app_name},
+            "System Properties": {},
+            "Classpath Entries": {},
+        })
+        self.events.append({
+            "Event": "SparkListenerApplicationStart",
+            "App Name": app_name,
+            "App ID": app_id,
+            "Timestamp": self.tick(),
+            "User": "spark",
+        })
+        for i in range(2):
+            self.events.append({
+                "Event": "SparkListenerExecutorAdded",
+                "Timestamp": self.tick(),
+                "Executor ID": str(i),
+                "Executor Info": {"Host": f"worker-{i}", "Total Cores": 4},
+            })
+            self.events.append({
+                "Event": "SparkListenerBlockManagerAdded",
+                "Block Manager ID": {
+                    "Executor ID": str(i), "Host": f"worker-{i}", "Port": 43211 + i,
+                },
+                "Maximum Memory": 2 * 1024 * MB,
+                "Timestamp": self.tick(),
+            })
+
+    def tick(self, step_ms: int = 50) -> int:
+        self.now_ms += step_ms
+        return self.now_ms
+
+    # ------------------------------------------------------------------
+    def rdd_info(
+        self,
+        rdd_id: int,
+        name: str,
+        parents: list[int],
+        partitions: int,
+        cached: bool = False,
+        memory_mb: int = 0,
+        callsite: str = "",
+    ) -> dict:
+        return {
+            "RDD ID": rdd_id,
+            "Name": name,
+            "Scope": json.dumps({"id": str(rdd_id), "name": name}),
+            "Callsite": callsite or f"{name} at Fixture.scala:{10 + rdd_id}",
+            "Parent IDs": parents,
+            "Storage Level": {
+                "Use Disk": cached,
+                "Use Memory": cached,
+                "Use Off Heap": False,
+                "Deserialized": cached,
+                "Replication": 1,
+            },
+            "Barrier": False,
+            "Number of Partitions": partitions,
+            "Number of Cached Partitions": partitions if memory_mb else 0,
+            "Memory Size": memory_mb * MB,
+            "Disk Size": 0,
+        }
+
+    def stage_info(
+        self,
+        stage_id: int,
+        name: str,
+        num_tasks: int,
+        rdds: list[dict],
+        parent_stages: list[int],
+        submitted: bool = False,
+        completed: bool = False,
+    ) -> dict:
+        info = {
+            "Stage ID": stage_id,
+            "Stage Attempt ID": 0,
+            "Stage Name": name,
+            "Number of Tasks": num_tasks,
+            "RDD Info": rdds,
+            "Parent IDs": parent_stages,
+            "Details": "",
+            "Accumulables": [],
+            "Resource Profile Id": 0,
+        }
+        if submitted:
+            info["Submission Time"] = self.tick()
+        if completed:
+            info["Completion Time"] = self.tick(200)
+        return info
+
+    # ------------------------------------------------------------------
+    def job_start(self, job_id: int, stage_infos: list[dict]) -> None:
+        self.events.append({
+            "Event": "SparkListenerJobStart",
+            "Job ID": job_id,
+            "Submission Time": self.tick(),
+            "Stage Infos": stage_infos,
+            "Stage IDs": [s["Stage ID"] for s in stage_infos],
+            "Properties": {},
+        })
+
+    def run_stage(
+        self, stage_info: dict, task_ms: int, bytes_read: int = 0,
+        shuffle_read: int = 0,
+    ) -> None:
+        """Submit a stage, run its tasks, complete it."""
+        submitted = dict(stage_info)
+        submitted["Submission Time"] = self.tick()
+        self.events.append({
+            "Event": "SparkListenerStageSubmitted",
+            "Stage Info": submitted,
+            "Properties": {},
+        })
+        for task_id in range(stage_info["Number of Tasks"]):
+            launch = self.tick()
+            task_info = {
+                "Task ID": task_id,
+                "Index": task_id,
+                "Attempt": 0,
+                "Launch Time": launch,
+                "Executor ID": str(task_id % 2),
+                "Host": f"worker-{task_id % 2}",
+                "Locality": "PROCESS_LOCAL",
+                "Speculative": False,
+                "Finish Time": launch + task_ms,
+                "Failed": False,
+                "Killed": False,
+            }
+            self.events.append({
+                "Event": "SparkListenerTaskStart",
+                "Stage ID": stage_info["Stage ID"],
+                "Stage Attempt ID": 0,
+                "Task Info": dict(task_info),
+            })
+            self.events.append({
+                "Event": "SparkListenerTaskEnd",
+                "Stage ID": stage_info["Stage ID"],
+                "Stage Attempt ID": 0,
+                "Task Type": "ResultTask",
+                "Task End Reason": {"Reason": "Success"},
+                "Task Info": task_info,
+                "Task Executor Metrics": {},
+                "Task Metrics": {
+                    "Executor Deserialize Time": 2,
+                    "Executor Run Time": task_ms,
+                    "Executor CPU Time": task_ms * 1_000_000,
+                    "Result Size": 1024,
+                    "JVM GC Time": 0,
+                    "Memory Bytes Spilled": 0,
+                    "Disk Bytes Spilled": 0,
+                    "Input Metrics": {
+                        "Bytes Read": bytes_read,
+                        "Records Read": bytes_read // 100,
+                    },
+                    "Output Metrics": {"Bytes Written": 0, "Records Written": 0},
+                    "Shuffle Read Metrics": {
+                        "Remote Blocks Fetched": 2 if shuffle_read else 0,
+                        "Local Blocks Fetched": 2 if shuffle_read else 0,
+                        "Remote Bytes Read": shuffle_read // 2,
+                        "Local Bytes Read": shuffle_read - shuffle_read // 2,
+                        "Fetch Wait Time": 0,
+                    },
+                    "Shuffle Write Metrics": {
+                        "Shuffle Bytes Written": 0,
+                        "Shuffle Write Time": 0,
+                        "Shuffle Records Written": 0,
+                    },
+                },
+            })
+        completed = dict(stage_info)
+        completed["Submission Time"] = submitted["Submission Time"]
+        completed["Completion Time"] = self.tick(100)
+        self.events.append({
+            "Event": "SparkListenerStageCompleted",
+            "Stage Info": completed,
+        })
+
+    def job_end(self, job_id: int) -> None:
+        self.events.append({
+            "Event": "SparkListenerJobEnd",
+            "Job ID": job_id,
+            "Completion Time": self.tick(),
+            "Job Result": {"Result": "JobSucceeded"},
+        })
+
+    def unpersist(self, rdd_id: int) -> None:
+        self.events.append({
+            "Event": "SparkListenerUnpersistRDD",
+            "RDD ID": rdd_id,
+        })
+
+    def finish(self, path: Path) -> None:
+        self.events.append({
+            "Event": "SparkListenerApplicationEnd",
+            "Timestamp": self.tick(),
+        })
+        with open(path, "w") as fh:
+            for event in self.events:
+                fh.write(json.dumps(event, separators=(", ", ": ")) + "\n")
+        print(f"wrote {path.name}: {len(self.events)} events")
+
+
+# ----------------------------------------------------------------------
+def iterative_ml(iterations: int = 3) -> LogWriter:
+    """Cached training set re-read by every iteration job (narrow only)."""
+    log = LogWriter("IterativeML", "app-20231114-0001")
+    parts = 4
+    next_stage = 0
+    for it in range(iterations):
+        rid = 2 + it  # per-iteration gradient RDD
+        rdds = [
+            log.rdd_info(0, "hadoop textFile", [], parts,
+                         callsite="textFile at IterativeML.scala:12"),
+            log.rdd_info(1, "training points", [0], parts, cached=True,
+                         memory_mb=64 if it else 0),
+            log.rdd_info(rid, f"gradients-{it}", [1], parts),
+        ]
+        stage = log.stage_info(next_stage, f"collect at iter {it}",
+                               parts, rdds, [])
+        log.job_start(it, [stage])
+        log.run_stage(stage, task_ms=120 if it == 0 else 40,
+                      bytes_read=16 * MB if it == 0 else 0)
+        log.job_end(it)
+        next_stage += 1
+    return log
+
+
+def linear_agg(jobs: int = 2) -> LogWriter:
+    """textFile → cached map → per-job reduceByKey (two stages per job)."""
+    log = LogWriter("LinearAgg", "app-20231114-0002")
+    parts = 4
+    next_stage = 0
+    for j in range(jobs):
+        shuffled = 2 + 2 * j
+        counted = shuffled + 1
+        base = [
+            log.rdd_info(0, "hadoop textFile", [], parts,
+                         callsite="textFile at LinearAgg.scala:8"),
+            log.rdd_info(1, "parsed records", [0], parts, cached=True,
+                         memory_mb=96 if j else 0),
+        ]
+        map_stage = log.stage_info(next_stage, f"map at job {j}",
+                                   parts, base, [])
+        reduce_rdds = [
+            log.rdd_info(shuffled, f"shuffled-{j}", [1], parts),
+            log.rdd_info(counted, f"aggregated-{j}", [shuffled], parts),
+        ]
+        reduce_stage = log.stage_info(next_stage + 1, f"count at job {j}",
+                                      parts, reduce_rdds, [next_stage])
+        log.job_start(j, [map_stage, reduce_stage])
+        log.run_stage(map_stage, task_ms=80 if j == 0 else 30,
+                      bytes_read=32 * MB if j == 0 else 0)
+        log.run_stage(reduce_stage, task_ms=25, shuffle_read=8 * MB)
+        log.job_end(j)
+        next_stage += 2
+    return log
+
+
+def shared_lineage() -> LogWriter:
+    """Job 1 reuses job 0's shuffle output: its map stage is skipped."""
+    log = LogWriter("SharedLineage", "app-20231114-0003")
+    parts = 4
+    base = [
+        log.rdd_info(0, "hadoop textFile", [], parts,
+                     callsite="textFile at SharedLineage.scala:9"),
+        log.rdd_info(1, "edges", [0], parts, cached=True),
+    ]
+    map_stage = log.stage_info(0, "map at SharedLineage.scala:14", parts, base, [])
+    first_result = [
+        log.rdd_info(2, "grouped", [1], parts),
+        log.rdd_info(3, "degrees", [2], parts),
+    ]
+    result_stage = log.stage_info(1, "count at SharedLineage.scala:15",
+                                  parts, first_result, [0])
+    log.job_start(0, [map_stage, result_stage])
+    log.run_stage(map_stage, task_ms=60, bytes_read=24 * MB)
+    log.run_stage(result_stage, task_ms=20, shuffle_read=6 * MB)
+    log.job_end(0)
+
+    # Job 1: a different reduction over the SAME shuffle output.  The
+    # job's DAG still contains the map stage (with fresh ids), but Spark
+    # never submits it — its shuffle files already exist.
+    skipped_map = log.stage_info(2, "map at SharedLineage.scala:14",
+                                 parts, list(base), [])
+    second_result = [
+        log.rdd_info(2, "grouped", [1], parts),
+        log.rdd_info(4, "ranks", [2], parts),
+    ]
+    final_stage = log.stage_info(3, "collect at SharedLineage.scala:21",
+                                 parts, second_result, [2])
+    log.job_start(1, [skipped_map, final_stage])
+    log.run_stage(final_stage, task_ms=20, shuffle_read=6 * MB)
+    log.job_end(1)
+    log.unpersist(1)
+    return log
+
+
+def main() -> None:
+    iterative_ml().finish(HERE / "iterative_ml.jsonl")
+    linear_agg().finish(HERE / "linear_agg.jsonl")
+    shared_lineage().finish(HERE / "shared_lineage.jsonl")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""End-to-end tests for the ``repro trace`` CLI subcommands."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).resolve().parent.parent / "fixtures" / "eventlogs"
+ITERATIVE = str(FIXTURES / "iterative_ml.jsonl")
+LINEAR = str(FIXTURES / "linear_agg.jsonl")
+
+
+class TestIngest:
+    def test_summarizes_fixture(self, capsys):
+        assert main(["trace", "ingest", ITERATIVE]) == 0
+        out = capsys.readouterr().out
+        assert "IterativeML" in out
+        assert "jobs         3" in out
+
+    def test_writes_profile_store(self, capsys, tmp_path):
+        store = tmp_path / "profiles.json"
+        assert main([
+            "trace", "ingest", ITERATIVE, "--profile-store", str(store),
+        ]) == 0
+        assert "IterativeML" in json.loads(store.read_text())
+        assert "references" in capsys.readouterr().out
+
+    def test_bad_log_exits_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"Event": "SparkListenerMystery"}\n')
+        with pytest.raises(SystemExit, match="ingest failed"):
+            main(["trace", "ingest", str(bad)])
+
+
+class TestReplay:
+    def test_replay_under_lru_and_mrd(self, capsys):
+        for policy in ("lru", "mrd"):
+            assert main([
+                "trace", "replay", ITERATIVE,
+                "--policy", policy, "--cluster", "test",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "source=eventlog" in out
+            assert "JCT" in out
+
+    def test_scheme_flag_is_alias_for_policy(self, capsys):
+        assert main([
+            "trace", "replay", ITERATIVE, "--scheme", "mrd", "--cluster", "test",
+        ]) == 0
+        assert "scheme=MRD" in capsys.readouterr().out
+
+    def test_writes_jsonl_and_chrome(self, capsys, tmp_path):
+        out_jsonl = tmp_path / "run.jsonl"
+        out_chrome = tmp_path / "run.chrome.json"
+        assert main([
+            "trace", "replay", ITERATIVE, "--policy", "mrd", "--cluster", "test",
+            "-o", str(out_jsonl), "--chrome", str(out_chrome),
+        ]) == 0
+        assert out_jsonl.exists()
+        chrome = json.loads(out_chrome.read_text())
+        assert chrome["traceEvents"]
+
+    def test_unknown_policy_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="replay failed"):
+            main(["trace", "replay", ITERATIVE, "--policy", "arc"])
+
+
+class TestDiff:
+    def _replayed(self, tmp_path, name, policy):
+        path = tmp_path / name
+        assert main([
+            "trace", "replay", LINEAR, "--policy", policy, "--cluster", "test",
+            "-o", str(path),
+        ]) == 0
+        return str(path)
+
+    def test_identical_replays_report_zero_divergence(self, capsys, tmp_path):
+        a = self._replayed(tmp_path, "a.jsonl", "mrd")
+        b = self._replayed(tmp_path, "b.jsonl", "mrd")
+        capsys.readouterr()
+        assert main(["trace", "diff", a, b]) == 0
+        assert "identical (zero divergence)" in capsys.readouterr().out
+
+    def test_divergent_traces_report_first_difference(self, capsys, tmp_path):
+        a = self._replayed(tmp_path, "a.jsonl", "lru")
+        b = self._replayed(tmp_path, "b.jsonl", "mrd")
+        capsys.readouterr()
+        assert main(["trace", "diff", a, b]) == 1
+        assert "diverge at event" in capsys.readouterr().out
+
+    def test_missing_file_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="diff failed"):
+            main(["trace", "diff", str(tmp_path / "no.jsonl"), str(tmp_path / "pe.jsonl")])
+
+
+class TestRecord:
+    def test_record_workload_roundtrip(self, capsys, tmp_path):
+        out = tmp_path / "km.jsonl"
+        assert main([
+            "trace", "record", "KM", "--scheme", "mrd", "--cluster", "test",
+            "--partitions", "4", "-o", str(out),
+        ]) == 0
+        assert "recorded" in capsys.readouterr().out
+        # The recorded trace is itself replayable (meta carries the
+        # workload, cluster and cache size).
+        assert main(["trace", "replay", str(out), "--policy", "mrd"]) == 0
+        assert "source=recorded" in capsys.readouterr().out

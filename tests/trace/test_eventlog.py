@@ -1,0 +1,209 @@
+"""Event-log ingestion: fixtures parse into faithful application DAGs."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.app_profiler import AppProfiler, ProfileStore
+from repro.core.reference_distance import parse_application_references
+from repro.dag.rdd import NarrowDependency, ShuffleDependency
+from repro.trace.eventlog import ingest_eventlog, profile_from_trace
+from repro.trace.spark_schema import EventLogError, UnsupportedEventError
+
+FIXTURES = Path(__file__).resolve().parent.parent / "fixtures" / "eventlogs"
+
+
+@pytest.fixture
+def iterative():
+    return ingest_eventlog(FIXTURES / "iterative_ml.jsonl")
+
+
+@pytest.fixture
+def linear():
+    return ingest_eventlog(FIXTURES / "linear_agg.jsonl")
+
+
+@pytest.fixture
+def shared():
+    return ingest_eventlog(FIXTURES / "shared_lineage.jsonl")
+
+
+# ----------------------------------------------------------------------
+# DAG reconstruction
+# ----------------------------------------------------------------------
+class TestIterativeMl:
+    def test_shape(self, iterative):
+        assert iterative.app_name == "IterativeML"
+        assert iterative.spark_version == "3.5.1"
+        assert iterative.dag.num_jobs == 3
+        # One narrow-only stage per job.
+        assert iterative.dag.num_active_stages == 3
+        assert not iterative.warnings
+
+    def test_cached_rdd_mapped(self, iterative):
+        # Spark RDD 1 (the training set) is the only cached RDD.
+        repro_id = iterative.rdd_id_map[1]
+        rdd = iterative.application.rdds[repro_id]
+        assert rdd.is_cached
+        assert [r.id for r in iterative.application.ctx.cached_rdds] == [repro_id]
+
+    def test_dependencies_all_narrow(self, iterative):
+        for rdd in iterative.application.rdds:
+            for dep in rdd.deps:
+                assert isinstance(dep, NarrowDependency)
+
+    def test_sizes_from_max_memory_sighting(self, iterative):
+        # 64 MB over 4 partitions (the largest Memory Size the log reports).
+        rdd = iterative.application.rdds[iterative.rdd_id_map[1]]
+        assert rdd.partition_size_mb == pytest.approx(16.0)
+
+    def test_cost_hints_applied(self, iterative):
+        # Stage 0 ran 4 tasks at 120 ms each over 3 newly attributed
+        # RDDs: mean task seconds spread evenly.
+        hint = iterative.stage_hints[0]
+        assert hint.tasks_seen == 4
+        assert hint.mean_task_seconds == pytest.approx(0.12)
+        rdd0 = iterative.application.rdds[iterative.rdd_id_map[0]]
+        assert rdd0.compute_cost == pytest.approx(0.12 / 3)
+
+    def test_profile_references_match_dag(self, iterative):
+        profile = profile_from_trace(iterative)
+        assert profile.complete
+        assert profile.references == parse_application_references(iterative.dag)
+        # The training set is re-read by jobs 1 and 2.
+        assert len(profile.references) == 2
+
+
+class TestLinearAgg:
+    def test_two_stages_per_job(self, linear):
+        assert linear.dag.num_jobs == 2
+        assert linear.dag.num_active_stages == 4
+
+    def test_shuffle_edges_classified(self, linear):
+        # shuffled-j depends on the cached map output across a stage
+        # boundary -> shuffle; aggregated-j is pipelined -> narrow.
+        app = linear.application
+        shuffled = app.rdds[linear.rdd_id_map[2]]
+        aggregated = app.rdds[linear.rdd_id_map[3]]
+        assert isinstance(shuffled.deps[0], ShuffleDependency)
+        assert isinstance(aggregated.deps[0], NarrowDependency)
+
+    def test_distinct_shuffle_ids(self, linear):
+        ids = [
+            dep.shuffle_id
+            for rdd in linear.application.rdds
+            for dep in rdd.deps
+            if isinstance(dep, ShuffleDependency)
+        ]
+        assert len(ids) == len(set(ids)) == 2
+
+
+class TestSharedLineage:
+    def test_skipped_stage_reconstructed(self, shared):
+        # Job 1 reuses job 0's shuffle output: 4 stages total, 3 active.
+        assert shared.dag.num_stages == 4
+        assert shared.dag.num_active_stages == 3
+
+    def test_unpersist_event_replayed(self, shared):
+        events = shared.application.ctx.unpersist_events
+        assert len(events) == 1
+        assert events[0].rdd.id == shared.rdd_id_map[1]
+        assert events[0].after_job_id == 1
+
+
+# ----------------------------------------------------------------------
+# error handling
+# ----------------------------------------------------------------------
+def _write_log(tmp_path, lines):
+    path = tmp_path / "log.jsonl"
+    path.write_text("\n".join(
+        line if isinstance(line, str) else json.dumps(line) for line in lines
+    ) + "\n")
+    return path
+
+
+def test_unsupported_spark_version(tmp_path):
+    path = _write_log(tmp_path, [
+        {"Event": "SparkListenerLogStart", "Spark Version": "0.9.2"},
+    ])
+    with pytest.raises(UnsupportedEventError, match="major version 0"):
+        ingest_eventlog(path)
+
+
+def test_unknown_event_type(tmp_path):
+    path = _write_log(tmp_path, [
+        {"Event": "SparkListenerLogStart", "Spark Version": "3.5.1"},
+        {"Event": "SparkListenerQuantumFluctuation"},
+    ])
+    with pytest.raises(UnsupportedEventError, match="QuantumFluctuation"):
+        ingest_eventlog(path)
+
+
+def test_truncated_json_line_named(tmp_path):
+    path = tmp_path / "log.jsonl"
+    path.write_text(
+        '{"Event": "SparkListenerLogStart", "Spark Version": "3.5.1"}\n'
+        '{"Event": "SparkListenerJobSta'
+    )
+    with pytest.raises(EventLogError, match=":2:"):
+        ingest_eventlog(path)
+
+
+def test_non_listener_json_rejected(tmp_path):
+    path = _write_log(tmp_path, [{"not": "an event"}])
+    with pytest.raises(EventLogError, match="missing 'Event' field"):
+        ingest_eventlog(path)
+
+
+def test_log_without_jobs_rejected(tmp_path):
+    path = _write_log(tmp_path, [
+        {"Event": "SparkListenerLogStart", "Spark Version": "3.5.1"},
+        {"Event": "SparkListenerApplicationEnd", "Timestamp": 1},
+    ])
+    with pytest.raises(EventLogError, match="no job-start events"):
+        ingest_eventlog(path)
+
+
+def test_missing_required_field(tmp_path):
+    path = _write_log(tmp_path, [
+        {"Event": "SparkListenerJobStart", "Stage Infos": [], "Stage IDs": []},
+    ])
+    with pytest.raises(EventLogError, match="Job ID"):
+        ingest_eventlog(path)
+
+
+def test_ignored_events_skipped_silently(tmp_path, iterative):
+    # The fixtures already interleave environment/executor noise; spot
+    # check that adding more of it changes nothing.
+    source = (FIXTURES / "iterative_ml.jsonl").read_text().splitlines()
+    noisy = source[:1] + [
+        json.dumps({"Event": "SparkListenerBlockUpdated", "Block Updated Info": {}}),
+    ] + source[1:]
+    path = _write_log(tmp_path, noisy)
+    trace = ingest_eventlog(path)
+    assert trace.dag.num_jobs == iterative.dag.num_jobs
+
+
+# ----------------------------------------------------------------------
+# profile-store integration (the recurring-mode path)
+# ----------------------------------------------------------------------
+def test_profile_feeds_recurring_profiler(iterative, tmp_path):
+    store = ProfileStore(tmp_path / "profiles.json")
+    profile_from_trace(iterative, store=store)
+
+    # A recurring-mode profiler over a *fresh* ingest of the same log
+    # (same signature) starts fully informed: no ad-hoc downgrade.
+    again = ingest_eventlog(FIXTURES / "iterative_ml.jsonl")
+    profiler = AppProfiler(again.dag, mode="recurring", store=store)
+    assert profiler.mode == "recurring"
+    assert profiler.initial_references() == parse_application_references(again.dag)
+
+
+def test_reingest_is_deterministic(iterative):
+    again = ingest_eventlog(FIXTURES / "iterative_ml.jsonl")
+    assert again.rdd_id_map == iterative.rdd_id_map
+    assert again.signature == iterative.signature
+    assert [r.name for r in again.application.rdds] == [
+        r.name for r in iterative.application.rdds
+    ]

@@ -1,0 +1,135 @@
+"""Round-trip and format tests for the trace event vocabulary."""
+
+import json
+import math
+
+import pytest
+
+from repro.trace.events import (
+    EVENT_TYPES,
+    CacheHit,
+    CacheMiss,
+    Eviction,
+    JobStart,
+    PrefetchCancel,
+    PrefetchComplete,
+    PrefetchIssue,
+    Purge,
+    StageEnd,
+    StageStart,
+    TraceFormatError,
+    event_from_dict,
+    read_jsonl,
+    to_chrome_trace,
+    write_jsonl,
+)
+
+#: One fully populated instance of every event type.
+SAMPLE_EVENTS = [
+    JobStart(t=0.0, job_id=0),
+    StageStart(t=0.0, seq=0, stage_id=0, job_id=0, num_tasks=8),
+    CacheMiss(t=0.5, rdd_id=1, partition=3, node_id=2, where="disk"),
+    CacheHit(t=0.75, rdd_id=1, partition=4, node_id=0, source="memory"),
+    CacheHit(t=0.8, rdd_id=1, partition=5, node_id=1, source="buffer"),
+    Eviction(t=1.0, rdd_id=2, partition=0, node_id=1, size_mb=16.0,
+             distance=3.0, cause="insert"),
+    Eviction(t=1.1, rdd_id=3, partition=1, node_id=0, size_mb=8.0,
+             distance=None, cause="prefetch"),
+    Purge(t=1.5, rdd_id=2, node_id=3, dropped_blocks=4, drop_disk=True),
+    PrefetchIssue(t=2.0, rdd_id=4, partition=2, node_id=1, size_mb=12.0, eta=2.4),
+    PrefetchComplete(t=2.4, rdd_id=4, partition=2, node_id=1, admitted=False),
+    PrefetchCancel(t=2.5, rdd_id=5, partition=0, node_id=2, reason="unpersisted"),
+    StageEnd(t=3.0, seq=0, stage_id=0, job_id=0),
+]
+
+
+def test_sample_covers_every_event_type():
+    assert {ev.kind for ev in SAMPLE_EVENTS} == set(EVENT_TYPES)
+
+
+@pytest.mark.parametrize("event", SAMPLE_EVENTS, ids=lambda e: e.kind)
+def test_dict_roundtrip(event):
+    data = event.to_dict()
+    assert data["type"] == event.kind
+    assert event_from_dict(json.loads(json.dumps(data))) == event
+
+
+def test_jsonl_roundtrip_with_meta(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(path, SAMPLE_EVENTS, meta={"workload": "KM", "cache_mb": 64.0})
+    meta, events = read_jsonl(path)
+    assert meta == {"workload": "KM", "cache_mb": 64.0}
+    assert events == SAMPLE_EVENTS
+
+
+def test_jsonl_roundtrip_without_meta(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(path, SAMPLE_EVENTS)
+    meta, events = read_jsonl(path)
+    assert meta == {}
+    assert events == SAMPLE_EVENTS
+
+
+def test_infinite_distance_survives_jsonl(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    ev = Eviction(t=0.0, rdd_id=0, partition=0, node_id=0, size_mb=1.0,
+                  distance=math.inf)
+    write_jsonl(path, [ev])
+    _, [back] = read_jsonl(path)
+    assert back.distance == math.inf
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(TraceFormatError, match="unknown trace event type"):
+        event_from_dict({"type": "warp_drive", "t": 0.0})
+
+
+def test_missing_type_rejected():
+    with pytest.raises(TraceFormatError, match="no 'type' field"):
+        event_from_dict({"t": 0.0})
+
+
+def test_malformed_record_rejected():
+    with pytest.raises(TraceFormatError, match="malformed"):
+        event_from_dict({"type": "job_start"})  # missing required t/job_id
+
+
+def test_read_jsonl_names_bad_line(tmp_path):
+    path = tmp_path / "broken.jsonl"
+    path.write_text('{"type": "job_start", "t": 0.0, "job_id": 0}\n{oops\n')
+    with pytest.raises(TraceFormatError, match=":2:"):
+        read_jsonl(path)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace export
+# ----------------------------------------------------------------------
+def test_chrome_trace_shapes():
+    trace = to_chrome_trace(SAMPLE_EVENTS, meta={"workload": "KM"})
+    events = trace["traceEvents"]
+    durations = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    # One stage pair -> one duration span with the right extent.
+    assert len(durations) == 1
+    assert durations[0]["ts"] == 0.0
+    assert durations[0]["dur"] == pytest.approx(3.0 * 1e6)
+    # Everything else -> one instant each (the stage pair merged above).
+    assert len(instants) == len(SAMPLE_EVENTS) - 2
+    hit = next(e for e in instants if e["name"] == "cache_hit")
+    assert hit["tid"] >= 1  # node tracks start at 1
+    assert trace["otherData"] == {"workload": "KM"}
+
+
+def test_chrome_trace_is_valid_json_with_inf_distance():
+    ev = Eviction(t=0.0, rdd_id=0, partition=0, node_id=0, size_mb=1.0,
+                  distance=math.inf)
+    text = json.dumps(to_chrome_trace([ev]))
+    args = json.loads(text)["traceEvents"][0]["args"]
+    assert args["distance"] == "inf"  # Chrome's parser rejects Infinity
+
+
+def test_chrome_trace_unclosed_stage_renders_zero_width():
+    start = StageStart(t=1.0, seq=0, stage_id=0, job_id=0, num_tasks=1)
+    events = to_chrome_trace([start])["traceEvents"]
+    assert len(events) == 1
+    assert events[0]["dur"] == 0.0

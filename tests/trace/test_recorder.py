@@ -1,0 +1,157 @@
+"""Recorder integration: recorded traces agree with the simulator state."""
+
+import math
+
+import pytest
+
+from repro.core.mrd_table import MrdTable
+from repro.core.policy import MrdScheme
+from repro.core.reference_distance import parse_application_references
+from repro.dag.dag_builder import build_dag
+from repro.policies.scheme import LruScheme
+from repro.simulator.config import TEST_CLUSTER
+from repro.simulator.engine import simulate
+from repro.trace.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
+from tests.conftest import make_iterative_app
+
+
+@pytest.fixture
+def dag():
+    return build_dag(make_iterative_app(iterations=3))
+
+
+def record_run(dag, scheme, cache_mb=48.0):
+    recorder = TraceRecorder(meta={"scheme": scheme.name})
+    metrics = simulate(
+        dag, TEST_CLUSTER.with_cache(cache_mb), scheme, recorder=recorder
+    )
+    return recorder, metrics
+
+
+# ----------------------------------------------------------------------
+# disabled-path behaviour
+# ----------------------------------------------------------------------
+def test_default_run_records_nothing(dag):
+    # No recorder passed: the engine uses the shared NULL_RECORDER.
+    metrics = simulate(dag, TEST_CLUSTER.with_cache(48.0), LruScheme())
+    assert metrics.jct > 0
+    assert len(NULL_RECORDER) == 0
+
+
+def test_null_recorder_discards_even_explicit_emits(dag):
+    rec = NullRecorder()
+    assert rec.enabled is False
+    simulate(dag, TEST_CLUSTER.with_cache(48.0), LruScheme(), recorder=rec)
+    assert len(rec) == 0
+
+
+def test_disabled_recording_leaves_no_shared_state(dag):
+    """The engine must never mutate the shared NULL_RECORDER."""
+    before = (NULL_RECORDER.now, NULL_RECORDER.distance_of)
+    simulate(dag, TEST_CLUSTER.with_cache(48.0), MrdScheme())
+    assert (NULL_RECORDER.now, NULL_RECORDER.distance_of) == before
+
+
+# ----------------------------------------------------------------------
+# recorded-trace consistency
+# ----------------------------------------------------------------------
+def test_hit_miss_counts_match_metrics(dag):
+    recorder, metrics = record_run(dag, LruScheme())
+    assert len(recorder.of_kind("cache_hit")) == metrics.stats.hits
+    assert len(recorder.of_kind("cache_miss")) == metrics.stats.misses
+    assert len(recorder.of_kind("eviction")) == metrics.stats.evictions
+
+
+def test_stage_events_bracket_every_active_stage(dag):
+    recorder, _ = record_run(dag, LruScheme())
+    starts = recorder.of_kind("stage_start")
+    ends = recorder.of_kind("stage_end")
+    assert [e.seq for e in starts] == list(range(dag.num_active_stages))
+    assert [e.seq for e in ends] == list(range(dag.num_active_stages))
+    for s, e in zip(starts, ends):
+        assert s.t <= e.t
+
+
+def test_job_start_events_in_submission_order(dag):
+    recorder, _ = record_run(dag, LruScheme())
+    assert [e.job_id for e in recorder.of_kind("job_start")] == list(
+        range(dag.num_jobs)
+    )
+
+
+def test_timestamps_are_monotone_per_stage(dag):
+    recorder, _ = record_run(dag, MrdScheme())
+    last_stage_t = 0.0
+    for ev in recorder.events:
+        if ev.kind == "stage_start":
+            assert ev.t >= last_stage_t
+            last_stage_t = ev.t
+
+
+def test_lru_evictions_carry_no_distance(dag):
+    recorder, metrics = record_run(dag, LruScheme(), cache_mb=24.0)
+    evictions = recorder.of_kind("eviction")
+    assert evictions, "cache too large to exercise eviction"
+    assert all(ev.distance is None for ev in evictions)
+
+
+def test_mrd_eviction_distance_matches_table_state(dag):
+    """Every recorded eviction carries the MRD_Table distance at its tick.
+
+    Reconstructed independently: a fresh table loaded with the full
+    recurring profile, advanced through the same stage sequence the
+    trace records, must report exactly the distance stamped on each
+    eviction event.
+    """
+    recorder, metrics = record_run(dag, MrdScheme(), cache_mb=24.0)
+    evictions = recorder.of_kind("eviction")
+    assert evictions, "cache too large to exercise eviction"
+
+    table = MrdTable(metric="stage")
+    table.add_references(parse_application_references(dag))
+    seq = 0
+    checked = 0
+    for ev in recorder.events:
+        if ev.kind == "stage_start":
+            seq = ev.seq
+            table.advance(seq, dag.job_of_seq(seq))
+        elif ev.kind == "eviction":
+            assert ev.distance is not None
+            expected = table.distance(ev.rdd_id)
+            if math.isinf(expected):
+                assert math.isinf(ev.distance)
+            else:
+                assert ev.distance == expected
+            checked += 1
+    assert checked == len(evictions)
+
+
+def test_mrd_records_purges_and_prefetches(dag):
+    recorder, metrics = record_run(dag, MrdScheme(), cache_mb=48.0)
+    issued = recorder.of_kind("prefetch_issue")
+    completed = recorder.of_kind("prefetch_complete")
+    assert len(issued) == metrics.stats.prefetches_issued
+    assert len(completed) <= len(issued)
+    for ev in issued:
+        assert ev.eta >= ev.t
+    purges = recorder.of_kind("purge")
+    assert sum(p.dropped_blocks for p in purges) == metrics.stats.purged
+
+
+# ----------------------------------------------------------------------
+# round-trip through files
+# ----------------------------------------------------------------------
+def test_recorder_jsonl_roundtrip(dag, tmp_path):
+    recorder, _ = record_run(dag, MrdScheme(), cache_mb=24.0)
+    path = tmp_path / "run.jsonl"
+    recorder.to_jsonl(path)
+    back = TraceRecorder.from_jsonl(path)
+    assert back.meta == recorder.meta
+    assert back.events == recorder.events
+
+
+def test_recorder_chrome_export(dag, tmp_path):
+    recorder, _ = record_run(dag, MrdScheme(), cache_mb=24.0)
+    trace = recorder.chrome_trace()
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert len(spans) == dag.num_active_stages
