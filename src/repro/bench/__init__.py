@@ -1,0 +1,21 @@
+"""Performance harnesses: repeatable engine benchmarks.
+
+``repro bench`` (CLI) and :mod:`repro.bench.engine_bench` time the
+simulation engine itself — not the paper's figures — and emit the
+machine-readable ``BENCH_engine.json`` that seeds the repo's
+performance trajectory.
+"""
+
+from repro.bench.engine_bench import (
+    BenchConfig,
+    check_against_baseline,
+    render_bench,
+    run_engine_bench,
+)
+
+__all__ = [
+    "BenchConfig",
+    "check_against_baseline",
+    "render_bench",
+    "run_engine_bench",
+]

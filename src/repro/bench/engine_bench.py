@@ -1,0 +1,287 @@
+"""Engine micro-benchmark: event-queue vs reference scheduling core.
+
+Times :class:`~repro.simulator.engine.SparkSimulator` end to end on
+large synthetic applications (thousands of tasks, 16+ nodes) under both
+scheduling cores and asserts their :class:`RunMetrics` are identical,
+so every reported speedup is a like-for-like comparison of the same
+simulated execution.
+
+Two workload profiles are measured:
+
+* ``sched`` — sparse caching, so per-task scheduling overhead dominates
+  and the numbers isolate the scheduler itself (the quadratic
+  ``min()``-scan vs the global event queue);
+* ``cache`` — the default synthetic cache density, an end-to-end figure
+  where block-manager bookkeeping shares the profile.
+
+The payload is written to ``BENCH_engine.json`` (repo root) as the
+perf trajectory's data points; CI re-runs a reduced size and fails on
+a >2x regression against the committed baseline (compared on the
+normalized event-vs-reference speedup so the check is machine- and
+size-independent; see :func:`check_against_baseline`).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.cluster.cluster import ClusterConfig
+from repro.core.policy import MrdScheme
+from repro.dag.dag_builder import ApplicationDAG, build_dag
+from repro.policies.scheme import CacheScheme, LruScheme
+from repro.simulator.engine import SCHEDULERS, SparkSimulator
+from repro.simulator.metrics import RunMetrics
+from repro.workloads.synthetic import SyntheticConfig, generate_application
+
+#: Scheme factories the harness exercises: the cheapest baseline and
+#: the paper's policy (the most state-carrying hot path).
+BENCH_SCHEMES: dict[str, Callable[[], CacheScheme]] = {
+    "LRU": LruScheme,
+    "MRD": MrdScheme,
+}
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Shape of one benchmark run."""
+
+    min_tasks: int = 5000
+    num_nodes: int = 16
+    slots_per_node: int = 4
+    cache_mb_per_node: float = 200.0
+    partitions: int = 320
+    seed: int = 7
+    repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if self.min_tasks <= 0:
+            raise ValueError("min_tasks must be positive")
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if self.repeats <= 0:
+            raise ValueError("repeats must be positive")
+
+    def cluster(self) -> ClusterConfig:
+        return ClusterConfig(
+            name=f"bench-{self.num_nodes}n",
+            num_nodes=self.num_nodes,
+            slots_per_node=self.slots_per_node,
+            cache_mb_per_node=self.cache_mb_per_node,
+        )
+
+
+#: Workload profiles: name -> SyntheticConfig overrides.
+_PROFILES: dict[str, dict] = {
+    "sched": {"cache_probability": 0.05, "reuse_probability": 0.3},
+    "cache": {},
+}
+
+
+def build_bench_dag(config: BenchConfig, profile: str) -> ApplicationDAG:
+    """Deterministic synthetic application with >= ``min_tasks`` tasks.
+
+    Jobs are added until the active-stage task count clears the floor,
+    so the guarantee survives generator/DAG-builder changes.
+    """
+    overrides = _PROFILES[profile]
+    num_jobs = 4
+    while True:
+        cfg = SyntheticConfig(
+            num_jobs=num_jobs, partitions=config.partitions, **overrides
+        )
+        dag = build_dag(generate_application(config.seed, cfg))
+        if total_tasks(dag) >= config.min_tasks:
+            return dag
+        num_jobs += 2
+
+
+def total_tasks(dag: ApplicationDAG) -> int:
+    return sum(s.num_tasks for s in dag.active_stages)
+
+
+def _metrics_fingerprint(m: RunMetrics) -> tuple:
+    """Everything RunMetrics measures, as a comparable tuple."""
+    return (
+        m.jct,
+        m.stats.hits, m.stats.misses, m.stats.insertions,
+        m.stats.failed_insertions, m.stats.evictions, m.stats.purged,
+        m.stats.prefetches_issued, m.stats.prefetches_used,
+        m.stats.prefetched_mb, m.stats.evicted_mb,
+        tuple(m.per_node_hit_ratio),
+        tuple((r.seq, r.start, r.end) for r in m.stage_records),
+    )
+
+
+def _time_run(
+    dag: ApplicationDAG,
+    cluster: ClusterConfig,
+    scheme_factory: Callable[[], CacheScheme],
+    scheduler: str,
+    repeats: int,
+) -> tuple[float, RunMetrics]:
+    """Best-of-``repeats`` wall-clock seconds plus the run's metrics."""
+    best = float("inf")
+    metrics: Optional[RunMetrics] = None
+    for _ in range(repeats):
+        sim = SparkSimulator(dag, cluster, scheme_factory(), scheduler=scheduler)
+        t0 = time.perf_counter()
+        metrics = sim.run()
+        best = min(best, time.perf_counter() - t0)
+    assert metrics is not None
+    return best, metrics
+
+
+def run_engine_bench(
+    config: BenchConfig | None = None,
+    include_reference: bool = True,
+) -> dict:
+    """Run the full benchmark matrix; returns the JSON-ready payload."""
+    config = config or BenchConfig()
+    cluster = config.cluster()
+    payload: dict = {
+        "bench": "engine",
+        "version": 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "config": {
+            "min_tasks": config.min_tasks,
+            "num_nodes": config.num_nodes,
+            "slots_per_node": config.slots_per_node,
+            "cache_mb_per_node": config.cache_mb_per_node,
+            "partitions": config.partitions,
+            "seed": config.seed,
+            "repeats": config.repeats,
+        },
+        "runs": [],
+        "speedup": {},
+        "metrics_identical": True,
+    }
+    schedulers = SCHEDULERS if include_reference else ("event",)
+    for profile in _PROFILES:
+        dag = build_bench_dag(config, profile)
+        tasks = total_tasks(dag)
+        for scheme_name, factory in BENCH_SCHEMES.items():
+            seconds: dict[str, float] = {}
+            fingerprints: dict[str, tuple] = {}
+            for scheduler in schedulers:
+                secs, metrics = _time_run(
+                    dag, cluster, factory, scheduler, config.repeats
+                )
+                seconds[scheduler] = secs
+                fingerprints[scheduler] = _metrics_fingerprint(metrics)
+                payload["runs"].append({
+                    "profile": profile,
+                    "scheme": scheme_name,
+                    "scheduler": scheduler,
+                    "tasks": tasks,
+                    "stages": dag.num_active_stages,
+                    "seconds": secs,
+                    "tasks_per_s": tasks / secs if secs > 0 else float("inf"),
+                    "jct": metrics.jct,
+                    "hits": metrics.stats.hits,
+                    "misses": metrics.stats.misses,
+                    "evictions": metrics.stats.evictions,
+                    "prefetches_issued": metrics.stats.prefetches_issued,
+                })
+            if "reference" in seconds:
+                identical = fingerprints["event"] == fingerprints["reference"]
+                payload["metrics_identical"] &= identical
+                payload["speedup"][f"{profile}/{scheme_name}"] = (
+                    seconds["reference"] / seconds["event"]
+                )
+    return payload
+
+
+def render_bench(payload: dict) -> str:
+    """Human-readable table of one benchmark payload."""
+    lines = [
+        f"engine bench: {payload['config']['num_nodes']} nodes x "
+        f"{payload['config']['slots_per_node']} slots, "
+        f">={payload['config']['min_tasks']} tasks, "
+        f"best of {payload['config']['repeats']} "
+        f"(py{payload.get('python', '?')})",
+        f"{'profile':<8} {'scheme':<6} {'scheduler':<10} "
+        f"{'tasks':>6} {'seconds':>9} {'tasks/s':>10}",
+    ]
+    for run in payload["runs"]:
+        lines.append(
+            f"{run['profile']:<8} {run['scheme']:<6} {run['scheduler']:<10} "
+            f"{run['tasks']:>6d} {run['seconds']:>9.4f} {run['tasks_per_s']:>10,.0f}"
+        )
+    for key, speedup in payload.get("speedup", {}).items():
+        lines.append(f"speedup {key}: {speedup:.2f}x (reference/event)")
+    if payload.get("speedup"):
+        lines.append(
+            "metrics identical across schedulers: "
+            + ("yes" if payload.get("metrics_identical") else "NO — BUG")
+        )
+    return "\n".join(lines)
+
+
+def check_against_baseline(
+    payload: dict,
+    baseline_path: Path | str,
+    max_slowdown: float = 2.0,
+) -> list[str]:
+    """Compare the event core against a committed baseline payload.
+
+    Returns a list of failure messages (empty = pass).  The compared
+    quantity is the *normalized speedup* — event-core time over
+    reference-core time, both measured in the same process — which is
+    machine- and workload-size-independent: raw tasks/second varies
+    with runner hardware and with how per-run fixed costs amortize, but
+    an event core that regressed toward the reference core's quadratic
+    behaviour shows up on any machine as a collapsing speedup.  A run
+    counts as a >``max_slowdown`` regression when its speedup falls
+    below ``baseline_speedup / max_slowdown``.
+
+    When either payload carries no reference runs the check falls back
+    to raw event-core throughput, which is only meaningful against a
+    baseline recorded on comparable hardware.
+    """
+    baseline = json.loads(Path(baseline_path).read_text())
+    failures = []
+    base_speedups = baseline.get("speedup") or {}
+    cur_speedups = payload.get("speedup") or {}
+    if base_speedups and cur_speedups:
+        for key, base in base_speedups.items():
+            current = cur_speedups.get(key)
+            if current is None or base <= 0:
+                continue
+            if current < base / max_slowdown:
+                failures.append(
+                    f"{key}: event-core speedup collapsed to {current:.2f}x "
+                    f"(baseline {base:.2f}x, limit {base / max_slowdown:.2f}x)"
+                )
+    else:
+        base_rates = {
+            (run["profile"], run["scheme"]): run["tasks_per_s"]
+            for run in baseline.get("runs", [])
+            if run["scheduler"] == "event"
+        }
+        for run in payload["runs"]:
+            if run["scheduler"] != "event":
+                continue
+            base = base_rates.get((run["profile"], run["scheme"]))
+            if not base:
+                continue
+            if base / run["tasks_per_s"] > max_slowdown:
+                failures.append(
+                    f"{run['profile']}/{run['scheme']}: "
+                    f"{run['tasks_per_s']:,.0f} tasks/s is more than "
+                    f"{max_slowdown:.2f}x slower than baseline {base:,.0f} tasks/s"
+                )
+    if not payload.get("metrics_identical", True):
+        failures.append("event and reference schedulers diverged in RunMetrics")
+    return failures
+
+
+def save_payload(payload: dict, path: Path | str) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

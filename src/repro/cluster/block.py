@@ -8,13 +8,19 @@ A block is one partition of a cached RDD, identified by
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.dag.rdd import RDD
 
 
-@dataclass(frozen=True, order=True)
-class BlockId:
-    """Identity of one cached partition."""
+class BlockId(NamedTuple):
+    """Identity of one cached partition.
+
+    A ``NamedTuple`` rather than a frozen dataclass: block ids are the
+    hottest dict/set key in the simulator (every access, insertion and
+    prefetch keys on one), and tuple hashing/equality run natively
+    instead of through generated ``__hash__``/``__eq__`` methods.
+    """
 
     rdd_id: int
     partition: int

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cluster.block import Block, BlockId
 from repro.cluster.node import WorkerNode
@@ -45,8 +46,14 @@ class BlockManagerStats:
         return self.hits + self.misses
 
     @property
-    def hit_ratio(self) -> float:
-        return self.hits / self.accesses if self.accesses else 0.0
+    def hit_ratio(self) -> Optional[float]:
+        """Hit fraction of all accesses, or ``None`` with zero accesses.
+
+        ``None`` (rather than 0.0) keeps idle nodes — nodes that never
+        served a cached read — from dragging down cluster-average hit
+        ratios computed over ``RunMetrics.per_node_hit_ratio``.
+        """
+        return self.hits / self.accesses if self.accesses else None
 
 
 class BlockManager:

@@ -7,19 +7,74 @@ keep track of the distance values for all the references, but for
 comparison it will only use the lowest one").  An RDD whose list
 empties has *infinite* distance — first in line for eviction and the
 trigger for the manager's all-out purge.
+
+Hot-path layout (see ``docs/performance.md``): per-RDD references live
+in :class:`_RefQueue` — a sorted array with a head pointer, so
+consuming a passed reference is O(1) amortized instead of the O(n)
+``list.pop(0)`` — and :meth:`MrdTable.advance` is driven by a lazy
+min-heap with one entry per stored reference, keyed by the metric
+coordinate.  Advancing to a new stage pops only the references that
+actually fall behind the new position (amortized O(log n) each) rather
+than scanning every tracked RDD's list per stage.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from bisect import insort
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.core.reference_distance import Reference
 
 INFINITE = math.inf
 
 _METRICS = ("stage", "job")
+
+
+class _RefQueue:
+    """Sorted ``(seq, job_id)`` entries with an O(1)-amortized head.
+
+    The live region is ``entries[head:]``; consumed entries are left in
+    place and compacted once they dominate the array, so ``popleft`` is
+    amortized O(1).  ``seen`` mirrors the live region for O(1) dedup
+    (``add_references`` previously paid an O(n) ``in`` scan per merge).
+    """
+
+    __slots__ = ("entries", "head", "seen")
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[int, int]] = []
+        self.head = 0
+        self.seen: set[tuple[int, int]] = set()
+
+    def __len__(self) -> int:
+        return len(self.entries) - self.head
+
+    def peek(self) -> Optional[tuple[int, int]]:
+        return self.entries[self.head] if self.head < len(self.entries) else None
+
+    def add(self, entry: tuple[int, int]) -> bool:
+        """Insert ``entry`` in sorted position; False if already stored."""
+        if entry in self.seen:
+            return False
+        self.seen.add(entry)
+        insort(self.entries, entry, lo=self.head)
+        return True
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.seen.clear()
+        self.head = 0
+
+    def popleft(self) -> tuple[int, int]:
+        entry = self.entries[self.head]
+        self.head += 1
+        self.seen.discard(entry)
+        if self.head > 32 and self.head * 2 >= len(self.entries):
+            del self.entries[: self.head]
+            self.head = 0
+        return entry
 
 
 class MrdTable:
@@ -29,8 +84,16 @@ class MrdTable:
         if metric not in _METRICS:
             raise ValueError(f"metric must be one of {_METRICS}, got {metric!r}")
         self.metric = metric
-        #: rdd_id -> sorted list of (seq, job_id) still ahead of execution
-        self._refs: dict[int, list[tuple[int, int]]] = {}
+        #: Index of the metric coordinate inside a (seq, job_id) entry.
+        self._coord = 0 if metric == "stage" else 1
+        #: rdd_id -> queue of (seq, job_id) still ahead of execution
+        self._refs: dict[int, _RefQueue] = {}
+        #: Lazy consumption heap: one ``(coordinate, rdd_id)`` entry per
+        #: stored reference.  ``advance`` pops entries behind the new
+        #: position and drains the owning queue's consumable prefix;
+        #: entries whose reference was already consumed (or whose RDD
+        #: was forgotten) pop as harmless no-ops.
+        self._pending: list[tuple[int, int]] = []
         self.current_seq = 0
         self.current_job = 0
 
@@ -39,15 +102,18 @@ class MrdTable:
     # ------------------------------------------------------------------
     def add_references(self, references: Iterable[Reference]) -> None:
         """Merge new references from the AppProfiler (``updateReferenceDistance``)."""
+        coord = self._coord
         for ref in references:
-            bucket = self._refs.setdefault(ref.rdd_id, [])
+            queue = self._refs.get(ref.rdd_id)
+            if queue is None:
+                queue = self._refs[ref.rdd_id] = _RefQueue()
             entry = (ref.seq, ref.job_id)
-            if entry not in bucket:
-                insort(bucket, entry)
+            if queue.add(entry):
+                heapq.heappush(self._pending, (entry[coord], ref.rdd_id))
 
     def track(self, rdd_id: int) -> None:
         """Ensure ``rdd_id`` is in the table even with no known references."""
-        self._refs.setdefault(rdd_id, [])
+        self._refs.setdefault(rdd_id, _RefQueue())
 
     def forget(self, rdd_id: int) -> None:
         """Drop an RDD from the table (after a purge order)."""
@@ -73,13 +139,24 @@ class MrdTable:
             raise ValueError(f"cannot move backwards: {seq} < {self.current_seq}")
         self.current_seq = seq
         self.current_job = job_id
-        for bucket in self._refs.values():
-            if self.metric == "job":
-                while bucket and bucket[0][1] < job_id:
-                    bucket.pop(0)
-            else:
-                while bucket and bucket[0][0] < seq:
-                    bucket.pop(0)
+        coord = self._coord
+        position = job_id if coord else seq
+        pending = self._pending
+        refs = self._refs
+        while pending and pending[0][0] < position:
+            _, rdd_id = heapq.heappop(pending)
+            queue = refs.get(rdd_id)
+            if queue is None:
+                continue
+            # Drain the consumable prefix.  Under the job metric a
+            # passed-seq reference can hide behind an earlier-seq one
+            # whose job has not ended; it is picked up by that blocking
+            # entry's own heap pop once the job boundary passes —
+            # exactly the reference semantics of the per-stage scan.
+            head = queue.peek()
+            while head is not None and head[coord] < position:
+                queue.popleft()
+                head = queue.peek()
 
     # ------------------------------------------------------------------
     # queries
@@ -96,28 +173,30 @@ class MrdTable:
         Returns ``math.inf`` for RDDs with no upcoming reference,
         including RDDs the table has never heard of.
         """
-        bucket = self._refs.get(rdd_id)
-        if not bucket:
+        queue = self._refs.get(rdd_id)
+        head = queue.peek() if queue is not None else None
+        if head is None:
             return INFINITE
-        seq, job = bucket[0]
         if self.metric == "stage":
-            return float(seq - self.current_seq)
-        return float(job - self.current_job)
+            return float(head[0] - self.current_seq)
+        return float(head[1] - self.current_job)
 
     def dead_rdds(self) -> list[int]:
         """Tracked RDDs whose reference list has emptied (infinite distance)."""
-        return sorted(r for r, bucket in self._refs.items() if not bucket)
+        return sorted(r for r, queue in self._refs.items() if not len(queue))
 
     def candidates_by_distance(self) -> list[tuple[float, int]]:
         """(distance, rdd_id) for all finite-distance RDDs, nearest first."""
-        out = [
-            (self.distance(rdd_id), rdd_id)
-            for rdd_id, bucket in self._refs.items()
-            if bucket
-        ]
+        coord = self._coord
+        position = self.current_job if coord else self.current_seq
+        out = []
+        for rdd_id, queue in self._refs.items():
+            head = queue.peek()
+            if head is not None:
+                out.append((float(head[coord] - position), rdd_id))
         out.sort()
         return out
 
     def size(self) -> int:
         """Number of stored references (the paper's overhead metric)."""
-        return sum(len(b) for b in self._refs.values())
+        return sum(len(q) for q in self._refs.values())

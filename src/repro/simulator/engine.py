@@ -16,6 +16,18 @@ pluggable :class:`CacheScheme`:
   channel and complete asynchronously — the overlap of this I/O with
   computation is exactly the mechanism the paper credits for MRD's
   prefetching gains.
+
+Two interchangeable scheduling cores implement the start-time order
+(see ``docs/performance.md``):
+
+* ``"event"`` (default) — one global heap of ``(slot_free_time,
+  node_id)`` entries plus a time-ordered prefetch-completion heap;
+  O(log slots) per task and O(log inflight) per completion.
+* ``"reference"`` — the original loops (a ``min()`` over every node per
+  task, a scan of every manager's in-flight dict per task), kept as the
+  executable specification: the equivalence suite asserts both cores
+  produce identical :class:`RunMetrics` on every registered workload,
+  and the ``repro bench`` harness measures the speedup between them.
 """
 
 from __future__ import annotations
@@ -49,6 +61,10 @@ class SimulationError(RuntimeError):
     """Internal inconsistency (a referenced block that nowhere exists)."""
 
 
+#: Scheduling cores understood by :class:`SparkSimulator`.
+SCHEDULERS = ("event", "reference")
+
+
 class SparkSimulator:
     """Runs one application under one cache-management scheme."""
 
@@ -61,10 +77,16 @@ class SparkSimulator:
         promote_on_miss: bool = True,
         failure_plan: Optional[FailurePlan] = None,
         recorder: Optional[TraceRecorder] = None,
+        scheduler: str = "event",
     ) -> None:
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {SCHEDULERS}, got {scheduler!r}"
+            )
         self.dag = dag
         self.cluster_config = cluster_config
         self.scheme = scheme
+        self.scheduler = scheduler
         #: Structured-event sink; the shared no-op recorder by default,
         #: so an unrecorded run constructs no event objects at all.
         self.recorder = recorder if recorder is not None else NULL_RECORDER
@@ -76,6 +98,15 @@ class SparkSimulator:
         self.promote_on_miss = promote_on_miss
         self.failure_plan = failure_plan
         self.cluster: Optional[Cluster] = None
+        #: Time-ordered prefetch completions: ``(done, seq, node_id,
+        #: block_id)``.  ``seq`` is a monotone issue counter so entries
+        #: with equal completion times pop in issue order and block ids
+        #: are never compared.  Entries are invalidated lazily — a
+        #: prefetch completed early (a task waited on it) or cancelled
+        #: (node failure) no longer matches the manager's in-flight dict
+        #: and is dropped on pop.
+        self._prefetch_heap: list[tuple[float, int, int, BlockId]] = []
+        self._prefetch_seq = 0
         self._unpersist_by_job: dict[int, list[int]] = {}
         for ev in dag.app.ctx.unpersist_events:
             self._unpersist_by_job.setdefault(ev.after_job_id, []).append(ev.rdd.id)
@@ -91,6 +122,8 @@ class SparkSimulator:
             rec.now = 0.0
             rec.distance_of = self.scheme.reference_distance
         self.cluster = build_cluster(self.cluster_config, self.scheme.policy_factory)
+        self._prefetch_heap = []
+        self._prefetch_seq = 0
         master = self.cluster.master
         if rec.enabled:
             for mgr in master.managers:
@@ -158,25 +191,87 @@ class SparkSimulator:
     # ------------------------------------------------------------------
     # stage execution
     # ------------------------------------------------------------------
-    def _run_stage(self, stage: Stage, start: float) -> float:
-        assert self.cluster is not None
-        master = self.cluster.master
-        num_nodes = master.num_nodes
-        # Cache-independent task costs: I/O shares are cluster-wide,
-        # compute scales with the executing node's CPU factor.
+    def _stage_costs(self, stage: Stage) -> list[float]:
+        """Cache-independent per-node task cost: I/O shares are
+        cluster-wide, compute scales with the node's CPU factor."""
         fixed_io = (
             self.cost.task_overhead_s
             + self.cost.shuffle_read_time(stage)
             + self.cost.input_read_time(stage)
         )
         base_compute = self.cost.compute_time(stage)
-        per_node_fixed = [
+        return [
             fixed_io + base_compute / node.cpu_factor for node in self.cluster.nodes
         ]
 
-        pending: list[deque[int]] = [deque() for _ in range(num_nodes)]
+    def _pending_by_node(self, stage: Stage) -> list[deque[int]]:
+        master = self.cluster.master
+        pending: list[deque[int]] = [deque() for _ in range(master.num_nodes)]
         for p in range(stage.num_tasks):
             pending[master.task_node_id(p)].append(p)
+        return pending
+
+    def _run_stage(self, stage: Stage, start: float) -> float:
+        assert self.cluster is not None
+        if self.scheduler == "reference":
+            stage_end = self._run_stage_reference(stage, start)
+        else:
+            stage_end = self._run_stage_event(stage, start)
+        for rdd in stage.cache_writes:
+            self.scheme.on_block_created(rdd.id)
+        return stage_end
+
+    def _run_stage_event(self, stage: Stage, start: float) -> float:
+        """Event-queue core: one global heap of free executor slots.
+
+        Each entry is ``(free_time, node_id)``; tuple order makes ties
+        resolve to the lowest node id, matching the reference core's
+        ``min()`` scan.  Slots of nodes whose task queue has drained are
+        retired lazily on pop — task placement is fixed up front, so a
+        drained queue never refills within the stage.  O(log slots) per
+        task instead of O(nodes).
+        """
+        per_node_fixed = self._stage_costs(stage)
+        pending = self._pending_by_node(stage)
+        ready: list[tuple[float, int]] = [
+            (start, node_id)
+            for node_id, node in enumerate(self.cluster.nodes)
+            if pending[node_id]
+            for _ in range(node.num_slots)
+        ]
+        heapq.heapify(ready)
+
+        # Hot loop: bind everything invariant to locals.  The prefetch
+        # heap object is stable for the whole run (only mutated in
+        # place), so the peek guard replaces a method call per task.
+        heappop, heappush = heapq.heappop, heapq.heappush
+        prefetch_heap = self._prefetch_heap
+        run_task = self._run_task
+        stage_end = start
+        remaining = stage.num_tasks
+        while remaining:
+            t0, node_id = heappop(ready)
+            queue = pending[node_id]
+            if not queue:
+                continue  # node drained while this slot was busy: retire it
+            if prefetch_heap and prefetch_heap[0][0] <= t0:
+                self._apply_due_prefetches(t0)
+            p = queue.popleft()
+            t_end = run_task(stage, p, node_id, t0, per_node_fixed[node_id])
+            if queue:
+                heappush(ready, (t_end, node_id))
+            if t_end > stage_end:
+                stage_end = t_end
+            remaining -= 1
+        return stage_end
+
+    def _run_stage_reference(self, stage: Stage, start: float) -> float:
+        """Reference core: per-node slot heaps + a ``min()`` over all
+        nodes per task — O(tasks × nodes), the executable specification
+        the event core is verified against."""
+        num_nodes = self.cluster.master.num_nodes
+        per_node_fixed = self._stage_costs(stage)
+        pending = self._pending_by_node(stage)
         slots: list[list[float]] = [
             [start] * node.num_slots for node in self.cluster.nodes
         ]
@@ -198,9 +293,6 @@ class SparkSimulator:
             heapq.heappush(slots[node_id], t_end)
             stage_end = max(stage_end, t_end)
             remaining -= 1
-
-        for rdd in stage.cache_writes:
-            self.scheme.on_block_created(rdd.id)
         return stage_end
 
     def _run_task(
@@ -211,21 +303,27 @@ class SparkSimulator:
         t = t0 + fixed
         protect: set[BlockId] = set()
 
+        # Reads stride partitions exactly like writes below: task p of a
+        # T-task stage touches blocks p, p+T, p+2T, … of every read RDD,
+        # so a stage with fewer tasks than an input RDD has partitions
+        # still accesses (and accounts) the tail partitions.
         for rdd in stage.cache_reads:
-            bid = BlockId(rdd.id, partition % rdd.num_partitions)
-            mgr = master.manager_for(bid)
-            t = self._acquire_block(mgr, bid, rdd.partition_size_mb, t, protect)
-            if mgr.node.node_id != node_id:
-                t += self.cost.remote_transfer_time(rdd.partition_size_mb)
-            protect.add(bid)
-
-        if self.recorder.enabled:
-            self.recorder.now = t
-        frozen_protect = frozenset(protect)
-        for rdd in stage.cache_writes:
             for q in range(partition, rdd.num_partitions, stage.num_tasks):
-                block = block_of(rdd, q)
-                master.manager_for(block.id).insert_cached(block, frozen_protect)
+                bid = BlockId(rdd.id, q)
+                mgr = master.manager_for(bid)
+                t = self._acquire_block(mgr, bid, rdd.partition_size_mb, t, protect)
+                if mgr.node.node_id != node_id:
+                    t += self.cost.remote_transfer_time(rdd.partition_size_mb)
+                protect.add(bid)
+
+        if stage.cache_writes:
+            if self.recorder.enabled:
+                self.recorder.now = t
+            frozen_protect = frozenset(protect)
+            for rdd in stage.cache_writes:
+                for q in range(partition, rdd.num_partitions, stage.num_tasks):
+                    block = block_of(rdd, q)
+                    master.manager_for(block.id).insert_cached(block, frozen_protect)
         return t
 
     def _acquire_block(
@@ -290,8 +388,12 @@ class SparkSimulator:
         rdd = self.dag.app.rdds[bid.rdd_id]
         t += self._partition_recompute_time(rdd)
         block = Block(id=bid, size_mb=size_mb, rdd_name=rdd.name)
-        mgr.node.disk.put(block)
-        mgr.node.memory.put(block, frozenset(protect))
+        # Re-persist through the manager so recovery-driven insertions
+        # and the evictions they force are counted, recorded, and kept
+        # consistent with the prefetched-unread bookkeeping.
+        if self.recorder.enabled:
+            self.recorder.now = t
+        mgr.insert_cached(block, frozenset(protect))
         return t
 
     def _partition_recompute_time(self, rdd: RDD) -> float:
@@ -327,6 +429,11 @@ class SparkSimulator:
                 continue  # nothing to fetch from (defensive)
             done = mgr.node.reserve_io(now, block.size_mb)
             mgr.inflight_prefetch[block.id] = done
+            self._prefetch_seq += 1
+            heapq.heappush(
+                self._prefetch_heap,
+                (done, self._prefetch_seq, mgr.node.node_id, block.id),
+            )
             mgr.stats.prefetches_issued += 1
             if rec.enabled:
                 rec.emit(PrefetchIssue(
@@ -336,11 +443,22 @@ class SparkSimulator:
 
     def _apply_due_prefetches(self, t: float) -> None:
         assert self.cluster is not None
-        for mgr in self.cluster.master.managers:
-            if not mgr.inflight_prefetch:
-                continue
-            due = [bid for bid, done in mgr.inflight_prefetch.items() if done <= t]
-            for bid in due:
+        if self.scheduler == "reference":
+            for mgr in self.cluster.master.managers:
+                if not mgr.inflight_prefetch:
+                    continue
+                due = [bid for bid, done in mgr.inflight_prefetch.items() if done <= t]
+                for bid in due:
+                    self._complete_prefetch(mgr, bid)
+            return
+        heap = self._prefetch_heap
+        managers = self.cluster.master.managers
+        while heap and heap[0][0] <= t:
+            done, _, node_id, bid = heapq.heappop(heap)
+            mgr = managers[node_id]
+            # Lazy invalidation: skip entries whose transfer was already
+            # consumed by a waiting task or cancelled by a node failure.
+            if mgr.inflight_prefetch.get(bid) == done:
                 self._complete_prefetch(mgr, bid)
 
     def _complete_prefetch(self, mgr: BlockManager, bid: BlockId) -> None:

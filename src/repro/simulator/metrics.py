@@ -7,6 +7,7 @@ plus a per-stage timeline for debugging and Figure-2 style traces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.cluster.block_manager import BlockManagerStats
 
@@ -36,14 +37,31 @@ class RunMetrics:
     jct: float = 0.0
     stats: BlockManagerStats = field(default_factory=BlockManagerStats)
     stage_records: list[StageRecord] = field(default_factory=list)
-    per_node_hit_ratio: list[float] = field(default_factory=list)
+    #: Per-node hit fraction; ``None`` marks a node that served no
+    #: cached reads at all (idle for accounting purposes).
+    per_node_hit_ratio: list[Optional[float]] = field(default_factory=list)
     cache_mb_per_node: float = 0.0
     #: Memory blocks dropped by injected node failures (0 without a plan).
     failure_lost_blocks: int = 0
 
     @property
     def hit_ratio(self) -> float:
-        return self.stats.hit_ratio
+        """Cluster-wide hit fraction (0.0 when the run had no accesses)."""
+        ratio = self.stats.hit_ratio
+        return 0.0 if ratio is None else ratio
+
+    @property
+    def mean_node_hit_ratio(self) -> Optional[float]:
+        """Average per-node hit ratio over nodes that saw accesses.
+
+        Idle nodes are excluded instead of counted as 0.0 hits, so the
+        cluster average reflects caching quality, not task placement;
+        ``None`` when every node was idle.
+        """
+        active = [r for r in self.per_node_hit_ratio if r is not None]
+        if not active:
+            return None
+        return sum(active) / len(active)
 
     @property
     def num_stages_executed(self) -> int:

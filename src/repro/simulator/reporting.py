@@ -36,7 +36,11 @@ def metrics_to_dict(metrics: RunMetrics) -> dict:
         "prefetched_mb": s.prefetched_mb,
         "failure_lost_blocks": metrics.failure_lost_blocks,
         "num_stages_executed": metrics.num_stages_executed,
+        # Per-node entries may be null: a node that served no cached
+        # reads has no defined hit ratio (it is excluded from the mean
+        # below rather than counted as 0.0).
         "per_node_hit_ratio": list(metrics.per_node_hit_ratio),
+        "mean_node_hit_ratio": metrics.mean_node_hit_ratio,
         "stages": [
             {
                 "seq": r.seq,

@@ -56,9 +56,10 @@ def test_accounting_invariants(scenario):
         assert cur.start == prev.end
         assert cur.seq == prev.seq + 1
 
-    # Access accounting balances against the static reference profile.
+    # Access accounting balances against the static reference profile:
+    # striding tasks cover each partition of each read RDD exactly once.
     expected_accesses = sum(
-        len(s.cache_reads) * s.num_tasks for s in dag.active_stages
+        r.num_partitions for s in dag.active_stages for r in s.cache_reads
     )
     assert stats.accesses == expected_accesses
     assert stats.hits + stats.misses == stats.accesses

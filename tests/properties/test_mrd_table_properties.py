@@ -74,6 +74,111 @@ def test_candidates_sorted_and_finite(refs):
     assert all(math.isfinite(d) for d in dists)
 
 
+class _BruteForceTable:
+    """The pre-optimization MrdTable semantics, stated naively.
+
+    Per-RDD sorted reference lists, a full scan of every list on every
+    advance, ``list.pop(0)`` consumption — the executable specification
+    the lazy-heap implementation must match observation for observation.
+    """
+
+    def __init__(self, metric: str = "stage") -> None:
+        self._coord = 0 if metric == "stage" else 1
+        self.refs: dict[int, list[tuple[int, int]]] = {}
+        self.position = 0
+
+    def add_references(self, references) -> None:
+        for r in references:
+            lst = self.refs.setdefault(r.rdd_id, [])
+            entry = (r.seq, r.job_id)
+            if entry not in lst:
+                lst.append(entry)
+                lst.sort()
+
+    def track(self, rdd_id: int) -> None:
+        self.refs.setdefault(rdd_id, [])
+
+    def forget(self, rdd_id: int) -> None:
+        self.refs.pop(rdd_id, None)
+
+    def advance(self, seq: int, job_id: int) -> None:
+        self.position = job_id if self._coord else seq
+        for lst in self.refs.values():
+            while lst and lst[0][self._coord] < self.position:
+                lst.pop(0)
+
+    def observation(self) -> tuple:
+        distances = {
+            rdd_id: float(lst[0][self._coord] - self.position) if lst else math.inf
+            for rdd_id, lst in self.refs.items()
+        }
+        candidates = sorted(
+            (d, r) for r, d in distances.items() if math.isfinite(d)
+        )
+        return (
+            sorted(self.refs),
+            distances,
+            sorted(r for r, lst in self.refs.items() if not lst),
+            candidates,
+            sum(len(lst) for lst in self.refs.values()),
+        )
+
+
+def _observe(t: MrdTable) -> tuple:
+    return (
+        t.tracked_rdd_ids(),
+        {r: t.distance(r) for r in t.tracked_rdd_ids()},
+        t.dead_rdds(),
+        t.candidates_by_distance(),
+        t.size(),
+    )
+
+
+@st.composite
+def operation_sequences(draw):
+    n = draw(st.integers(1, 25))
+    ops, seq = [], 0
+    for _ in range(n):
+        kind = draw(st.sampled_from(["add", "add", "advance", "advance",
+                                     "track", "forget"]))
+        if kind == "add":
+            batch = [
+                Reference(seq=s, job_id=s // 5, rdd_id=draw(st.integers(0, 5)))
+                for s in (draw(st.integers(0, 50)) for _ in range(draw(st.integers(1, 5))))
+            ]
+            ops.append(("add", batch))
+        elif kind == "advance":
+            seq += draw(st.integers(0, 8))
+            ops.append(("advance", seq))
+        else:
+            ops.append((kind, draw(st.integers(0, 5))))
+    return ops
+
+
+@settings(max_examples=120, deadline=None)
+@given(operation_sequences(), st.sampled_from(["stage", "job"]))
+def test_interleaved_operations_match_bruteforce(ops, metric):
+    """Any interleaving of add/advance/track/forget leaves the
+    lazy-heap table observationally identical to the naive model —
+    including references added behind the current position and RDDs
+    forgotten while their heap entries are still pending."""
+    fast, model = MrdTable(metric=metric), _BruteForceTable(metric=metric)
+    for kind, arg in ops:
+        if kind == "add":
+            fast.add_references(arg)
+            model.add_references(arg)
+        elif kind == "advance":
+            fast.advance(arg, arg // 5)
+            model.advance(arg, arg // 5)
+        elif kind == "track":
+            fast.track(arg)
+            model.track(arg)
+        else:
+            fast.forget(arg)
+            model.forget(arg)
+        assert _observe(fast) == model.observation()
+
+
 @settings(max_examples=60, deadline=None)
 @given(reference_sets(), st.integers(0, 50))
 def test_job_metric_is_coarser(refs, seq):

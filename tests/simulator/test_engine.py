@@ -34,8 +34,11 @@ class TestHitAccounting:
     def test_accesses_match_profile_reads(self):
         dag = build_dag(make_iterative_app(iterations=3))
         metrics = simulate(dag, small_config(), LruScheme())
+        # Tasks stride the partitions of each read RDD, so a stage
+        # touches every partition of every cached input exactly once
+        # regardless of its task count.
         expected_stage_reads = sum(
-            len(s.cache_reads) * s.num_tasks for s in dag.active_stages
+            r.num_partitions for s in dag.active_stages for r in s.cache_reads
         )
         assert metrics.stats.accesses == expected_stage_reads
 

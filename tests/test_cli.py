@@ -69,6 +69,31 @@ class TestCommands:
         with pytest.raises(SystemExit, match="unknown experiment"):
             main(["experiment", "fig99"])
 
+    def test_bench_writes_payload_and_passes_own_baseline(self, tmp_path, capsys):
+        out_file = tmp_path / "bench.json"
+        args = ["bench", "--tasks", "200", "--nodes", "4", "--repeats", "1"]
+        assert main(args + ["-o", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "metrics identical across schedulers: yes" in out
+        # A payload always passes a check against itself.
+        assert main(args + ["--check-baseline", str(out_file)]) == 0
+        assert "baseline check passed" in capsys.readouterr().out
+
+    def test_bench_no_reference_skips_comparison(self, capsys):
+        assert main(["bench", "--tasks", "200", "--nodes", "4",
+                     "--repeats", "1", "--no-reference"]) == 0
+        out = capsys.readouterr().out
+        assert "reference" not in out and "speedup" not in out
+
+    def test_bench_invalid_tasks_exits(self):
+        with pytest.raises(SystemExit, match="bench failed"):
+            main(["bench", "--tasks", "0"])
+
+    def test_bench_unreadable_baseline_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read baseline"):
+            main(["bench", "--tasks", "200", "--nodes", "4", "--repeats", "1",
+                  "--check-baseline", str(tmp_path / "missing.json")])
+
     def test_dot_lineage(self, capsys):
         assert main(["dot", "SP", "--view", "lineage"]) == 0
         out = capsys.readouterr().out
