@@ -21,6 +21,7 @@ import argparse
 import sys
 from typing import Callable, Optional, Sequence
 
+from repro.control.plane import CONTROL_PLANES, RpcConfig
 from repro.core.policy import MrdScheme
 from repro.dag.analysis import distance_stats, workload_characteristics
 from repro.experiments import (
@@ -33,6 +34,7 @@ from repro.experiments import (
     fig9,
     fig10,
     fig11_12,
+    fig_control_latency,
     table1,
     table3,
 )
@@ -84,6 +86,7 @@ _EXPERIMENTS = {
     "fig9": (fig9.run, fig9.render),
     "fig10": (fig10.run, fig10.render),
     "fig11_12": (fig11_12.run, fig11_12.render),
+    "fig_control_latency": (fig_control_latency.run, fig_control_latency.render),
 }
 
 
@@ -108,6 +111,37 @@ def _cluster(args: argparse.Namespace):
         return CLUSTERS[args.cluster]
     except KeyError:
         raise SystemExit(f"unknown cluster {args.cluster!r}; choose from {sorted(CLUSTERS)}")
+
+
+def _add_control_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--control-plane", choices=CONTROL_PLANES, default="instant",
+                   help="driver<->worker transport: instant (direct calls) "
+                        "or rpc (modeled latency/loss)")
+    p.add_argument("--control-latency", type=float, default=None,
+                   help="one-way rpc message latency in seconds "
+                        "(default: derived from the cluster network model)")
+    p.add_argument("--control-jitter", type=float, default=0.0,
+                   help="uniform extra rpc delay in [0, J] seconds "
+                        "(enables reordering)")
+    p.add_argument("--control-loss", type=float, default=0.0,
+                   help="rpc message loss probability in [0, 1]")
+    p.add_argument("--control-seed", type=int, default=0,
+                   help="RNG seed for rpc loss/jitter draws")
+
+
+def _control_kwargs(args: argparse.Namespace) -> dict:
+    if args.control_plane != "rpc":
+        return {"control_plane": args.control_plane}
+    try:
+        config = RpcConfig(
+            latency_s=args.control_latency,
+            jitter_s=args.control_jitter,
+            loss_rate=args.control_loss,
+            seed=args.control_seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad control-plane config: {exc}")
+    return {"control_plane": "rpc", "control_config": config}
 
 
 # ----------------------------------------------------------------------
@@ -142,9 +176,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         if args.cache_mb is not None
         else cache_mb_for(dag, args.cache_fraction, cluster)
     )
-    metrics = simulate(dag, cluster.with_cache(cache), _make_scheme(args))
+    metrics = simulate(
+        dag, cluster.with_cache(cache), _make_scheme(args), **_control_kwargs(args)
+    )
     print(f"cluster={cluster.name} cache={cache:.1f} MB/node")
     print(metrics.summary())
+    if metrics.control_plane != "instant":
+        print(f"control[{metrics.control_plane}] {metrics.control.summary()}")
     if args.verbose:
         for record in metrics.stage_records:
             print(f"  stage seq={record.seq:3d} job={record.job_id:3d} "
@@ -305,8 +343,13 @@ def cmd_trace_record(args: argparse.Namespace) -> int:
         "cache_mb": cache,
         "source": "recorded",
     })
-    metrics = simulate(dag, cluster.with_cache(cache), scheme, recorder=recorder)
+    metrics = simulate(
+        dag, cluster.with_cache(cache), scheme, recorder=recorder,
+        **_control_kwargs(args),
+    )
     print(metrics.summary())
+    if metrics.control_plane != "instant":
+        print(f"control[{metrics.control_plane}] {metrics.control.summary()}")
     print(f"recorded {len(recorder)} events")
     _write_trace_outputs(recorder, args)
     return 0
@@ -382,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--partitions", type=int, default=None)
     run_p.add_argument("--mode", choices=("recurring", "adhoc"), default="recurring")
     run_p.add_argument("--metric", choices=("stage", "job"), default="stage")
+    _add_control_args(run_p)
     run_p.add_argument("-v", "--verbose", action="store_true")
     run_p.set_defaults(func=cmd_run)
 
@@ -452,6 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
     record_p.add_argument("--iterations", type=int, default=None)
     record_p.add_argument("--partitions", type=int, default=None)
     _trace_run_args(record_p)
+    _add_control_args(record_p)
     record_p.set_defaults(func=cmd_trace_record)
 
     replay_p = trace_sub.add_parser(

@@ -54,24 +54,36 @@ class BlockManagerMaster:
         distance reached infinity (Algorithm 1, lines 13–17).  Returns
         the number of blocks dropped from memory.
         """
-        dropped = 0
-        for mgr in self.managers:
-            node_dropped = 0
-            for bid in [b for b in mgr.node.memory.block_ids() if b.rdd_id == rdd_id]:
-                if not mgr.node.memory.is_pinned(bid):
-                    if mgr.purge_block(bid, drop_disk=drop_disk):
-                        node_dropped += 1
-            if drop_disk:
-                for bid in [b for b in list(mgr.node.disk.block_ids()) if b.rdd_id == rdd_id]:
-                    mgr.node.disk.remove(bid)
-            dropped += node_dropped
-            rec = mgr.recorder
-            if rec.enabled and node_dropped:
-                rec.emit(Purge(
-                    t=rec.now, rdd_id=rdd_id, node_id=mgr.node.node_id,
-                    dropped_blocks=node_dropped, drop_disk=drop_disk,
-                ))
-        return dropped
+        return sum(
+            self.purge_rdd_on(mgr.node.node_id, rdd_id, drop_disk=drop_disk)
+            for mgr in self.managers
+        )
+
+    def purge_rdd_on(self, node_id: int, rdd_id: int, drop_disk: bool = False) -> int:
+        """Evict ``rdd_id``'s cached blocks on one node.
+
+        The control plane addresses purge orders per worker (one
+        :class:`~repro.control.messages.PurgeOrder` per node), so under
+        the rpc transport different nodes may apply the same purge at
+        different times.  Returns the number of blocks dropped from
+        memory on this node.
+        """
+        mgr = self.managers[node_id]
+        node_dropped = 0
+        for bid in [b for b in mgr.node.memory.block_ids() if b.rdd_id == rdd_id]:
+            if not mgr.node.memory.is_pinned(bid):
+                if mgr.purge_block(bid, drop_disk=drop_disk):
+                    node_dropped += 1
+        if drop_disk:
+            for bid in [b for b in list(mgr.node.disk.block_ids()) if b.rdd_id == rdd_id]:
+                mgr.node.disk.remove(bid)
+        rec = mgr.recorder
+        if rec.enabled and node_dropped:
+            rec.emit(Purge(
+                t=rec.now, rdd_id=rdd_id, node_id=mgr.node.node_id,
+                dropped_blocks=node_dropped, drop_disk=drop_disk,
+            ))
+        return node_dropped
 
     def memory_contains(self, block_id: BlockId) -> bool:
         return block_id in self.manager_for(block_id).node.memory

@@ -41,6 +41,20 @@ class NetworkModel:
             return 0.0
         return self.latency_s + size_mb / self.bandwidth_mb_per_s
 
+    def message_time(self, size_kb: float = 1.0) -> float:
+        """Seconds to deliver a control message of ``size_kb`` kilobytes.
+
+        Control traffic (purge orders, status reports, table broadcasts)
+        shares the interconnect with block fetches but is
+        latency-dominated: a kilobyte-scale message must never be billed
+        a block-sized bandwidth cost.  Unlike ``transfer_time``, the
+        propagation latency is charged even for a zero-byte payload —
+        an empty RPC still crosses the wire.
+        """
+        if size_kb < 0:
+            raise ValueError("size must be non-negative")
+        return self.latency_s + (size_kb / 1024.0) / self.bandwidth_mb_per_s
+
 
 @dataclass(frozen=True)
 class DiskModel:

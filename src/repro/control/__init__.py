@@ -1,0 +1,49 @@
+"""Explicit driver↔worker control plane: typed messages + transports.
+
+The paper's MRD (like LRC and MemTune) is a centralized design whose
+driver coordinates per-worker cache monitors over RPC.  This package
+makes that coordination path explicit: every MRDmanager↔CacheMonitor
+and BlockManagerMaster↔BlockManager interaction is a typed message
+(:mod:`repro.control.messages`) routed through a pluggable transport
+(:mod:`repro.control.plane`) — ``instant`` for the historical
+direct-call semantics, ``rpc`` for modeled latency, loss, jitter and
+the staleness they induce.
+"""
+
+from repro.control.messages import (
+    MESSAGE_TYPES,
+    CacheStatusReport,
+    ControlMessage,
+    PrefetchOrder,
+    PurgeOrder,
+    StageBoundary,
+    WorkerDeregister,
+    WorkerRegister,
+)
+from repro.control.plane import (
+    CONTROL_PLANES,
+    ControlPlane,
+    ControlPlaneStats,
+    InstantControlPlane,
+    RpcConfig,
+    RpcControlPlane,
+    build_control_plane,
+)
+
+__all__ = [
+    "CONTROL_PLANES",
+    "CacheStatusReport",
+    "ControlMessage",
+    "ControlPlane",
+    "ControlPlaneStats",
+    "InstantControlPlane",
+    "MESSAGE_TYPES",
+    "PrefetchOrder",
+    "PurgeOrder",
+    "RpcConfig",
+    "RpcControlPlane",
+    "StageBoundary",
+    "WorkerDeregister",
+    "WorkerRegister",
+    "build_control_plane",
+]

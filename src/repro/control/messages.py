@@ -1,0 +1,159 @@
+"""Control-plane message vocabulary: the driver↔worker wire types.
+
+The paper's MRD is a distributed design — a driver-side MRDmanager
+issuing cluster-wide orders over RPC to per-worker CacheMonitors (and
+Spark's ``BlockManagerMaster`` doing the same for block bookkeeping).
+Every such interaction is expressed here as one frozen dataclass; the
+:mod:`repro.control.plane` implementations decide *when* (and whether)
+each message is delivered.
+
+This module is deliberately dependency-free: messages carry plain ids
+and numbers, never live simulator objects, so a message captured at
+send time cannot observe state changes that happen while it is in
+flight — exactly the staleness the rpc plane models.
+
+Conventions
+-----------
+* ``sent_at`` is the simulated send time (seconds).
+* ``node_id`` is the worker endpoint: the destination for driver→worker
+  messages (orders, table broadcasts) and the source for worker→driver
+  messages (status reports, registration).
+* ``is_order`` marks messages whose send→apply delay feeds the
+  order-to-apply latency metric (purges and prefetches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """Base class: every message has a send timestamp and a worker endpoint."""
+
+    kind = "control"
+    #: True for driver orders whose send→apply delay is metered.
+    is_order = False
+
+    sent_at: float
+    node_id: int
+
+
+# ----------------------------------------------------------------------
+# driver → worker
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PurgeOrder(ControlMessage):
+    """Drop every cached block of one dead RDD on one worker.
+
+    The MRDmanager's "all-out purge" (Algorithm 1, lines 13–17), fanned
+    out as one message per worker.  ``issued_seq`` is the active-stage
+    boundary the order was decided at; a worker that receives the order
+    after the RDD's distance became finite again treats it as stale and
+    refuses to purge live data.
+    """
+
+    kind = "purge_order"
+    is_order = True
+
+    rdd_id: int
+    issued_seq: int
+    drop_disk: bool = False
+
+
+@dataclass(frozen=True)
+class PrefetchOrder(ControlMessage):
+    """Fetch one disk-resident block into memory on its home worker.
+
+    Carries the block identity by value (not a live ``Block``) so a
+    delayed order describes the block as the manager believed it to be.
+    An order delivered after the stage that wanted it has started counts
+    as stale but is still attempted — the data may help a later stage.
+    """
+
+    kind = "prefetch_order"
+    is_order = True
+
+    rdd_id: int
+    partition: int
+    size_mb: float
+    rdd_name: str
+    issued_seq: int
+
+
+@dataclass(frozen=True)
+class StageBoundary(ControlMessage):
+    """Stage-advance broadcast carrying the driver's MRD_Table snapshot.
+
+    ``distances`` maps every tracked rdd id to its reference distance
+    *after* the boundary's table advance; untracked rdds are implicitly
+    infinite.  Workers replace their local distance view on delivery, so
+    under rpc latency a worker evicts against the previous boundary's
+    distances until the broadcast lands.  The snapshot dict is frozen by
+    convention: the driver builds a fresh one per boundary and nobody
+    mutates it afterwards.
+    """
+
+    kind = "stage_boundary"
+
+    seq: int
+    distances: Mapping[int, float]
+
+
+# ----------------------------------------------------------------------
+# worker → driver
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CacheStatusReport(ControlMessage):
+    """Periodic per-worker cache status (``reportCacheStatus``).
+
+    ``hit_ratio`` is ``None`` for a worker that has served no cached
+    reads yet (idle for accounting purposes).  The driver keeps the
+    newest report per worker and drops out-of-order arrivals.
+    """
+
+    kind = "cache_status"
+
+    used_mb: float
+    free_mb: float
+    hit_ratio: Optional[float]
+    num_blocks: int
+
+
+@dataclass(frozen=True)
+class WorkerRegister(ControlMessage):
+    """A worker (or its replacement after a failure) joined the cluster.
+
+    On delivery the driver re-sends its current MRD_Table snapshot to
+    the worker — the paper's fault-tolerance story (§4.4): the local
+    reference-distance profile is lost with the worker and must be
+    re-issued.
+    """
+
+    kind = "worker_register"
+
+    reason: str = "startup"
+
+
+@dataclass(frozen=True)
+class WorkerDeregister(ControlMessage):
+    """A worker left the cluster; the driver forgets its cached status."""
+
+    kind = "worker_deregister"
+
+    reason: str = "failure"
+
+
+#: Wire tag -> message class (mirrors the trace-event registry idiom).
+MESSAGE_TYPES: dict[str, type[ControlMessage]] = {
+    cls.kind: cls
+    for cls in (
+        PurgeOrder,
+        PrefetchOrder,
+        StageBoundary,
+        CacheStatusReport,
+        WorkerRegister,
+        WorkerDeregister,
+    )
+}

@@ -1,22 +1,30 @@
 """CacheMonitor: MRD's per-worker eviction logic.
 
-Deployed on every node, the monitor holds a (conceptual) copy of the
-reference-distance profile — here a handle to the shared
-:class:`MrdManager`, since a deterministic simulator needs no message
-passing — and picks eviction victims locally: the block with the
-*greatest* reference distance goes first, infinite-distance blocks
-leading, ties broken by least recent use.  It also reports cache status
-back to the manager (``reportCacheStatus`` in the paper's API table).
+Deployed on every node, the monitor holds a copy of the
+reference-distance profile — refreshed by the driver's per-boundary
+:class:`~repro.control.messages.StageBoundary` table broadcast, with a
+fall-through to the shared :class:`MrdManager` for monitors that were
+never wired through a control plane (unit tests, direct construction) —
+and picks eviction victims locally: the block with the *greatest*
+reference distance goes first, infinite-distance blocks leading, ties
+broken by least recent use.  It also reports cache status back to the
+manager (``reportCacheStatus`` in the paper's API table).
+
+Under the ``rpc`` control plane the broadcast arrives late, so the
+monitor evicts against the *previous* boundary's distances until the
+new snapshot lands — the worker-side staleness the distributed design
+has to live with.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterator, Mapping, Optional
 
 from repro.cluster.block import Block, BlockId
 from repro.core.manager import MrdManager
+from repro.core.mrd_table import INFINITE
 from repro.policies.base import EvictionPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -25,13 +33,50 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass(frozen=True)
 class CacheStatus:
-    """Periodic node report consumed by the MRDmanager."""
+    """Periodic node report consumed by the MRDmanager.
+
+    ``hit_ratio`` is ``None`` for a node that has served no cached
+    reads yet (``BlockManagerStats.hit_ratio`` reports idle nodes as
+    ``None`` rather than dragging cluster averages to zero).
+    """
 
     node_id: int
     used_mb: float
     free_mb: float
-    hit_ratio: float
+    hit_ratio: Optional[float]
     num_blocks: int
+
+
+class MrdTableView:
+    """Worker-local view of the driver's MRD_Table.
+
+    Distance lookups go through the last delivered table broadcast when
+    one exists; before any broadcast (or outside an engine run) they
+    fall back to the live shared manager — which is exactly what an
+    instantly-delivered snapshot would answer, since the table only
+    changes at stage boundaries.
+    """
+
+    #: Last delivered snapshot (shared, read-only) and its boundary seq.
+    _distances: Optional[Mapping[int, float]] = None
+    _view_seq: int = -1
+
+    def on_table_update(self, seq: int, distances: Mapping[int, float]) -> bool:
+        """Replace the local view; refuse snapshots older than held."""
+        if seq < self._view_seq:
+            return False
+        self._view_seq = seq
+        self._distances = distances
+        return True
+
+    def lookup_distance(self, rdd_id: int) -> float:
+        view = self._distances
+        if view is not None:
+            return view.get(rdd_id, INFINITE)
+        return self._live_distance(rdd_id)
+
+    def _live_distance(self, rdd_id: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
 
 
 #: Tie-breaking rules for blocks with equal reference distance.  The
@@ -48,7 +93,7 @@ class CacheStatus:
 TIE_BREAKERS = ("partition", "size", "creation")
 
 
-class CacheMonitor(EvictionPolicy):
+class CacheMonitor(MrdTableView, EvictionPolicy):
     """Greatest-reference-distance eviction for one node."""
 
     name = "MRD-CacheMonitor"
@@ -67,6 +112,9 @@ class CacheMonitor(EvictionPolicy):
         self._last_touch: dict[BlockId, int] = {}
         #: Block sizes observed at insertion (for the "size" rule).
         self._sizes: dict[BlockId, float] = {}
+
+    def _live_distance(self, rdd_id: int) -> float:
+        return self.manager.distance(rdd_id)
 
     def on_insert(self, block: Block) -> None:
         self._last_touch[block.id] = next(self._touch)
@@ -99,7 +147,7 @@ class CacheMonitor(EvictionPolicy):
         return all(incoming > self._evict_key(v) for v in victims)
 
     def _evict_key(self, bid: BlockId) -> tuple[float, float, int, int]:
-        dist = self.manager.distance(bid.rdd_id)
+        dist = self.lookup_distance(bid.rdd_id)
         if self.tie_breaker == "size":
             tie = -self._sizes.get(bid, 0.0)
         elif self.tie_breaker == "creation":
@@ -108,8 +156,15 @@ class CacheMonitor(EvictionPolicy):
             tie = 0.0
         return (-dist, tie, -bid.partition, -bid.rdd_id)
 
-    def report_cache_status(self, store: "MemoryStore", hit_ratio: float) -> CacheStatus:
-        """Build the periodic status report for the MRDmanager."""
+    def report_cache_status(
+        self, store: "MemoryStore", hit_ratio: Optional[float]
+    ) -> CacheStatus:
+        """Build the periodic status report for the MRDmanager.
+
+        ``hit_ratio`` may be ``None`` for a node that has served no
+        cached reads yet; the report forwards it untouched and the
+        manager's consumers treat such nodes as idle.
+        """
         return CacheStatus(
             node_id=self.node_id,
             used_mb=store.used_mb,

@@ -12,12 +12,16 @@ the largest-distance blocks).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.cluster.block import Block, BlockId
 from repro.cluster.cluster import Cluster
 from repro.core.app_profiler import AppProfiler
 from repro.core.mrd_table import INFINITE, MrdTable
 from repro.dag.dag_builder import ApplicationDAG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.control.messages import CacheStatusReport
 
 
 @dataclass(frozen=True)
@@ -138,6 +142,11 @@ class MrdManager:
         #: paper's storage-overhead metric (§4.4: "the largest MRD_Table
         #: ... contained less than 300 references").
         self.max_table_size = self.table.size()
+        #: Latest cache-status report per node, as delivered through the
+        #: control plane.  Under the instant plane this always matches
+        #: live state at selection time; under rpc it lags by at least
+        #: one message latency.
+        self.status_view: dict[int, "CacheStatusReport"] = {}
 
     # ------------------------------------------------------------------
     # lifecycle notifications from the scheduler
@@ -155,6 +164,34 @@ class MrdManager:
     def on_block_created(self, rdd_id: int) -> None:
         """A cached RDD's blocks entered the cluster (first computation)."""
         self._materialized.add(rdd_id)
+
+    def on_cache_status(self, report: "CacheStatusReport") -> None:
+        """A worker's ``reportCacheStatus`` message arrived at the driver.
+
+        Keeps the newest report per node by send time — a reordered rpc
+        delivery carrying older data than the view must not regress it.
+        """
+        held = self.status_view.get(report.node_id)
+        if held is not None and held.sent_at > report.sent_at:
+            return
+        self.status_view[report.node_id] = report
+
+    def on_worker_deregister(self, node_id: int) -> None:
+        """A worker left the cluster: its reported status is void."""
+        self.status_view.pop(node_id, None)
+
+    def reported_hit_ratio(self) -> Optional[float]:
+        """Mean hit ratio across reporting nodes, ignoring idle ones.
+
+        Nodes that have served no cached reads report ``hit_ratio=None``
+        and are excluded; returns ``None`` when no node has data yet.
+        """
+        ratios = [
+            r.hit_ratio for r in self.status_view.values() if r.hit_ratio is not None
+        ]
+        if not ratios:
+            return None
+        return sum(ratios) / len(ratios)
 
     def on_stage_start(self, seq: int, cluster: Cluster) -> StagePlan:
         """Advance distances; emit purge + prefetch orders."""
@@ -199,7 +236,19 @@ class MrdManager:
         master = cluster.master
         rdds = self.dag.app.rdds
         capacity = {n.node_id: n.memory.capacity_mb for n in cluster.nodes}
-        free = {n.node_id: n.memory.free_mb for n in cluster.nodes}
+        # Free memory starts from each node's *reported* status when one
+        # has been delivered (the paper's reportCacheStatus loop) and
+        # falls back to live state for nodes that never reported.  Block
+        # residency and the worst-resident distance below stay live — a
+        # modelling simplification documented in docs/architecture.md.
+        free = {
+            n.node_id: (
+                self.status_view[n.node_id].free_mb
+                if n.node_id in self.status_view
+                else n.memory.free_mb
+            )
+            for n in cluster.nodes
+        }
         issued = {n.node_id: 0 for n in cluster.nodes}
         # Worst (largest) resident distance per node, for the guarded
         # forced-prefetch path; computed once per stage boundary.

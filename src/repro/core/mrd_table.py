@@ -185,6 +185,16 @@ class MrdTable:
         """Tracked RDDs whose reference list has emptied (infinite distance)."""
         return sorted(r for r, queue in self._refs.items() if not len(queue))
 
+    def snapshot(self) -> dict[int, float]:
+        """Current distance of every tracked RDD, as a plain mapping.
+
+        This is what the driver broadcasts to workers at a stage
+        boundary (and re-issues to a re-registered worker, §4.4): RDDs
+        absent from the snapshot are implicitly at infinite distance,
+        matching :meth:`distance` for unknown ids.
+        """
+        return {rdd_id: self.distance(rdd_id) for rdd_id in self._refs}
+
     def candidates_by_distance(self) -> list[tuple[float, int]]:
         """(distance, rdd_id) for all finite-distance RDDs, nearest first."""
         coord = self._coord

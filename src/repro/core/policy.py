@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING
 
 from repro.cluster.cluster import Cluster
 from repro.core.app_profiler import AppProfiler, ProfileStore
-from repro.core.cache_monitor import CacheMonitor
+from repro.core.cache_monitor import CacheMonitor, MrdTableView
 from repro.core.manager import MrdConfig, MrdManager
 from repro.dag.dag_builder import ApplicationDAG
 from repro.policies.base import EvictionPolicy
@@ -31,9 +31,10 @@ from repro.policies.scheme import CacheScheme, StageOrders
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.block import Block, BlockId
     from repro.cluster.memory_store import MemoryStore
+    from repro.control.messages import CacheStatusReport
 
 
-class PrefetchAwareLruPolicy(LruPolicy):
+class PrefetchAwareLruPolicy(MrdTableView, LruPolicy):
     """LRU demand eviction + distance-aware prefetch eviction.
 
     The node policy of the *prefetch-only* MRD variant: ordinary
@@ -41,7 +42,9 @@ class PrefetchAwareLruPolicy(LruPolicy):
     prefetch forces memory pressure the victim is the block with the
     largest reference distance (Algorithm 1's prefetching phase), and a
     prefetch is refused rather than allowed to displace blocks more
-    urgent than the incoming one.
+    urgent than the incoming one.  Distances come from the worker's
+    delivered table view (:class:`MrdTableView`), so under the rpc
+    control plane they can lag the driver by a boundary.
     """
 
     name = "LRU+MRD-prefetch"
@@ -49,6 +52,9 @@ class PrefetchAwareLruPolicy(LruPolicy):
     def __init__(self, manager: MrdManager) -> None:
         super().__init__()
         self._manager = manager
+
+    def _live_distance(self, rdd_id: int) -> float:
+        return self._manager.distance(rdd_id)
 
     def prefetch_eviction_order(self, store: "MemoryStore"):
         return iter(sorted(store.block_ids(), key=self._distance_key))
@@ -58,7 +64,7 @@ class PrefetchAwareLruPolicy(LruPolicy):
         return all(incoming > self._distance_key(v) for v in victims)
 
     def _distance_key(self, bid: "BlockId") -> tuple[float, int, int]:
-        return (-self._manager.distance(bid.rdd_id), -bid.partition, -bid.rdd_id)
+        return (-self.lookup_distance(bid.rdd_id), -bid.partition, -bid.rdd_id)
 
 
 class MrdScheme(CacheScheme):
@@ -129,12 +135,26 @@ class MrdScheme(CacheScheme):
         return StageOrders(
             purge_rdds=plan.purge_rdds if self.evict else [],
             prefetches=plan.prefetches if self.prefetch else [],
+            table_snapshot=self.manager.table.snapshot(),
         )
 
     def on_block_created(self, rdd_id: int) -> None:
         """Engine callback: a cached RDD's blocks now exist."""
         assert self.manager is not None
         self.manager.on_block_created(rdd_id)
+
+    def on_cache_status(self, report: "CacheStatusReport") -> None:
+        assert self.manager is not None
+        self.manager.on_cache_status(report)
+
+    def on_worker_deregister(self, node_id: int) -> None:
+        assert self.manager is not None
+        self.manager.on_worker_deregister(node_id)
+
+    def table_snapshot(self) -> Optional[dict[int, float]]:
+        """Fresh snapshot for a (re-)registering worker (paper §4.4)."""
+        assert self.manager is not None
+        return self.manager.table.snapshot()
 
     def reference_distance(self, rdd_id: int) -> Optional[float]:
         """The MRD_Table's current distance (trace-recorder hook)."""

@@ -16,6 +16,7 @@ from repro.experiments import (  # noqa: F401
     fig9,
     fig10,
     fig11_12,
+    fig_control_latency,
     table1,
     table3,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "fig7",
     "fig8",
     "fig9",
+    "fig_control_latency",
     "format_table",
     "sweep_workload",
     "table1",

@@ -1,0 +1,102 @@
+"""Control-latency sensitivity — how coordination delay erodes MRD.
+
+MRD is a *centralized* design: purge and prefetch orders, distance-table
+broadcasts and cache-status reports all cross the driver↔worker control
+plane.  The paper runs on a LAN where that latency is negligible; this
+experiment asks how much of MRD's advantage survives when it is not.
+Each workload×scheme cell is simulated under the ``rpc`` control plane
+at increasing one-way latency and normalized against the same scheme on
+the ``instant`` plane (latency 0).  LRU exchanges no distance state —
+its orders-free control traffic cannot change eviction decisions — so
+its row stays flat at 1.0 and acts as the control group, while MRD
+degrades as purges land late, prefetches miss their stage and workers
+evict against stale distance views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control.plane import RpcConfig
+from repro.core.policy import MrdScheme
+from repro.experiments.harness import build_workload_dag, cache_mb_for, format_table
+from repro.policies.scheme import LruScheme
+from repro.simulator.config import MAIN_CLUSTER
+from repro.simulator.engine import simulate
+
+CONTROL_WORKLOADS: tuple[str, ...] = ("KM", "PR")
+#: One-way control-message latencies (seconds of simulated time).
+CONTROL_LATENCIES: tuple[float, ...] = (0.0, 0.5, 2.0, 8.0)
+CACHE_FRACTION = 0.4
+
+_SCHEMES = {"LRU": LruScheme, "MRD": MrdScheme}
+
+
+@dataclass(frozen=True)
+class ControlLatencyRow:
+    workload: str
+    scheme: str
+    latency_s: float
+    jct: float
+    #: JCT relative to the same scheme under the instant plane.
+    norm_jct: float
+    hit_ratio: float
+    msgs_sent: int
+    msgs_delivered: int
+    stale_orders: int
+    mean_order_delay: float
+
+
+def run(
+    workloads: tuple[str, ...] = CONTROL_WORKLOADS,
+    latencies: tuple[float, ...] = CONTROL_LATENCIES,
+    cache_fraction: float = CACHE_FRACTION,
+) -> list[ControlLatencyRow]:
+    rows: list[ControlLatencyRow] = []
+    for name in workloads:
+        dag = build_workload_dag(name)
+        cluster = MAIN_CLUSTER.with_cache(
+            cache_mb_for(dag, cache_fraction, MAIN_CLUSTER)
+        )
+        for scheme_name, factory in _SCHEMES.items():
+            baseline = simulate(dag, cluster, factory())
+            for latency in latencies:
+                m = simulate(
+                    dag, cluster, factory(),
+                    control_plane="rpc",
+                    control_config=RpcConfig(latency_s=latency),
+                )
+                rows.append(
+                    ControlLatencyRow(
+                        workload=name,
+                        scheme=scheme_name,
+                        latency_s=latency,
+                        jct=m.jct,
+                        norm_jct=m.normalized_jct(baseline),
+                        hit_ratio=m.hit_ratio,
+                        msgs_sent=m.control.sent,
+                        msgs_delivered=m.control.delivered,
+                        stale_orders=m.control.stale_orders,
+                        mean_order_delay=m.control.mean_order_delay,
+                    )
+                )
+    return rows
+
+
+def render(rows: list[ControlLatencyRow]) -> str:
+    table = [
+        (
+            r.workload, r.scheme, r.latency_s,
+            round(r.jct, 2), round(r.norm_jct, 3),
+            f"{r.hit_ratio * 100:.0f}%",
+            f"{r.msgs_delivered}/{r.msgs_sent}",
+            r.stale_orders, round(r.mean_order_delay, 2),
+        )
+        for r in rows
+    ]
+    return format_table(
+        ["Workload", "Scheme", "Latency", "JCT", "vs instant", "Hit",
+         "Msgs", "Stale", "OrderDelay"],
+        table,
+        title="Control-plane latency sensitivity (rpc vs instant, per scheme)",
+    )

@@ -14,7 +14,7 @@ they only rank blocks.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Optional
 
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -53,6 +53,16 @@ class EvictionPolicy(abc.ABC):
 
     def advance_stage(self, seq: int) -> None:
         """The application moved to active stage ``seq`` (optional hook)."""
+
+    def on_table_update(self, seq: int, distances: "Mapping[int, float]") -> bool:
+        """A driver distance-table broadcast reached this node.
+
+        Distance-view policies (MRD's CacheMonitor) replace their local
+        reference-distance snapshot here; everyone else ignores it.
+        Returns ``False`` when the broadcast was older than the view
+        already held (a stale, reordered delivery), ``True`` otherwise.
+        """
+        return True
 
     def admit_over(self, block: "Block", victims: list["BlockId"], store: "MemoryStore") -> bool:
         """Should ``block`` be inserted at the cost of evicting ``victims``?

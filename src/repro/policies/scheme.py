@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.cluster.block import Block, BlockId
 from repro.cluster.cluster import Cluster
@@ -32,6 +32,9 @@ from repro.policies.memtune import MemTunePolicy
 from repro.policies.profile_oracle import ProfileOracle
 from repro.policies.random_policy import RandomPolicy
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.control.messages import CacheStatusReport
+
 
 @dataclass
 class StageOrders:
@@ -42,6 +45,10 @@ class StageOrders:
     #: that are disk-resident and not in memory; best (lowest distance)
     #: first per node.
     prefetches: list[Block] = field(default_factory=list)
+    #: Driver distance-table snapshot to broadcast to every worker
+    #: (``None`` for schemes whose node policies hold no distance view).
+    #: Built fresh per boundary and never mutated afterwards.
+    table_snapshot: Optional[dict[int, float]] = None
 
 
 class CacheScheme(abc.ABC):
@@ -66,6 +73,25 @@ class CacheScheme(abc.ABC):
 
     def on_block_created(self, rdd_id: int) -> None:
         """A cached RDD's blocks were computed for the first time."""
+
+    def on_cache_status(self, report: "CacheStatusReport") -> None:
+        """A worker's periodic cache-status report reached the driver.
+
+        Delivered through the control plane, so under the rpc transport
+        the driver's view of worker memory lags reality by at least one
+        message latency (typically one stage boundary).
+        """
+
+    def on_worker_deregister(self, node_id: int) -> None:
+        """A worker left the cluster; forget its reported status."""
+
+    def table_snapshot(self) -> Optional[dict[int, float]]:
+        """Fresh distance-table snapshot for (re-)registered workers.
+
+        Distance-tracking schemes return the mapping the driver would
+        broadcast at a stage boundary; others return ``None``.
+        """
+        return None
 
     def reference_distance(self, rdd_id: int) -> Optional[float]:
         """Current reference distance of ``rdd_id``, if tracked.

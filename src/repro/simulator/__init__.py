@@ -10,11 +10,12 @@ from repro.simulator.config import (
 )
 from repro.simulator.costmodel import CostModel
 from repro.simulator.engine import SimulationError, SparkSimulator, simulate
-from repro.simulator.failures import FailurePlan, NodeFailure
+from repro.simulator.failures import ControlOutage, FailurePlan, NodeFailure
 from repro.simulator.metrics import RunMetrics, StageRecord
 
 __all__ = [
     "CLUSTERS",
+    "ControlOutage",
     "CostModel",
     "DEFAULT_CACHE_MB",
     "FailurePlan",

@@ -28,21 +28,47 @@ Two interchangeable scheduling cores implement the start-time order
   executable specification: the equivalence suite asserts both cores
   produce identical :class:`RunMetrics` on every registered workload,
   and the ``repro bench`` harness measures the speedup between them.
+
+Every driver↔worker interaction — purge orders, prefetch orders, table
+broadcasts, cache-status reports, worker (de)registration — travels
+through a :class:`~repro.control.plane.ControlPlane` as a typed
+:mod:`~repro.control.messages` message.  The default ``"instant"``
+plane delivers synchronously in send order and reproduces the old
+direct-call semantics exactly; the ``"rpc"`` plane delays delivery by
+modeled network latency (plus optional jitter and loss), so workers act
+on possibly-stale reference-distance state — see the "Control plane"
+section of ``docs/architecture.md``.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
-from typing import Optional
+from typing import Optional, Union
 
 from repro.cluster.block import Block, BlockId, block_of
 from repro.cluster.block_manager import AccessOutcome, BlockManager
 from repro.cluster.cluster import Cluster, ClusterConfig, build_cluster
+from repro.control.messages import (
+    CacheStatusReport,
+    ControlMessage,
+    PrefetchOrder,
+    PurgeOrder,
+    StageBoundary,
+    WorkerDeregister,
+    WorkerRegister,
+)
+from repro.control.plane import (
+    CONTROL_PLANES,
+    ControlPlane,
+    RpcConfig,
+    build_control_plane,
+)
 from repro.dag.dag_builder import ApplicationDAG
 from repro.dag.rdd import RDD, ShuffleDependency
 from repro.dag.structures import Stage
-from repro.policies.scheme import CacheScheme
+from repro.policies.scheme import CacheScheme, StageOrders
 from repro.simulator.costmodel import CostModel
 from repro.simulator.failures import FailurePlan
 from repro.simulator.metrics import RunMetrics, StageRecord
@@ -78,10 +104,16 @@ class SparkSimulator:
         failure_plan: Optional[FailurePlan] = None,
         recorder: Optional[TraceRecorder] = None,
         scheduler: str = "event",
+        control_plane: Union[str, ControlPlane] = "instant",
+        control_config: Optional[RpcConfig] = None,
     ) -> None:
         if scheduler not in SCHEDULERS:
             raise ValueError(
                 f"scheduler must be one of {SCHEDULERS}, got {scheduler!r}"
+            )
+        if isinstance(control_plane, str) and control_plane not in CONTROL_PLANES:
+            raise ValueError(
+                f"control_plane must be one of {CONTROL_PLANES}, got {control_plane!r}"
             )
         self.dag = dag
         self.cluster_config = cluster_config
@@ -98,6 +130,19 @@ class SparkSimulator:
         self.promote_on_miss = promote_on_miss
         self.failure_plan = failure_plan
         self.cluster: Optional[Cluster] = None
+        #: The run's control-plane transport (reset at every run start).
+        self.control_config = control_config
+        self.control: ControlPlane = (
+            control_plane
+            if isinstance(control_plane, ControlPlane)
+            else build_control_plane(
+                control_plane, control_config, cluster_config.network
+            )
+        )
+        #: Active-stage seq the driver is currently processing; receiver
+        #: callbacks compare it against a message's ``issued_seq`` to
+        #: judge staleness.
+        self._current_seq = 0
         #: Time-ordered prefetch completions: ``(done, seq, node_id,
         #: block_id)``.  ``seq`` is a monotone issue counter so entries
         #: with equal completion times pop in issue order and block ids
@@ -124,16 +169,36 @@ class SparkSimulator:
         self.cluster = build_cluster(self.cluster_config, self.scheme.policy_factory)
         self._prefetch_heap = []
         self._prefetch_seq = 0
+        self._current_seq = 0
         master = self.cluster.master
         if rec.enabled:
             for mgr in master.managers:
                 mgr.recorder = rec
+        control = self.control
+        control.reset()
+        control.recorder = rec
+        plan = self.failure_plan
+        if plan is not None and plan.outages:
+            control.outage_loss = lambda msg: plan.control_loss(
+                self._current_seq, msg.node_id
+            )
+        else:
+            control.outage_loss = None
+        # Initial worker registration is synchronous on every plane:
+        # Spark blocks on executor registration before scheduling work.
+        for node in self.cluster.nodes:
+            control.send_local(
+                WorkerRegister(sent_at=0.0, node_id=node.node_id),
+                self._deliver_register,
+            )
         now = 0.0
         current_job = -1
         records: list[StageRecord] = []
 
         lost_blocks = 0
+        last_seq = 0
         for stage in self.dag.active_stages:
+            self._current_seq = last_seq = stage.seq
             if stage.job_id != current_job:
                 # Previous jobs finished: apply their unpersist events.
                 for j in range(max(current_job, 0), stage.job_id):
@@ -144,8 +209,28 @@ class SparkSimulator:
                     if rec.enabled:
                         rec.emit(JobStart(t=now, job_id=j))
                 current_job = stage.job_id
-            if self.failure_plan is not None:
-                lost_blocks += self.failure_plan.apply(stage.seq, self.cluster)
+            if plan is not None:
+                failed = plan.failures_at(stage.seq)
+                lost_blocks += plan.apply(stage.seq, self.cluster)
+                # The replacement re-registers through the control plane;
+                # on (possibly delayed) delivery the driver re-issues the
+                # distance-table snapshot (paper §4.4).
+                for failure in failed:
+                    control.send(
+                        WorkerDeregister(sent_at=now, node_id=failure.node_id),
+                        self._deliver_deregister,
+                    )
+                    control.send(
+                        WorkerRegister(
+                            sent_at=now, node_id=failure.node_id, reason="replacement"
+                        ),
+                        self._deliver_register,
+                    )
+            # Reports are sent before the pump so a zero-latency rpc
+            # plane delivers them (deliver_at == now) before the scheme
+            # plans the boundary — exactly the instant plane's ordering.
+            self._send_status_reports(now)
+            control.pump(now)
             if rec.enabled:
                 rec.now = now
                 rec.emit(StageStart(
@@ -153,9 +238,7 @@ class SparkSimulator:
                     job_id=stage.job_id, num_tasks=stage.num_tasks,
                 ))
             orders = self.scheme.on_stage_start(stage.seq, self.cluster)
-            for rdd_id in orders.purge_rdds:
-                master.purge_rdd(rdd_id, drop_disk=False)
-            self._issue_prefetches(orders.prefetches, now)
+            self._dispatch_stage_orders(stage.seq, orders, now)
             start = now
             now = self._run_stage(stage, start)
             if rec.enabled:
@@ -174,6 +257,10 @@ class SparkSimulator:
                 )
             )
 
+        # Drain messages still in flight when the application ended, so
+        # sent == delivered + dropped and late orders are counted stale.
+        self._current_seq = last_seq + 1
+        control.pump(math.inf)
         self._apply_unpersists(current_job)
         self.scheme.finalize()
         stats = master.total_stats()
@@ -186,6 +273,8 @@ class SparkSimulator:
             per_node_hit_ratio=[m.stats.hit_ratio for m in master.managers],
             cache_mb_per_node=self.cluster_config.cache_mb_per_node,
             failure_lost_blocks=lost_blocks,
+            control_plane=control.name,
+            control=control.stats,
         )
 
     # ------------------------------------------------------------------
@@ -242,10 +331,13 @@ class SparkSimulator:
         heapq.heapify(ready)
 
         # Hot loop: bind everything invariant to locals.  The prefetch
-        # heap object is stable for the whole run (only mutated in
-        # place), so the peek guard replaces a method call per task.
+        # and control heaps are stable objects for the whole run (only
+        # mutated in place), so the peek guards replace a method call
+        # per task; the instant plane's heap is permanently empty.
         heappop, heappush = heapq.heappop, heapq.heappush
         prefetch_heap = self._prefetch_heap
+        control = self.control
+        control_heap = control.heap
         run_task = self._run_task
         stage_end = start
         remaining = stage.num_tasks
@@ -254,6 +346,10 @@ class SparkSimulator:
             queue = pending[node_id]
             if not queue:
                 continue  # node drained while this slot was busy: retire it
+            # Control deliveries first: a delivered prefetch order may
+            # push an already-due completion onto the prefetch heap.
+            if control_heap and control_heap[0][0] <= t0:
+                control.pump(t0)
             if prefetch_heap and prefetch_heap[0][0] <= t0:
                 self._apply_due_prefetches(t0)
             p = queue.popleft()
@@ -287,6 +383,7 @@ class SparkSimulator:
                 key=lambda n: slots[n][0],
             )
             t0 = heapq.heappop(slots[node_id])
+            self.control.pump(t0)
             self._apply_due_prefetches(t0)
             p = pending[node_id].popleft()
             t_end = self._run_task(stage, p, node_id, t0, per_node_fixed[node_id])
@@ -415,31 +512,163 @@ class SparkSimulator:
         return total
 
     # ------------------------------------------------------------------
+    # control-plane dispatch and delivery
+    # ------------------------------------------------------------------
+    def _dispatch_stage_orders(
+        self, seq: int, orders: StageOrders, now: float
+    ) -> None:
+        """Turn a scheme's stage-boundary orders into control messages.
+
+        Send order (which under instant is also apply order, matching
+        the old direct-call path exactly): the table broadcast first —
+        workers must evict against post-advance distances — then purge
+        orders fanned out one message per (rdd, node) in node order,
+        then prefetch orders in the scheme's selection order.
+        """
+        assert self.cluster is not None
+        control = self.control
+        master = self.cluster.master
+        snap = orders.table_snapshot
+        if snap is not None:
+            for node in self.cluster.nodes:
+                control.send(
+                    StageBoundary(
+                        sent_at=now, node_id=node.node_id, seq=seq, distances=snap
+                    ),
+                    self._deliver_table,
+                )
+        for rdd_id in orders.purge_rdds:
+            for node_id in range(master.num_nodes):
+                control.send(
+                    PurgeOrder(
+                        sent_at=now, node_id=node_id, rdd_id=rdd_id, issued_seq=seq
+                    ),
+                    self._deliver_purge,
+                )
+        for block in orders.prefetches:
+            control.send(
+                PrefetchOrder(
+                    sent_at=now,
+                    node_id=master.home_node_id(block.id),
+                    rdd_id=block.id.rdd_id,
+                    partition=block.id.partition,
+                    size_mb=block.size_mb,
+                    rdd_name=block.rdd_name,
+                    issued_seq=seq,
+                ),
+                self._deliver_prefetch,
+            )
+
+    def _send_status_reports(self, now: float) -> None:
+        """Every worker reports its cache status (``reportCacheStatus``).
+
+        Sent before ``on_stage_start`` each boundary: under the instant
+        plane the manager therefore selects prefetches from exactly the
+        live free-memory values it used to read directly; under rpc the
+        report lands a boundary late and the driver plans on stale data.
+        """
+        for mgr in self.cluster.master.managers:
+            node = mgr.node
+            self.control.send(
+                CacheStatusReport(
+                    sent_at=now,
+                    node_id=node.node_id,
+                    used_mb=node.memory.used_mb,
+                    free_mb=node.memory.free_mb,
+                    hit_ratio=mgr.stats.hit_ratio,
+                    num_blocks=len(node.memory),
+                ),
+                self._deliver_status,
+            )
+
+    def _deliver_status(self, msg: ControlMessage, t: float) -> bool:
+        assert isinstance(msg, CacheStatusReport)
+        self.scheme.on_cache_status(msg)
+        return False  # out-of-order reports are ignored, not stale-counted
+
+    def _deliver_purge(self, msg: ControlMessage, t: float) -> bool:
+        assert isinstance(msg, PurgeOrder)
+        # Stale when the RDD's distance turned finite again after the
+        # order was issued (new references resurrected it, ad-hoc mode):
+        # the worker refuses to purge live data.
+        dist = self.scheme.reference_distance(msg.rdd_id)
+        if dist is not None and not math.isinf(dist):
+            return True
+        rec = self.recorder
+        if rec.enabled:
+            rec.now = t
+        assert self.cluster is not None
+        self.cluster.master.purge_rdd_on(
+            msg.node_id, msg.rdd_id, drop_disk=msg.drop_disk
+        )
+        return False
+
+    def _deliver_prefetch(self, msg: ControlMessage, t: float) -> bool:
+        assert isinstance(msg, PrefetchOrder)
+        block = Block(
+            id=BlockId(msg.rdd_id, msg.partition),
+            size_mb=msg.size_mb,
+            rdd_name=msg.rdd_name,
+        )
+        # A late order (its boundary already passed) is stale but still
+        # attempted: the block may serve a later stage.
+        stale = self._current_seq > msg.issued_seq
+        self._issue_one_prefetch(block, t)
+        return stale
+
+    def _deliver_table(self, msg: ControlMessage, t: float) -> bool:
+        assert isinstance(msg, StageBoundary)
+        assert self.cluster is not None
+        policy = self.cluster.nodes[msg.node_id].policy
+        applied = policy.on_table_update(msg.seq, msg.distances)
+        return applied is False  # an older-than-held broadcast is stale
+
+    def _deliver_register(self, msg: ControlMessage, t: float) -> bool:
+        assert isinstance(msg, WorkerRegister)
+        # Fault-tolerance story (§4.4): the driver re-issues its current
+        # distance table to the (re-)registered worker.
+        snap = self.scheme.table_snapshot()
+        if snap is not None:
+            self.control.send(
+                StageBoundary(
+                    sent_at=t,
+                    node_id=msg.node_id,
+                    seq=self._current_seq,
+                    distances=snap,
+                ),
+                self._deliver_table,
+            )
+        return False
+
+    def _deliver_deregister(self, msg: ControlMessage, t: float) -> bool:
+        assert isinstance(msg, WorkerDeregister)
+        self.scheme.on_worker_deregister(msg.node_id)
+        return False
+
+    # ------------------------------------------------------------------
     # prefetching
     # ------------------------------------------------------------------
-    def _issue_prefetches(self, blocks: list[Block], now: float) -> None:
+    def _issue_one_prefetch(self, block: Block, now: float) -> None:
         assert self.cluster is not None
-        master = self.cluster.master
+        mgr = self.cluster.master.manager_for(block.id)
+        if block.id in mgr.node.memory or block.id in mgr.inflight_prefetch:
+            return
+        if block.id not in mgr.node.disk:
+            return  # nothing to fetch from (defensive)
+        done = mgr.node.reserve_io(now, block.size_mb)
+        mgr.inflight_prefetch[block.id] = done
+        self._prefetch_seq += 1
+        heapq.heappush(
+            self._prefetch_heap,
+            (done, self._prefetch_seq, mgr.node.node_id, block.id),
+        )
+        mgr.stats.prefetches_issued += 1
         rec = self.recorder
-        for block in blocks:
-            mgr = master.manager_for(block.id)
-            if block.id in mgr.node.memory or block.id in mgr.inflight_prefetch:
-                continue
-            if block.id not in mgr.node.disk:
-                continue  # nothing to fetch from (defensive)
-            done = mgr.node.reserve_io(now, block.size_mb)
-            mgr.inflight_prefetch[block.id] = done
-            self._prefetch_seq += 1
-            heapq.heappush(
-                self._prefetch_heap,
-                (done, self._prefetch_seq, mgr.node.node_id, block.id),
-            )
-            mgr.stats.prefetches_issued += 1
-            if rec.enabled:
-                rec.emit(PrefetchIssue(
-                    t=now, rdd_id=block.id.rdd_id, partition=block.id.partition,
-                    node_id=mgr.node.node_id, size_mb=block.size_mb, eta=done,
-                ))
+        if rec.enabled:
+            rec.emit(PrefetchIssue(
+                t=now, rdd_id=block.id.rdd_id, partition=block.id.partition,
+                node_id=mgr.node.node_id, size_mb=block.size_mb, eta=done,
+            ))
 
     def _apply_due_prefetches(self, t: float) -> None:
         assert self.cluster is not None

@@ -44,18 +44,67 @@ class NodeFailure:
             raise ValueError("node_id must be non-negative")
 
 
+@dataclass(frozen=True)
+class ControlOutage:
+    """Control-plane disruption: message loss over a stage window.
+
+    While the current active-stage seq lies in ``[from_seq, to_seq]``,
+    control messages to/from worker ``node_id`` (every worker when
+    ``None``) are dropped with probability ``loss_rate`` on top of the
+    rpc plane's configured base loss.  The instant plane ignores
+    outages — direct calls cannot be lost — so outage experiments
+    require ``control_plane="rpc"``.
+    """
+
+    from_seq: int
+    to_seq: int
+    node_id: int | None = None
+    loss_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.from_seq < 0 or self.to_seq < self.from_seq:
+            raise ValueError("outage window must satisfy 0 <= from_seq <= to_seq")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
+
+    def covers(self, seq: int, node_id: int | None) -> bool:
+        if not self.from_seq <= seq <= self.to_seq:
+            return False
+        return self.node_id is None or node_id is None or self.node_id == node_id
+
+
 @dataclass
 class FailurePlan:
     """A schedule of failures, applied at stage boundaries."""
 
     failures: list[NodeFailure] = field(default_factory=list)
+    outages: list[ControlOutage] = field(default_factory=list)
 
     def add(self, at_seq: int, node_id: int, lose_disk: bool = False) -> "FailurePlan":
         self.failures.append(NodeFailure(at_seq=at_seq, node_id=node_id, lose_disk=lose_disk))
         return self
 
+    def add_outage(
+        self,
+        from_seq: int,
+        to_seq: int,
+        node_id: int | None = None,
+        loss_rate: float = 1.0,
+    ) -> "FailurePlan":
+        self.outages.append(ControlOutage(
+            from_seq=from_seq, to_seq=to_seq, node_id=node_id, loss_rate=loss_rate
+        ))
+        return self
+
     def failures_at(self, seq: int) -> list[NodeFailure]:
         return [f for f in self.failures if f.at_seq == seq]
+
+    def control_loss(self, seq: int, node_id: int | None) -> float:
+        """Worst outage loss rate covering (``seq``, ``node_id``)."""
+        return max(
+            (o.loss_rate for o in self.outages if o.covers(seq, node_id)),
+            default=0.0,
+        )
 
     def apply(self, seq: int, cluster: Cluster) -> int:
         """Apply all failures scheduled for stage ``seq``.

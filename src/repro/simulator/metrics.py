@@ -10,6 +10,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cluster.block_manager import BlockManagerStats
+from repro.control.plane import ControlPlaneStats
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,11 @@ class RunMetrics:
     cache_mb_per_node: float = 0.0
     #: Memory blocks dropped by injected node failures (0 without a plan).
     failure_lost_blocks: int = 0
+    #: Which control-plane transport carried driver↔worker messages.
+    control_plane: str = "instant"
+    #: Control-traffic counters (messages sent/delivered/dropped, stale
+    #: orders, mean order-to-apply delay).
+    control: ControlPlaneStats = field(default_factory=ControlPlaneStats)
 
     @property
     def hit_ratio(self) -> float:

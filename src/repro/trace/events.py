@@ -179,6 +179,53 @@ class PrefetchCancel(TraceEvent):
     reason: str = "unpersisted"
 
 
+# ----------------------------------------------------------------------
+# control-plane events (rpc transport only; instant mode emits none —
+# direct calls have no messages)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MessageSend(TraceEvent):
+    """A control message entered the modeled network."""
+
+    kind = "msg_send"
+
+    #: Message wire tag (e.g. "purge_order", "cache_status").
+    msg: str
+    #: Worker endpoint: destination for driver→worker messages, source
+    #: for worker→driver ones.
+    node_id: int
+    #: Scheduled delivery time (latency + jitter already applied).
+    deliver_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class MessageDeliver(TraceEvent):
+    """A control message reached its receiver.
+
+    ``stale`` marks messages that were out of date on arrival: a purge
+    for a resurrected RDD, a prefetch landing after the stage that
+    wanted it, or a table broadcast older than the worker's view.
+    """
+
+    kind = "msg_deliver"
+
+    msg: str
+    node_id: int
+    sent_at: float = 0.0
+    stale: bool = False
+
+
+@dataclass(frozen=True)
+class MessageDrop(TraceEvent):
+    """A control message was lost (loss rate or an outage window)."""
+
+    kind = "msg_drop"
+
+    msg: str
+    node_id: int
+    reason: str = "loss"
+
+
 #: Wire tag -> event class, the round-trip registry.
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.kind: cls
@@ -186,6 +233,7 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         JobStart, StageStart, StageEnd,
         CacheHit, CacheMiss, Eviction, Purge,
         PrefetchIssue, PrefetchComplete, PrefetchCancel,
+        MessageSend, MessageDeliver, MessageDrop,
     )
 }
 
@@ -268,6 +316,9 @@ _CHROME_CATEGORIES = {
     "prefetch_issue": "prefetch",
     "prefetch_complete": "prefetch",
     "prefetch_cancel": "prefetch",
+    "msg_send": "control",
+    "msg_deliver": "control",
+    "msg_drop": "control",
 }
 
 

@@ -29,6 +29,29 @@ class TestNetworkModel:
             NetworkModel(latency_s=-0.1)
 
 
+class TestMessageTime:
+    def test_latency_plus_kilobyte_scaled_bandwidth(self):
+        net = NetworkModel(bandwidth_mbps=800.0, latency_s=0.01)
+        # 1024 KB = 1 MB at 100 MB/s -> 10 ms on the wire.
+        assert net.message_time(1024.0) == pytest.approx(0.01 + 0.01)
+
+    def test_default_message_is_latency_dominated(self):
+        net = NetworkModel(bandwidth_mbps=500.0, latency_s=0.001)
+        t = net.message_time()
+        assert t == pytest.approx(0.001, rel=0.02)
+        assert t > net.latency_s
+
+    def test_empty_rpc_still_pays_latency(self):
+        # Unlike transfer_time, a zero-byte message crosses the wire.
+        net = NetworkModel(latency_s=0.05)
+        assert net.transfer_time(0.0) == 0.0
+        assert net.message_time(0.0) == pytest.approx(0.05)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().message_time(-0.5)
+
+
 class TestDiskModel:
     def test_read_time_includes_seek(self):
         disk = DiskModel(bandwidth_mb_per_s=100.0, seek_s=0.005)

@@ -1,0 +1,67 @@
+"""Unit tests for the control-plane message vocabulary."""
+
+import dataclasses
+
+import pytest
+
+from repro.control.messages import (
+    MESSAGE_TYPES,
+    CacheStatusReport,
+    ControlMessage,
+    PrefetchOrder,
+    PurgeOrder,
+    StageBoundary,
+    WorkerDeregister,
+    WorkerRegister,
+)
+
+
+def test_registry_covers_every_concrete_message():
+    assert set(MESSAGE_TYPES) == {
+        "purge_order", "prefetch_order", "stage_boundary",
+        "cache_status", "worker_register", "worker_deregister",
+    }
+    for kind, cls in MESSAGE_TYPES.items():
+        assert cls.kind == kind
+        assert issubclass(cls, ControlMessage)
+
+
+def test_only_purge_and_prefetch_are_orders():
+    orders = {kind for kind, cls in MESSAGE_TYPES.items() if cls.is_order}
+    assert orders == {"purge_order", "prefetch_order"}
+
+
+def test_messages_are_frozen():
+    msg = PurgeOrder(sent_at=1.0, node_id=0, rdd_id=3, issued_seq=2)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        msg.rdd_id = 4
+
+
+def test_prefetch_order_carries_block_identity_by_value():
+    msg = PrefetchOrder(
+        sent_at=0.5, node_id=1, rdd_id=7, partition=3,
+        size_mb=16.0, rdd_name="edges", issued_seq=4,
+    )
+    assert (msg.rdd_id, msg.partition, msg.size_mb, msg.rdd_name) == (
+        7, 3, 16.0, "edges"
+    )
+
+
+def test_stage_boundary_holds_distance_mapping():
+    msg = StageBoundary(
+        sent_at=2.0, node_id=0, seq=5, distances={1: 2.0, 2: float("inf")}
+    )
+    assert msg.distances[1] == 2.0
+
+
+def test_cache_status_allows_idle_none_hit_ratio():
+    msg = CacheStatusReport(
+        sent_at=0.0, node_id=2, used_mb=0.0, free_mb=64.0,
+        hit_ratio=None, num_blocks=0,
+    )
+    assert msg.hit_ratio is None
+
+
+def test_register_default_reasons():
+    assert WorkerRegister(sent_at=0.0, node_id=0).reason == "startup"
+    assert WorkerDeregister(sent_at=0.0, node_id=0).reason == "failure"

@@ -1,0 +1,164 @@
+"""Unit tests for the instant and rpc control-plane transports."""
+
+import math
+
+import pytest
+
+from repro.cluster.network import NetworkModel
+from repro.control.messages import CacheStatusReport, PurgeOrder
+from repro.control.plane import (
+    CONTROL_PLANES,
+    InstantControlPlane,
+    RpcConfig,
+    RpcControlPlane,
+    build_control_plane,
+)
+
+
+def purge(sent_at: float, node_id: int = 0, rdd_id: int = 1) -> PurgeOrder:
+    return PurgeOrder(sent_at=sent_at, node_id=node_id, rdd_id=rdd_id, issued_seq=0)
+
+
+def status(sent_at: float, node_id: int = 0) -> CacheStatusReport:
+    return CacheStatusReport(
+        sent_at=sent_at, node_id=node_id, used_mb=1.0, free_mb=2.0,
+        hit_ratio=0.5, num_blocks=1,
+    )
+
+
+class Sink:
+    """Deliver callback recording (msg, at); configurable staleness."""
+
+    def __init__(self, stale: bool = False) -> None:
+        self.calls: list[tuple] = []
+        self.stale = stale
+
+    def __call__(self, msg, at):
+        self.calls.append((msg, at))
+        return self.stale
+
+
+class TestInstantPlane:
+    def test_delivers_synchronously_at_send_time(self):
+        plane = InstantControlPlane()
+        sink = Sink()
+        plane.send(purge(3.5), sink)
+        assert sink.calls == [(purge(3.5), 3.5)]
+        assert plane.stats.sent == plane.stats.delivered == 1
+        assert not plane.heap
+
+    def test_order_accounting(self):
+        plane = InstantControlPlane()
+        plane.send(purge(1.0), Sink(stale=True))
+        plane.send(status(1.0), Sink())
+        st = plane.stats
+        assert st.orders_applied == 1  # status reports are not orders
+        assert st.stale_orders == 1
+        assert st.mean_order_delay == 0.0
+
+    def test_pump_is_a_noop(self):
+        plane = InstantControlPlane()
+        plane.pump(math.inf)  # nothing to deliver, nothing to raise
+
+
+class TestRpcPlane:
+    def test_delivery_delayed_by_latency(self):
+        plane = RpcControlPlane(RpcConfig(latency_s=2.0))
+        sink = Sink()
+        plane.send(purge(1.0), sink)
+        assert sink.calls == []
+        plane.pump(2.9)
+        assert sink.calls == []
+        plane.pump(3.0)
+        assert sink.calls == [(purge(1.0), 3.0)]
+        assert plane.stats.mean_order_delay == pytest.approx(2.0)
+
+    def test_default_latency_from_network_model(self):
+        net = NetworkModel(latency_s=0.05)
+        plane = RpcControlPlane(RpcConfig(message_kb=0.0), network=net)
+        assert plane.latency_s == pytest.approx(0.05)
+
+    def test_zero_knobs_consume_no_randomness(self):
+        # Draw-for-draw determinism: with loss and jitter at zero the
+        # RNG is untouched, so rpc(0,0,0) cannot diverge from instant.
+        plane = RpcControlPlane(RpcConfig(latency_s=0.0))
+        state = plane._rng.getstate()
+        plane.send(purge(0.0), Sink())
+        assert plane._rng.getstate() == state
+
+    def test_total_loss_drops_everything(self):
+        plane = RpcControlPlane(RpcConfig(latency_s=0.0, loss_rate=1.0))
+        sink = Sink()
+        for i in range(10):
+            plane.send(purge(float(i)), sink)
+        plane.pump(math.inf)
+        assert sink.calls == []
+        assert plane.stats.dropped == plane.stats.sent == 10
+        assert plane.stats.delivered == 0
+
+    def test_loss_is_seed_deterministic(self):
+        def dropped(seed):
+            plane = RpcControlPlane(RpcConfig(latency_s=0.0, loss_rate=0.5, seed=seed))
+            for i in range(50):
+                plane.send(purge(float(i)), Sink())
+            return plane.stats.dropped
+
+        assert dropped(1) == dropped(1)
+        assert 0 < dropped(1) < 50
+
+    def test_jitter_can_reorder_but_ties_break_by_send_seq(self):
+        plane = RpcControlPlane(RpcConfig(latency_s=1.0))
+        sink = Sink()
+        plane.send(purge(0.0, rdd_id=1), sink)
+        plane.send(purge(0.0, rdd_id=2), sink)
+        plane.pump(math.inf)
+        assert [m.rdd_id for m, _ in sink.calls] == [1, 2]  # FIFO without jitter
+
+    def test_outage_hook_boosts_loss(self):
+        plane = RpcControlPlane(RpcConfig(latency_s=0.0))
+        plane.outage_loss = lambda msg: 1.0 if msg.node_id == 1 else 0.0
+        hit, dead = Sink(), Sink()
+        plane.send(purge(0.0, node_id=0), hit)
+        plane.send(purge(0.0, node_id=1), dead)
+        plane.pump(math.inf)
+        assert len(hit.calls) == 1
+        assert dead.calls == []
+        assert plane.stats.dropped == 1
+
+    def test_reset_restores_rng_and_heap(self):
+        plane = RpcControlPlane(RpcConfig(latency_s=5.0, loss_rate=0.5, seed=7))
+        for i in range(20):
+            plane.send(purge(float(i)), Sink())
+        first = (plane.stats.sent, plane.stats.dropped)
+        plane.reset()
+        assert not plane.heap and plane.stats.sent == 0
+        for i in range(20):
+            plane.send(purge(float(i)), Sink())
+        assert (plane.stats.sent, plane.stats.dropped) == first
+
+    def test_send_local_bypasses_the_network(self):
+        plane = RpcControlPlane(RpcConfig(latency_s=10.0, loss_rate=1.0))
+        sink = Sink()
+        plane.send_local(purge(0.0), sink)
+        assert sink.calls == [(purge(0.0), 0.0)]
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"latency_s": -1.0},
+        {"jitter_s": -0.1},
+        {"loss_rate": -0.1},
+        {"loss_rate": 1.5},
+        {"message_kb": -1.0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            RpcConfig(**kwargs)
+
+
+def test_build_control_plane():
+    assert isinstance(build_control_plane("instant"), InstantControlPlane)
+    assert isinstance(build_control_plane("rpc"), RpcControlPlane)
+    assert set(CONTROL_PLANES) == {"instant", "rpc"}
+    with pytest.raises(ValueError):
+        build_control_plane("carrier-pigeon")

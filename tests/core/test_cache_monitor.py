@@ -126,6 +126,33 @@ class TestStatusReport:
         assert status.hit_ratio == 0.5
         assert status.num_blocks == 1
 
+    def test_idle_node_reports_none_hit_ratio(self, manager, monitor):
+        # A node with no accesses yet has no ratio to report; None must
+        # flow through rather than masquerading as 0.0 (a real miss rate).
+        store = MemoryStore(10.0, monitor)
+        status = monitor.report_cache_status(store, hit_ratio=None)
+        assert status.hit_ratio is None
+        assert status.num_blocks == 0
+
+
+class TestTableView:
+    def test_lookup_falls_back_to_live_manager_without_view(self, manager, monitor):
+        links = rdd_by_name(manager, "parsed-links")
+        assert monitor.lookup_distance(links.id) == manager.distance(links.id)
+
+    def test_delivered_snapshot_overrides_live_state(self, manager, monitor):
+        links = rdd_by_name(manager, "parsed-links")
+        assert monitor.on_table_update(seq=1, distances={links.id: 42.0})
+        assert monitor.lookup_distance(links.id) == 42.0
+        # RDDs absent from the snapshot read as infinite, not live.
+        assert monitor.lookup_distance(999999) == INFINITE
+
+    def test_out_of_order_snapshot_rejected(self, manager, monitor):
+        links = rdd_by_name(manager, "parsed-links")
+        assert monitor.on_table_update(seq=5, distances={links.id: 5.0})
+        assert not monitor.on_table_update(seq=3, distances={links.id: 3.0})
+        assert monitor.lookup_distance(links.id) == 5.0
+
 
 class TestDistanceLookup:
     def test_distance_delegates_to_manager(self, manager, monitor):

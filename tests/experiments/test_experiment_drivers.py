@@ -14,6 +14,7 @@ from repro.experiments import (
     fig9,
     fig10,
     fig11_12,
+    fig_control_latency,
     table1,
     table3,
 )
@@ -174,6 +175,39 @@ class TestSummaryHelpers:
         (row,) = rows
         assert row.best_fraction in (0.2, 0.6)
         assert row.full <= 1.02
+
+
+class TestControlLatency:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig_control_latency.run(
+            workloads=("PR",), latencies=(0.0, 4.0)
+        )
+
+    def test_grid_shape(self, rows):
+        assert len(rows) == 4  # 1 workload x 2 schemes x 2 latencies
+        assert {(r.scheme, r.latency_s) for r in rows} == {
+            ("LRU", 0.0), ("LRU", 4.0), ("MRD", 0.0), ("MRD", 4.0),
+        }
+
+    def test_zero_latency_matches_instant_baseline(self, rows):
+        for r in rows:
+            if r.latency_s == 0.0:
+                assert r.norm_jct == pytest.approx(1.0)
+                assert r.stale_orders == 0
+
+    def test_lru_is_flat_and_mrd_degrades(self, rows):
+        by_cell = {(r.scheme, r.latency_s): r for r in rows}
+        # LRU exchanges no distance state: latency cannot hurt it.
+        assert by_cell["LRU", 4.0].norm_jct == pytest.approx(1.0)
+        slow_mrd = by_cell["MRD", 4.0]
+        assert slow_mrd.norm_jct >= 1.0
+        assert slow_mrd.mean_order_delay == pytest.approx(4.0)
+        assert slow_mrd.msgs_delivered == slow_mrd.msgs_sent
+
+    def test_render(self, rows):
+        text = fig_control_latency.render(rows)
+        assert "Control-plane latency" in text and "vs instant" in text
 
 
 class TestCorrelations:

@@ -1,0 +1,82 @@
+"""Property tests for the AIMD prefetch-threshold controller.
+
+The controller consumes *cumulative* issued/used counters and adjusts
+the free-memory threshold by bounded multiplicative steps.  Whatever
+counter sequence the cluster produces — including counter resets after
+a node replacement and boundaries where nothing was issued — the
+threshold must stay inside ``[lo, hi]``, and its step direction must
+follow the observed waste: raise on waste, lower on consumption, hold
+otherwise.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.manager import AdaptiveThresholdController
+
+#: Arbitrary cumulative-counter walks.  Deltas may be zero (idle
+#: boundary) and ``used`` may exceed ``issued`` or the counters may
+#: jump backwards (a manager restart handing in fresh totals) — the
+#: controller must never leave its bounds for any of it.
+counter_pairs = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10_000),
+              st.integers(min_value=0, max_value=10_000)),
+    min_size=1, max_size=40,
+)
+
+
+@given(pairs=counter_pairs)
+@settings(max_examples=200, deadline=None)
+def test_threshold_always_within_bounds(pairs):
+    c = AdaptiveThresholdController(initial=0.25, lo=0.02, hi=0.9)
+    for issued, used in pairs:
+        value = c.update(issued, used)
+        assert c.lo <= value <= c.hi
+        assert value == c.value
+
+
+@given(pairs=counter_pairs)
+@settings(max_examples=200, deadline=None)
+def test_step_direction_is_monotone_in_waste(pairs):
+    """Each update moves the threshold the way the waste signal points.
+
+    Relative to the previous boundary's cumulative counters: high waste
+    never lowers the threshold, low waste never raises it, and a
+    boundary with no new issues (including resets, where the delta goes
+    non-positive) leaves it untouched.
+    """
+    c = AdaptiveThresholdController(initial=0.25, lo=0.02, hi=0.9)
+    last_issued = last_used = 0
+    for issued, used in pairs:
+        before = c.value
+        value = c.update(issued, used)
+        d_issued = issued - last_issued
+        d_used = used - last_used
+        last_issued, last_used = issued, used
+        if d_issued <= 0:
+            assert value == before  # nothing issued (or a reset): hold
+            continue
+        waste = 1.0 - d_used / d_issued
+        if waste >= c.waste_high:
+            assert value >= before  # wasteful: never loosen
+            if before < c.hi:
+                assert value > before
+        elif waste <= c.waste_low:
+            assert value <= before  # consumed: never tighten
+            if before > c.lo:
+                assert value < before
+        else:
+            assert value == before  # dead band: hold
+
+
+@given(
+    pairs=counter_pairs,
+    lo=st.floats(min_value=0.01, max_value=0.2),
+    hi=st.floats(min_value=0.3, max_value=0.95),
+    initial=st.floats(min_value=0.2, max_value=0.3),
+)
+@settings(max_examples=100, deadline=None)
+def test_bounds_hold_for_arbitrary_configurations(pairs, lo, hi, initial):
+    c = AdaptiveThresholdController(initial=initial, lo=lo, hi=hi)
+    for issued, used in pairs:
+        assert lo <= c.update(issued, used) <= hi

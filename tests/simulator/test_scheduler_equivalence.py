@@ -16,6 +16,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster.cluster import ClusterConfig
+from repro.control.plane import RpcConfig
 from repro.dag.dag_builder import build_dag
 from repro.experiments.harness import build_workload_dag, cache_mb_for
 from repro.simulator.engine import SCHEDULERS, SparkSimulator, simulate
@@ -41,6 +42,8 @@ def fingerprint(m: RunMetrics) -> tuple:
         tuple(m.per_node_hit_ratio),
         m.failure_lost_blocks,
         tuple((r.seq, r.start, r.end, r.num_tasks) for r in m.stage_records),
+        m.control.delivered, m.control.dropped, m.control.stale_orders,
+        m.control.orders_applied,
     )
 
 
@@ -104,6 +107,34 @@ def test_equivalent_on_random_applications(seed, num_jobs, cache, scheme_name):
     cfg = CLUSTER.with_cache(cache)
     event, reference = run_both(dag, cfg, scheme_name)
     assert event == reference
+
+
+@pytest.mark.parametrize("scheme_name", ["lru", "mrd", "mrd-prefetch"])
+def test_equivalent_under_rpc_control_plane(scheme_name):
+    """Nonzero control latency, jitter and loss: the delayed-delivery
+    heap must interleave identically with both scheduler cores."""
+    dag = build_workload_dag("PR", partitions=8)
+    cfg = CLUSTER.with_cache(cache_mb_for(dag, 0.4, CLUSTER))
+    rpc = RpcConfig(latency_s=2.0, jitter_s=0.5, loss_rate=0.05, seed=3)
+    event, reference = run_both(dag, cfg, scheme_name,
+                                control_plane="rpc", control_config=rpc)
+    assert event == reference
+
+
+@pytest.mark.parametrize("workload", ["KM", "PR", "CC"])
+@pytest.mark.parametrize("scheme_name", sorted(SCHEME_BUILDERS))
+def test_rpc_at_zero_matches_instant(workload, scheme_name):
+    """An rpc plane with all knobs at zero is semantically invisible:
+    same fingerprint as the default instant plane, on either core."""
+    dag = build_workload_dag(workload, partitions=8)
+    cfg = CLUSTER.with_cache(cache_mb_for(dag, 0.4, CLUSTER))
+    instant = fingerprint(simulate(dag, cfg, build_scheme(scheme_name)))
+    for scheduler in SCHEDULERS:
+        rpc = fingerprint(simulate(
+            dag, cfg, build_scheme(scheme_name), scheduler=scheduler,
+            control_plane="rpc", control_config=RpcConfig(latency_s=0.0),
+        ))
+        assert rpc == instant
 
 
 def test_unknown_scheduler_rejected():

@@ -15,6 +15,12 @@ class TestParser:
         assert args.scheme == "MRD"
         assert args.cluster == "main"
         assert args.cache_fraction == 0.5
+        assert args.control_plane == "instant"
+        assert args.control_latency is None
+
+    def test_control_plane_choices_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "PR", "--control-plane", "telepathy"])
 
 
 class TestCommands:
@@ -108,6 +114,27 @@ class TestCommands:
     def test_dot_no_skipped(self, capsys):
         assert main(["dot", "CC", "--no-skipped"]) == 0
         assert "(skipped)" not in capsys.readouterr().out
+
+    def test_run_rpc_control_plane_prints_counters(self, capsys):
+        assert main([
+            "run", "SP", "--partitions", "16",
+            "--control-plane", "rpc", "--control-latency", "2.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "control[rpc]" in out and "delivered" in out
+
+    def test_run_instant_plane_hides_control_line(self, capsys):
+        assert main(["run", "SP", "--partitions", "16"]) == 0
+        assert "control[" not in capsys.readouterr().out
+
+    def test_run_bad_control_config_exits(self):
+        with pytest.raises(SystemExit, match="bad control-plane config"):
+            main(["run", "SP", "--control-plane", "rpc",
+                  "--control-loss", "1.5"])
+
+    def test_experiment_control_latency_registered(self, capsys):
+        assert main(["experiment", "fig_control_latency"]) == 0
+        assert "Control-plane latency" in capsys.readouterr().out
 
     def test_every_scheme_name_runs(self, capsys):
         for name in SCHEME_FACTORIES:

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.cluster",
     "repro.policies",
     "repro.core",
+    "repro.control",
     "repro.simulator",
     "repro.workloads",
     "repro.experiments",

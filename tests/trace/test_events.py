@@ -11,6 +11,9 @@ from repro.trace.events import (
     CacheMiss,
     Eviction,
     JobStart,
+    MessageDeliver,
+    MessageDrop,
+    MessageSend,
     PrefetchCancel,
     PrefetchComplete,
     PrefetchIssue,
@@ -39,6 +42,9 @@ SAMPLE_EVENTS = [
     PrefetchIssue(t=2.0, rdd_id=4, partition=2, node_id=1, size_mb=12.0, eta=2.4),
     PrefetchComplete(t=2.4, rdd_id=4, partition=2, node_id=1, admitted=False),
     PrefetchCancel(t=2.5, rdd_id=5, partition=0, node_id=2, reason="unpersisted"),
+    MessageSend(t=2.6, msg="purge_order", node_id=1, deliver_at=2.7),
+    MessageDeliver(t=2.7, msg="purge_order", node_id=1, sent_at=2.6, stale=True),
+    MessageDrop(t=2.8, msg="cache_status", node_id=2, reason="outage"),
     StageEnd(t=3.0, seq=0, stage_id=0, job_id=0),
 ]
 
