@@ -6,7 +6,9 @@ Examples::
     python -m repro run PR --scheme MRD --cache-fraction 0.5
     python -m repro run KM --scheme MRD --mode adhoc --cluster lrc
     python -m repro sweep CC --schemes LRU,LRC,MRD --fractions 0.2,0.4,0.6
-    python -m repro experiment fig4
+    python -m repro sweep KM PR --jobs 8 --store results/   # parallel + resumable
+    python -m repro sweep --spec grid.toml --jobs 8
+    python -m repro experiment fig4 --jobs 8
     python -m repro experiment table1
     python -m repro bench --out BENCH_engine.json
     python -m repro bench --tasks 1500 --check-baseline BENCH_engine.json
@@ -43,7 +45,6 @@ from repro.experiments.harness import (
     build_workload_dag,
     cache_mb_for,
     format_table,
-    sweep_workload,
 )
 from repro.policies.scheme import (
     BeladyScheme,
@@ -191,34 +192,136 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_grid(args: argparse.Namespace):
+    from repro.sweep import GridSpec, load_grid
+
+    if args.spec:
+        try:
+            grid = load_grid(args.spec)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"sweep failed: {exc}")
+        if args.workloads:
+            grid.workloads = list(args.workloads)
+        return grid
+    if not args.workloads:
+        raise SystemExit("sweep needs workload names (or --spec FILE)")
+    try:
+        return GridSpec.from_dict({
+            "workloads": list(args.workloads),
+            "schemes": args.schemes.split(","),
+            "cache_fractions": [float(f) for f in args.fractions.split(",")],
+            "clusters": [args.cluster],
+            "scale": args.scale,
+            "iterations": args.iterations,
+            "partitions": args.partitions,
+            "schedulers": args.schedulers.split(","),
+        })
+    except ValueError as exc:
+        raise SystemExit(f"sweep failed: {exc}")
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
-    cluster = _cluster(args)
-    names = args.schemes.split(",")
-    for name in names:
-        if name not in SCHEME_FACTORIES:
-            raise SystemExit(f"unknown scheme {name!r}")
-    fractions = tuple(float(f) for f in args.fractions.split(","))
-    sweep = sweep_workload(
-        args.workload,
-        schemes={n: SCHEME_FACTORIES[n] for n in names},
-        cluster=cluster,
-        cache_fractions=fractions,
-        scale=args.scale,
-        iterations=args.iterations,
+    import time
+
+    from repro.sweep import (
+        CellSpec,
+        run_cells,
+        scheduler_mismatches,
+        validate_cells,
     )
-    rows = []
-    for fraction in sweep.fractions():
-        for scheme in sweep.schemes():
-            run = sweep.get(scheme, fraction)
-            rows.append(
-                (fraction, round(run.cache_mb_per_node, 1), scheme,
-                 round(run.jct, 3), f"{run.hit_ratio * 100:.0f}%")
+
+    grid = _sweep_grid(args)
+    cells = grid.cells()
+    try:
+        validate_cells(cells)
+    except ValueError as exc:
+        raise SystemExit(f"sweep failed: {exc}")
+    if not cells:
+        print("empty grid: no workloads selected, nothing to run")
+        return 0
+
+    start = time.monotonic()
+
+    def progress(done: int, total: int, result) -> None:
+        elapsed = time.monotonic() - start
+        eta = elapsed / done * (total - done) if done else 0.0
+        state = "cached" if result.cached else ("ok" if result.ok else "ERROR")
+        label = CellSpec.from_dict(result.spec).label()
+        print(
+            f"[{done}/{total}] {label}: {state} "
+            f"({elapsed:.1f}s elapsed, ~{eta:.0f}s left)",
+            file=sys.stderr, flush=True,
+        )
+
+    outcome = run_cells(
+        cells, jobs=args.jobs, store=args.store, resume=args.resume,
+        progress=progress,
+    )
+
+    multi_seed = len(grid.seeds) > 1
+    multi_sched = len(grid.schedulers) > 1
+    rpc = grid.control_plane == "rpc"
+    headers = (
+        ["Fraction", "MB/node", "Scheme"]
+        + (["Seed"] if multi_seed else [])
+        + (["Sched"] if multi_sched else [])
+        + (["Latency"] if rpc else [])
+        + ["JCT", "Hit"]
+    )
+    for workload in grid.workloads:
+        for cluster in grid.clusters:
+            rows = []
+            for cell in cells:
+                if cell.workload != workload or cell.cluster != cluster:
+                    continue
+                result = outcome.result_for(cell)
+                if result.ok:
+                    m = result.run_metrics()
+                    mb = round(m.cache_mb_per_node, 1)
+                    jct: object = round(m.jct, 3)
+                    hit = f"{m.hit_ratio * 100:.0f}%"
+                else:
+                    mb, jct, hit = "-", "ERROR", "-"
+                fraction = (
+                    f"{cell.cache_fraction:g}" if cell.cache_fraction is not None
+                    else f"{cell.cache_mb:g}MB"
+                )
+                row: list[object] = [fraction, mb, cell.scheme]
+                if multi_seed:
+                    row.append(cell.seed)
+                if multi_sched:
+                    row.append(cell.scheduler)
+                if rpc:
+                    latency = cell.control_latency
+                    row.append("-" if latency is None else f"{latency:g}s")
+                rows.append(tuple(row + [jct, hit]))
+            print(format_table(
+                headers, rows, title=f"Sweep: {workload} on {cluster}",
+            ))
+            print()
+    print(outcome.stats_line())
+
+    status = 0
+    if multi_sched:
+        mismatches = scheduler_mismatches(outcome)
+        if mismatches:
+            for mismatch in mismatches:
+                print(f"SCHEDULER MISMATCH: {mismatch}")
+            status = 1
+        else:
+            print(
+                f"scheduler equivalence: {'/'.join(grid.schedulers)} "
+                "agree on every cell"
             )
-    print(format_table(
-        ["Fraction", "MB/node", "Scheme", "JCT", "Hit"],
-        rows, title=f"Sweep: {args.workload} on {cluster.name}",
-    ))
-    return 0
+    failed = outcome.error_results()
+    if failed:
+        for result in failed:
+            print(
+                f"FAILED {CellSpec.from_dict(result.spec).label()}: "
+                f"{result.describe_error()}"
+            )
+        status = 1
+    return status
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -263,13 +366,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    import inspect
+
     try:
         run, render = _EXPERIMENTS[args.name]
     except KeyError:
         raise SystemExit(
             f"unknown experiment {args.name!r}; choose from {sorted(_EXPERIMENTS)}"
         )
-    print(render(run()))
+    # Sweep-backed drivers accept jobs/store; table drivers do not.
+    params = inspect.signature(run).parameters
+    kwargs = {}
+    if "jobs" in params:
+        kwargs["jobs"] = args.jobs
+    if "store" in params:
+        kwargs["store"] = args.store
+    elif args.store is not None:
+        raise SystemExit(f"experiment {args.name!r} does not use a result store")
+    print(render(run(**kwargs)))
     return 0
 
 
@@ -429,18 +543,45 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("-v", "--verbose", action="store_true")
     run_p.set_defaults(func=cmd_run)
 
-    sweep_p = sub.add_parser("sweep", help="cache-size sweep across schemes")
-    sweep_p.add_argument("workload")
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a sweep grid across schemes (parallel, resumable)",
+    )
+    sweep_p.add_argument("workloads", nargs="*", metavar="workload",
+                         help="workload names (or set them in --spec)")
+    sweep_p.add_argument("--spec", default=None,
+                         help="grid spec file: .toml (Python >= 3.11) or .json; "
+                              "flags below are ignored when given except "
+                              "positional workloads, which override the spec's")
     sweep_p.add_argument("--schemes", default="LRU,LRC,MemTune,MRD")
     sweep_p.add_argument("--fractions",
                          default=",".join(str(f) for f in DEFAULT_CACHE_FRACTIONS))
     sweep_p.add_argument("--cluster", default="main")
     sweep_p.add_argument("--scale", type=float, default=1.0)
     sweep_p.add_argument("--iterations", type=int, default=None)
+    sweep_p.add_argument("--partitions", type=int, default=None)
+    sweep_p.add_argument("--schedulers", default="event",
+                         help="comma list of scheduling cores; more than one "
+                              "runs every cell per core and exits 1 unless "
+                              "their metrics are identical")
+    sweep_p.add_argument("-j", "--jobs", type=int, default=1,
+                         help="worker processes (results are bit-identical "
+                              "at any job count)")
+    sweep_p.add_argument("--store", default=None,
+                         help="result-store directory: completed cells persist "
+                              "immediately and later runs serve unchanged "
+                              "cells from cache")
+    sweep_p.add_argument("--no-resume", dest="resume", action="store_false",
+                         help="recompute every cell even when stored")
     sweep_p.set_defaults(func=cmd_sweep)
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp_p.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")
+    exp_p.add_argument("-j", "--jobs", type=int, default=1,
+                       help="worker processes for sweep-backed figures")
+    exp_p.add_argument("--store", default=None,
+                       help="sweep result-store directory (sweep-backed "
+                            "figures only)")
     exp_p.set_defaults(func=cmd_experiment)
 
     bench_p = sub.add_parser(
@@ -520,6 +661,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_p.add_argument("-o", "--output", default=None,
                           help="write to a file instead of stdout")
+    report_p.add_argument("-j", "--jobs", type=int, default=1,
+                          help="worker processes for the sweep-backed figures")
+    report_p.add_argument("--store", default=None,
+                          help="sweep result-store directory (a rerun "
+                              "recomputes only missing cells)")
     report_p.set_defaults(func=cmd_report)
 
     dot_p = sub.add_parser("dot", help="export a workload's DAG as Graphviz DOT")
@@ -559,7 +705,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
     text = generate_report(
-        out=args.output, progress=args.output is not None
+        out=args.output, progress=args.output is not None,
+        jobs=args.jobs, store=args.store,
     )
     if args.output is None:
         print(text)

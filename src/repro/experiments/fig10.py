@@ -10,10 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.policy import MrdScheme
 from repro.experiments.harness import format_table, sweep_workload
-from repro.policies.scheme import LruScheme
 from repro.simulator.config import MAIN_CLUSTER
+from repro.sweep.schemes import SchemeSpec
 from repro.workloads.registry import get_workload
 
 #: Iterable workloads the paper tripled (DT included to show no effect).
@@ -34,20 +33,26 @@ class Fig10Row:
     hit_3x: float
 
 
-def run(workloads: tuple[str, ...] = FIG10_WORKLOADS, cache_fractions=FIG10_FRACTIONS) -> list[Fig10Row]:
-    schemes = {"LRU": LruScheme, "MRD": MrdScheme}
+def run(
+    workloads: tuple[str, ...] = FIG10_WORKLOADS,
+    cache_fractions=FIG10_FRACTIONS,
+    jobs: int = 1,
+    store=None,
+) -> list[Fig10Row]:
+    schemes = {"LRU": SchemeSpec("LRU"), "MRD": SchemeSpec("MRD")}
     rows: list[Fig10Row] = []
     for name in workloads:
         spec = get_workload(name)
         base_iters = spec.default_iterations
         sweep1 = sweep_workload(
             name, schemes=schemes, cluster=MAIN_CLUSTER,
-            cache_fractions=cache_fractions,
+            cache_fractions=cache_fractions, jobs=jobs, store=store,
         )
         sweep3 = sweep_workload(
             name, schemes=schemes, cluster=MAIN_CLUSTER,
             cache_fractions=cache_fractions,
             iterations=base_iters * 3 if spec.iterations_effective else base_iters,
+            jobs=jobs, store=store,
         )
         b1 = sweep1.best_fraction("MRD")
         b3 = sweep3.best_fraction("MRD")

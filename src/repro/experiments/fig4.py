@@ -20,16 +20,15 @@ from repro.experiments.harness import (
     format_table,
     sweep_workload,
 )
-from repro.core.policy import MrdScheme
-from repro.policies.scheme import LruScheme
 from repro.simulator.config import MAIN_CLUSTER
+from repro.sweep.schemes import SchemeSpec
 from repro.workloads.registry import SPARKBENCH_WORKLOADS
 
 FIG4_SCHEMES = {
-    "LRU": LruScheme,
-    "MRD-evict": lambda: MrdScheme(prefetch=False),
-    "MRD-prefetch": lambda: MrdScheme(evict=False),
-    "MRD": MrdScheme,
+    "LRU": SchemeSpec("LRU"),
+    "MRD-evict": SchemeSpec("MRD", prefetch=False),
+    "MRD-prefetch": SchemeSpec("MRD", evict=False),
+    "MRD": SchemeSpec("MRD"),
 }
 
 #: Paper's approximate normalized-JCT readings for full MRD (Fig. 4).
@@ -56,6 +55,8 @@ def run(
     workloads: tuple[str, ...] = tuple(s.name for s in SPARKBENCH_WORKLOADS),
     cache_fractions=DEFAULT_CACHE_FRACTIONS,
     scale: float = 1.0,
+    jobs: int = 1,
+    store=None,
 ) -> list[Fig4Row]:
     rows: list[Fig4Row] = []
     for name in workloads:
@@ -65,6 +66,8 @@ def run(
             cluster=MAIN_CLUSTER,
             cache_fractions=cache_fractions,
             scale=scale,
+            jobs=jobs,
+            store=store,
         )
         rows.append(summarize(sweep))
     return rows

@@ -11,14 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.policy import MrdScheme
 from repro.experiments.harness import (
     DEFAULT_CACHE_FRACTIONS,
     format_table,
     sweep_workload,
 )
-from repro.policies.scheme import LrcScheme, LruScheme
 from repro.simulator.config import LRC_CLUSTER
+from repro.sweep.schemes import SchemeSpec
 
 #: Workloads shown in the paper's Fig. 5 comparison (dependency-rich set).
 FIG5_WORKLOADS: tuple[str, ...] = ("KM", "PR", "SVD++", "CC", "SCC", "PO", "LP", "MF")
@@ -33,12 +32,22 @@ class Fig5Row:
     improvement_pct: float  # (1 - mrd/lrc) * 100
 
 
-def run(workloads: tuple[str, ...] = FIG5_WORKLOADS, cache_fractions=DEFAULT_CACHE_FRACTIONS) -> list[Fig5Row]:
+def run(
+    workloads: tuple[str, ...] = FIG5_WORKLOADS,
+    cache_fractions=DEFAULT_CACHE_FRACTIONS,
+    jobs: int = 1,
+    store=None,
+) -> list[Fig5Row]:
     rows: list[Fig5Row] = []
-    schemes = {"LRU": LruScheme, "LRC": LrcScheme, "MRD": MrdScheme}
+    schemes = {
+        "LRU": SchemeSpec("LRU"),
+        "LRC": SchemeSpec("LRC"),
+        "MRD": SchemeSpec("MRD"),
+    }
     for name in workloads:
         sweep = sweep_workload(
-            name, schemes=schemes, cluster=LRC_CLUSTER, cache_fractions=cache_fractions
+            name, schemes=schemes, cluster=LRC_CLUSTER,
+            cache_fractions=cache_fractions, jobs=jobs, store=store,
         )
         # "Taking the best values from their experiments and ours": the
         # best absolute JCT each policy achieves over the cache sweep.

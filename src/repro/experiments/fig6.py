@@ -11,14 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.policy import MrdScheme
 from repro.experiments.harness import (
     DEFAULT_CACHE_FRACTIONS,
     format_table,
     sweep_workload,
 )
-from repro.policies.scheme import LruScheme, MemTuneScheme
 from repro.simulator.config import MEMTUNE_CLUSTER
+from repro.sweep.schemes import SchemeSpec
 
 #: Workloads shown in the paper's Fig. 6 comparison.
 FIG6_WORKLOADS: tuple[str, ...] = ("PR", "LogR", "KM", "CC", "SVD++", "PO", "LP", "TC")
@@ -33,12 +32,22 @@ class Fig6Row:
     improvement_pct: float
 
 
-def run(workloads: tuple[str, ...] = FIG6_WORKLOADS, cache_fractions=DEFAULT_CACHE_FRACTIONS) -> list[Fig6Row]:
+def run(
+    workloads: tuple[str, ...] = FIG6_WORKLOADS,
+    cache_fractions=DEFAULT_CACHE_FRACTIONS,
+    jobs: int = 1,
+    store=None,
+) -> list[Fig6Row]:
     rows: list[Fig6Row] = []
-    schemes = {"LRU": LruScheme, "MemTune": MemTuneScheme, "MRD": MrdScheme}
+    schemes = {
+        "LRU": SchemeSpec("LRU"),
+        "MemTune": SchemeSpec("MemTune"),
+        "MRD": SchemeSpec("MRD"),
+    }
     for name in workloads:
         sweep = sweep_workload(
-            name, schemes=schemes, cluster=MEMTUNE_CLUSTER, cache_fractions=cache_fractions
+            name, schemes=schemes, cluster=MEMTUNE_CLUSTER,
+            cache_fractions=cache_fractions, jobs=jobs, store=store,
         )
         # Best absolute JCT per policy over the sweep ("best values from
         # their experiments and ours").

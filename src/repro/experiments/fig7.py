@@ -11,10 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.policy import MrdScheme
 from repro.experiments.harness import format_table, sweep_workload
-from repro.policies.scheme import LrcScheme, LruScheme
 from repro.simulator.config import LRC_CLUSTER
+from repro.sweep.schemes import SchemeSpec
 
 FIG7_FRACTIONS: tuple[float, ...] = (0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0)
 
@@ -31,10 +30,21 @@ class Fig7Result:
     cache_to_reach_target: dict[str, float | None] = field(default_factory=dict)
 
 
-def run(workload: str = "SVD++", fractions=FIG7_FRACTIONS, target_hit: float = 0.6) -> Fig7Result:
-    schemes = {"LRU": LruScheme, "LRC": LrcScheme, "MRD": MrdScheme}
+def run(
+    workload: str = "SVD++",
+    fractions=FIG7_FRACTIONS,
+    target_hit: float = 0.6,
+    jobs: int = 1,
+    store=None,
+) -> Fig7Result:
+    schemes = {
+        "LRU": SchemeSpec("LRU"),
+        "LRC": SchemeSpec("LRC"),
+        "MRD": SchemeSpec("MRD"),
+    }
     sweep = sweep_workload(
-        workload, schemes=schemes, cluster=LRC_CLUSTER, cache_fractions=fractions
+        workload, schemes=schemes, cluster=LRC_CLUSTER,
+        cache_fractions=fractions, jobs=jobs, store=store,
     )
     result = Fig7Result(workload=workload, target_hit=target_hit)
     result.fractions = list(fractions)

@@ -11,10 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.policy import MrdScheme
 from repro.experiments.harness import format_table, sweep_workload
-from repro.policies.scheme import LruScheme
 from repro.simulator.config import MAIN_CLUSTER
+from repro.sweep.schemes import SchemeSpec
 
 FIG8_WORKLOADS: tuple[str, ...] = ("LP", "KM")
 FIG8_FRACTIONS: tuple[float, ...] = (0.25, 0.35, 0.5)
@@ -30,16 +29,22 @@ class Fig8Row:
     job_metric_hit: float
 
 
-def run(workloads: tuple[str, ...] = FIG8_WORKLOADS, cache_fractions=FIG8_FRACTIONS) -> list[Fig8Row]:
+def run(
+    workloads: tuple[str, ...] = FIG8_WORKLOADS,
+    cache_fractions=FIG8_FRACTIONS,
+    jobs: int = 1,
+    store=None,
+) -> list[Fig8Row]:
     schemes = {
-        "LRU": LruScheme,
-        "MRD-stage": lambda: MrdScheme(metric="stage"),
-        "MRD-job": lambda: MrdScheme(metric="job"),
+        "LRU": SchemeSpec("LRU"),
+        "MRD-stage": SchemeSpec("MRD", metric="stage"),
+        "MRD-job": SchemeSpec("MRD", metric="job"),
     }
     rows: list[Fig8Row] = []
     for name in workloads:
         sweep = sweep_workload(
-            name, schemes=schemes, cluster=MAIN_CLUSTER, cache_fractions=cache_fractions
+            name, schemes=schemes, cluster=MAIN_CLUSTER,
+            cache_fractions=cache_fractions, jobs=jobs, store=store,
         )
         best = min(
             sweep.fractions(), key=lambda f: sweep.normalized_jct("MRD-stage", f)

@@ -12,10 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.policy import MrdScheme
 from repro.experiments.harness import format_table, sweep_workload
-from repro.policies.scheme import LruScheme
 from repro.simulator.config import MAIN_CLUSTER
+from repro.sweep.schemes import SchemeSpec
 
 FIG9_WORKLOADS: tuple[str, ...] = ("KM", "TC")
 FIG9_FRACTIONS: tuple[float, ...] = (0.35, 0.5, 0.7)
@@ -32,16 +31,22 @@ class Fig9Row:
     adhoc_hit: float
 
 
-def run(workloads: tuple[str, ...] = FIG9_WORKLOADS, cache_fractions=FIG9_FRACTIONS) -> list[Fig9Row]:
+def run(
+    workloads: tuple[str, ...] = FIG9_WORKLOADS,
+    cache_fractions=FIG9_FRACTIONS,
+    jobs: int = 1,
+    store=None,
+) -> list[Fig9Row]:
     schemes = {
-        "LRU": LruScheme,
-        "MRD-recurring": lambda: MrdScheme(mode="recurring"),
-        "MRD-adhoc": lambda: MrdScheme(mode="adhoc"),
+        "LRU": SchemeSpec("LRU"),
+        "MRD-recurring": SchemeSpec("MRD", mode="recurring"),
+        "MRD-adhoc": SchemeSpec("MRD", mode="adhoc"),
     }
     rows: list[Fig9Row] = []
     for name in workloads:
         sweep = sweep_workload(
-            name, schemes=schemes, cluster=MAIN_CLUSTER, cache_fractions=cache_fractions
+            name, schemes=schemes, cluster=MAIN_CLUSTER,
+            cache_fractions=cache_fractions, jobs=jobs, store=store,
         )
         best = min(
             sweep.fractions(), key=lambda f: sweep.normalized_jct("MRD-recurring", f)

@@ -15,21 +15,20 @@ evict against stale distance views.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro.control.plane import RpcConfig
-from repro.core.policy import MrdScheme
-from repro.experiments.harness import build_workload_dag, cache_mb_for, format_table
-from repro.policies.scheme import LruScheme
+from repro.experiments.harness import format_table
 from repro.simulator.config import MAIN_CLUSTER
-from repro.simulator.engine import simulate
+from repro.sweep.runner import run_cells
+from repro.sweep.schemes import SchemeSpec
+from repro.sweep.spec import CellSpec
 
 CONTROL_WORKLOADS: tuple[str, ...] = ("KM", "PR")
 #: One-way control-message latencies (seconds of simulated time).
 CONTROL_LATENCIES: tuple[float, ...] = (0.0, 0.5, 2.0, 8.0)
 CACHE_FRACTION = 0.4
 
-_SCHEMES = {"LRU": LruScheme, "MRD": MrdScheme}
+_SCHEMES = {"LRU": SchemeSpec("LRU"), "MRD": SchemeSpec("MRD")}
 
 
 @dataclass(frozen=True)
@@ -51,35 +50,46 @@ def run(
     workloads: tuple[str, ...] = CONTROL_WORKLOADS,
     latencies: tuple[float, ...] = CONTROL_LATENCIES,
     cache_fraction: float = CACHE_FRACTION,
+    jobs: int = 1,
+    store=None,
 ) -> list[ControlLatencyRow]:
-    rows: list[ControlLatencyRow] = []
+    plan: list[tuple[CellSpec, CellSpec]] = []  # (instant baseline, rpc cell)
     for name in workloads:
-        dag = build_workload_dag(name)
-        cluster = MAIN_CLUSTER.with_cache(
-            cache_mb_for(dag, cache_fraction, MAIN_CLUSTER)
-        )
-        for scheme_name, factory in _SCHEMES.items():
-            baseline = simulate(dag, cluster, factory())
+        for scheme_name, spec in _SCHEMES.items():
+            baseline = CellSpec(
+                workload=name,
+                scheme=scheme_name,
+                scheme_spec=spec,
+                cluster=MAIN_CLUSTER.name,
+                cache_fraction=cache_fraction,
+            )
             for latency in latencies:
-                m = simulate(
-                    dag, cluster, factory(),
-                    control_plane="rpc",
-                    control_config=RpcConfig(latency_s=latency),
+                rpc = replace(
+                    baseline, control_plane="rpc", control_latency=latency
                 )
-                rows.append(
-                    ControlLatencyRow(
-                        workload=name,
-                        scheme=scheme_name,
-                        latency_s=latency,
-                        jct=m.jct,
-                        norm_jct=m.normalized_jct(baseline),
-                        hit_ratio=m.hit_ratio,
-                        msgs_sent=m.control.sent,
-                        msgs_delivered=m.control.delivered,
-                        stale_orders=m.control.stale_orders,
-                        mean_order_delay=m.control.mean_order_delay,
-                    )
-                )
+                plan.append((baseline, rpc))
+    cells = [cell for pair in plan for cell in pair]  # dedup is run_cells' job
+    outcome = run_cells(cells, jobs=jobs, store=store)
+    outcome.raise_on_error()
+
+    rows: list[ControlLatencyRow] = []
+    for baseline_cell, rpc_cell in plan:
+        baseline = outcome.metrics_for(baseline_cell)
+        m = outcome.metrics_for(rpc_cell)
+        rows.append(
+            ControlLatencyRow(
+                workload=rpc_cell.workload,
+                scheme=rpc_cell.scheme,
+                latency_s=rpc_cell.control_latency or 0.0,
+                jct=m.jct,
+                norm_jct=m.normalized_jct(baseline),
+                hit_ratio=m.hit_ratio,
+                msgs_sent=m.control.sent,
+                msgs_delivered=m.control.delivered,
+                stale_orders=m.control.stale_orders,
+                mean_order_delay=m.control.mean_order_delay,
+            )
+        )
     return rows
 
 

@@ -7,41 +7,46 @@ run it under several cache-management schemes, and normalize Job
 Completion Times against the LRU baseline.  This module provides those
 building blocks plus plain-text table rendering used by the benchmark
 scripts and EXPERIMENTS.md.
+
+:func:`sweep_workload` executes its grid through the parallel sweep
+runner (``repro.sweep``) whenever it can: pass ``jobs=N`` to fan cells
+out across worker processes and ``store=`` to make the sweep resumable
+and cached.  Results are bit-identical at any job count.  Scheme dicts
+may map labels to :class:`~repro.sweep.schemes.SchemeSpec` values (the
+standard line-ups do), registry names, or — for ad-hoc experiments —
+arbitrary zero-argument factories, which still run on the in-process
+serial path since they cannot cross a process boundary.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from repro.cluster.cluster import ClusterConfig
-from repro.core.policy import MrdScheme
 from repro.dag.analysis import peak_live_cached_mb
 from repro.dag.dag_builder import ApplicationDAG, build_dag
-from repro.policies.scheme import (
-    BeladyScheme,
-    CacheScheme,
-    LrcScheme,
-    LruScheme,
-    MemTuneScheme,
-)
-from repro.simulator.config import MAIN_CLUSTER
+from repro.policies.scheme import CacheScheme
+from repro.simulator.config import CLUSTERS, MAIN_CLUSTER
 from repro.simulator.engine import simulate
 from repro.simulator.metrics import RunMetrics
+from repro.sweep.schemes import SchemeSpec, maybe_resolve_scheme
 from repro.workloads.base import WorkloadParams
 from repro.workloads.registry import get_workload
 
 SchemeFactory = Callable[[], CacheScheme]
+SchemeLike = Union[SchemeFactory, SchemeSpec, str]
 
-#: The scheme line-up most experiments compare (fresh instance per run).
-STANDARD_SCHEMES: dict[str, SchemeFactory] = {
-    "LRU": LruScheme,
-    "LRC": LrcScheme,
-    "MemTune": MemTuneScheme,
-    "MRD-evict": lambda: MrdScheme(prefetch=False),
-    "MRD-prefetch": lambda: MrdScheme(evict=False),
-    "MRD": MrdScheme,
-    "Belady-MIN": BeladyScheme,
+#: The scheme line-up most experiments compare (fresh instance per run;
+#: every entry is a picklable SchemeSpec, so sweeps parallelize).
+STANDARD_SCHEMES: dict[str, SchemeLike] = {
+    "LRU": SchemeSpec("LRU"),
+    "LRC": SchemeSpec("LRC"),
+    "MemTune": SchemeSpec("MemTune"),
+    "MRD-evict": SchemeSpec("MRD", prefetch=False),
+    "MRD-prefetch": SchemeSpec("MRD", evict=False),
+    "MRD": SchemeSpec("MRD"),
+    "Belady-MIN": SchemeSpec("Belady"),
 }
 
 #: Cache sizes swept per workload, as fractions of peak live cached MB.
@@ -130,16 +135,84 @@ def build_workload_dag(
     return build_dag(get_workload(workload).build(params))
 
 
+def _preset_name(cluster: ClusterConfig) -> Optional[str]:
+    """Registry name of ``cluster`` if it *is* a preset, else ``None``."""
+    preset = CLUSTERS.get(cluster.name)
+    return cluster.name if preset == cluster else None
+
+
 def sweep_workload(
     workload: str,
-    schemes: Optional[dict[str, SchemeFactory]] = None,
+    schemes: Optional[dict[str, SchemeLike]] = None,
     cluster: ClusterConfig = MAIN_CLUSTER,
     cache_fractions: Sequence[float] = DEFAULT_CACHE_FRACTIONS,
     dag: Optional[ApplicationDAG] = None,
+    jobs: int = 1,
+    store=None,
+    resume: bool = True,
     **build_kwargs,
 ) -> SweepResult:
-    """Run one workload under every scheme at every cache fraction."""
+    """Run one workload under every scheme at every cache fraction.
+
+    With ``jobs > 1`` or a result ``store``, the grid executes through
+    the parallel sweep runner (one process-shippable cell per
+    scheme × fraction, served from the store when unchanged); results
+    are bit-identical to the serial path.  The serial in-process path
+    is used when any scheme is a live factory, when a prebuilt ``dag``
+    is supplied, or when ``cluster`` is not a named preset — those
+    cannot be described to a worker process.
+    """
     schemes = schemes or STANDARD_SCHEMES
+    resolved = {name: maybe_resolve_scheme(value) for name, value in schemes.items()}
+    preset = _preset_name(cluster)
+    use_runner = (
+        (jobs > 1 or store is not None)
+        and dag is None
+        and preset is not None
+        and all(spec is not None for spec in resolved.values())
+    )
+    if use_runner:
+        from repro.sweep.runner import run_cells
+        from repro.sweep.spec import CellSpec
+
+        params = WorkloadParams(
+            scale=build_kwargs.get("scale", 1.0),
+            iterations=build_kwargs.get("iterations"),
+            partitions=build_kwargs.get("partitions") or WorkloadParams().partitions,
+        )
+        cells = [
+            CellSpec(
+                workload=workload,
+                scheme=name,
+                scheme_spec=spec,
+                cluster=preset,
+                cache_fraction=fraction,
+                scale=params.scale,
+                iterations=params.iterations,
+                partitions=params.partitions,
+            )
+            for fraction in cache_fractions
+            for name, spec in resolved.items()
+        ]
+        outcome = run_cells(cells, jobs=jobs, store=store, resume=resume)
+        outcome.raise_on_error()
+        dag = build_workload_dag(workload, **build_kwargs)
+        result = SweepResult(
+            workload=workload, dag=dag, peak_live_mb=peak_live_cached_mb(dag)
+        )
+        for cell in cells:
+            metrics = outcome.metrics_for(cell)
+            result.runs.append(
+                WorkloadRun(
+                    workload=workload,
+                    scheme=cell.scheme,
+                    cache_fraction=cell.cache_fraction or 0.0,
+                    cache_mb_per_node=metrics.cache_mb_per_node,
+                    metrics=metrics,
+                )
+            )
+        return result
+
     dag = dag if dag is not None else build_workload_dag(workload, **build_kwargs)
     result = SweepResult(
         workload=workload, dag=dag, peak_live_mb=peak_live_cached_mb(dag)
@@ -147,8 +220,11 @@ def sweep_workload(
     for fraction in cache_fractions:
         cache_mb = cache_mb_for(dag, fraction, cluster)
         config = cluster.with_cache(cache_mb)
-        for name, factory in schemes.items():
-            metrics = simulate(dag, config, factory())
+        for name, value in schemes.items():
+            spec = resolved[name]
+            scheme = spec.build() if spec is not None else value()  # type: ignore[operator]
+            metrics = simulate(dag, config, scheme)
+            metrics.scheme = name
             result.runs.append(
                 WorkloadRun(
                     workload=workload,

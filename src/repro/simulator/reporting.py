@@ -2,6 +2,10 @@
 
 Experiment pipelines that post-process results (plotting, regression
 tracking) consume these instead of parsing the human-readable tables.
+:func:`metrics_to_dict` / :func:`metrics_from_dict` form a *lossless*
+round trip — the sweep result store (``repro.sweep.store``) relies on
+it to serve cached cells as full :class:`RunMetrics` objects and to
+compare parallel and serial sweep runs byte-for-byte.
 """
 
 from __future__ import annotations
@@ -11,7 +15,9 @@ import json
 from pathlib import Path
 from typing import Iterable
 
-from repro.simulator.metrics import RunMetrics
+from repro.cluster.block_manager import BlockManagerStats
+from repro.control.plane import ControlPlaneStats
+from repro.simulator.metrics import RunMetrics, StageRecord
 
 
 def metrics_to_dict(metrics: RunMetrics) -> dict:
@@ -41,6 +47,15 @@ def metrics_to_dict(metrics: RunMetrics) -> dict:
         # below rather than counted as 0.0).
         "per_node_hit_ratio": list(metrics.per_node_hit_ratio),
         "mean_node_hit_ratio": metrics.mean_node_hit_ratio,
+        "control_plane": metrics.control_plane,
+        "control": {
+            "sent": metrics.control.sent,
+            "delivered": metrics.control.delivered,
+            "dropped": metrics.control.dropped,
+            "stale_orders": metrics.control.stale_orders,
+            "orders_applied": metrics.control.orders_applied,
+            "order_delay_total": metrics.control.order_delay_total,
+        },
         "stages": [
             {
                 "seq": r.seq,
@@ -53,6 +68,50 @@ def metrics_to_dict(metrics: RunMetrics) -> dict:
             for r in metrics.stage_records
         ],
     }
+
+
+def metrics_from_dict(data: dict) -> RunMetrics:
+    """Rebuild a :class:`RunMetrics` from :func:`metrics_to_dict` output.
+
+    Derived quantities (``accesses``, ``hit_ratio``, mean ratios) are
+    recomputed from the stored counters, so a round-tripped object
+    answers every query the live one did.
+    """
+    stats = BlockManagerStats(
+        hits=data["hits"],
+        misses=data["misses"],
+        insertions=data["insertions"],
+        failed_insertions=data["failed_insertions"],
+        evictions=data["evictions"],
+        purged=data["purged"],
+        prefetches_issued=data["prefetches_issued"],
+        prefetches_used=data["prefetches_used"],
+        prefetched_mb=data["prefetched_mb"],
+        evicted_mb=data["evicted_mb"],
+    )
+    control = ControlPlaneStats(**data.get("control", {}))
+    return RunMetrics(
+        scheme=data["scheme"],
+        workload=data["workload"],
+        jct=data["jct"],
+        stats=stats,
+        stage_records=[
+            StageRecord(
+                seq=r["seq"],
+                stage_id=r["stage_id"],
+                job_id=r["job_id"],
+                start=r["start"],
+                end=r["end"],
+                num_tasks=r["num_tasks"],
+            )
+            for r in data["stages"]
+        ],
+        per_node_hit_ratio=list(data["per_node_hit_ratio"]),
+        cache_mb_per_node=data["cache_mb_per_node"],
+        failure_lost_blocks=data["failure_lost_blocks"],
+        control_plane=data.get("control_plane", "instant"),
+        control=control,
+    )
 
 
 def save_metrics_json(metrics_list: Iterable[RunMetrics], path: Path | str) -> Path:

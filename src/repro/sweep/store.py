@@ -1,0 +1,181 @@
+"""Content-addressed, resumable on-disk store for sweep results.
+
+Layout under one root directory::
+
+    <root>/
+      cells/<fingerprint>.json     one CellResult per completed cell
+      profiles/<fingerprint>/      per-cell ProfileStore directory
+
+Every completed cell — success *or* failure — is written atomically
+(temp file + ``os.replace``) the moment it finishes, so a sweep killed
+mid-flight leaves only whole result files behind and the next run
+resumes from them.  A cell's file name is its config fingerprint
+(:meth:`repro.sweep.spec.CellSpec.fingerprint`): re-running a sweep
+recomputes exactly the cells whose configuration changed and serves the
+rest from disk.  Unreadable result files are treated as absent (the
+cell recomputes), mirroring :class:`~repro.core.app_profiler.ProfileStore`'s
+log-and-ignore contract.
+
+Profile directories are per-fingerprint on purpose: MRD's recurring
+mode trusts whatever :class:`ProfileStore` serves for an application
+signature, and workload signatures do not encode scale/iterations — so
+two configurations sharing one store path silently contaminate each
+other (the regression test in ``tests/sweep/test_profile_isolation.py``
+demonstrates it).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.reporting import metrics_from_dict
+
+logger = logging.getLogger(__name__)
+
+#: CellResult completion states.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one sweep cell: metrics on success, error otherwise."""
+
+    fingerprint: str
+    spec: dict
+    status: str
+    #: ``metrics_to_dict`` payload when ``status == "ok"``.
+    metrics: Optional[dict] = None
+    #: ``{"type", "message", "traceback"}`` when ``status == "error"``.
+    error: Optional[dict] = None
+    #: Wall-clock compute time (informational; excluded from identity).
+    elapsed_s: float = 0.0
+    #: True when this result was served from the store, not computed.
+    #: Runtime-only — not persisted.
+    cached: bool = field(default=False, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def run_metrics(self) -> RunMetrics:
+        """Full :class:`RunMetrics` object (successful cells only)."""
+        if not self.ok or self.metrics is None:
+            raise ValueError(
+                f"cell {self.fingerprint} has no metrics (status={self.status})"
+            )
+        return metrics_from_dict(self.metrics)
+
+    def describe_error(self) -> str:
+        """One-line error summary (``-`` for successful cells)."""
+        if self.error is None:
+            return "-"
+        return f"{self.error.get('type', 'Error')}: {self.error.get('message', '')}"
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "spec": self.spec,
+            "status": self.status,
+            "metrics": self.metrics,
+            "error": self.error,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CellResult":
+        return cls(
+            fingerprint=data["fingerprint"],
+            spec=data["spec"],
+            status=data["status"],
+            metrics=data.get("metrics"),
+            error=data.get("error"),
+            elapsed_s=data.get("elapsed_s", 0.0),
+        )
+
+
+class ResultStore:
+    """Fingerprint-keyed result files plus per-cell profile directories."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.cells_dir = self.root / "cells"
+        self.profiles_dir = self.root / "profiles"
+
+    # ------------------------------------------------------------------
+    def cell_path(self, fingerprint: str) -> Path:
+        return self.cells_dir / f"{fingerprint}.json"
+
+    def profile_path(self, fingerprint: str) -> Path:
+        """Isolated ProfileStore file for one cell (directory created)."""
+        cell_dir = self.profiles_dir / fingerprint
+        cell_dir.mkdir(parents=True, exist_ok=True)
+        return cell_dir / "profiles.json"
+
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[CellResult]:
+        """Stored result, or ``None`` when absent/unreadable."""
+        path = self.cell_path(fingerprint)
+        try:
+            data = json.loads(path.read_text())
+            result = CellResult.from_json(data)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            logger.warning(
+                "ignoring unreadable sweep result %s (%s: %s); "
+                "the cell will be recomputed",
+                path, type(exc).__name__, exc,
+            )
+            return None
+        if result.fingerprint != fingerprint:
+            logger.warning(
+                "sweep result %s holds fingerprint %s; recomputing",
+                path, result.fingerprint,
+            )
+            return None
+        return result
+
+    def put(self, result: CellResult) -> Path:
+        """Atomically persist one result (whole file or nothing)."""
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+        path = self.cell_path(result.fingerprint)
+        payload = json.dumps(result.to_json(), sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.cells_dir, prefix=f".{result.fingerprint}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def fingerprints(self) -> set[str]:
+        """Fingerprints with a stored result file."""
+        if not self.cells_dir.is_dir():
+            return set()
+        return {p.stem for p in self.cells_dir.glob("*.json")}
+
+    def __len__(self) -> int:
+        return len(self.fingerprints())
+
+    def __iter__(self) -> Iterator[CellResult]:
+        for fingerprint in sorted(self.fingerprints()):
+            result = self.get(fingerprint)
+            if result is not None:
+                yield result

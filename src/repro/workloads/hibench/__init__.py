@@ -1,0 +1,6 @@
+"""HiBench workload generators (Sort, WordCount, TeraSort, …).
+
+The paper profiled HiBench and dropped it for near-zero reference
+distances; these builders reproduce that property (EXPERIMENTS.md,
+Table 1 notes).
+"""

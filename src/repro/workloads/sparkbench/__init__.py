@@ -1,0 +1,6 @@
+"""SparkBench workload generators — the paper's 14 evaluation workloads.
+
+Each module builds one application's synthetic DAG, tuned to the
+paper's Table 1/3 shapes (job counts, stage structure, reference
+distances); see ``docs/workloads.md``.
+"""

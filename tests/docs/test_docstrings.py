@@ -1,0 +1,21 @@
+"""Docstring floor: every module and package in src documents itself.
+
+This is the locally-runnable twin of the ruff D100/D104 gate in CI's
+lint job (ruff is not a test dependency).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_every_module_has_a_docstring():
+    missing = []
+    for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+        tree = ast.parse(path.read_text())
+        if ast.get_docstring(tree) is None:
+            missing.append(str(path.relative_to(REPO_ROOT)))
+    assert not missing, f"modules without docstrings: {missing}"

@@ -1,0 +1,75 @@
+"""Markdown link check: every relative link and anchor must resolve.
+
+Covers README.md, DESIGN.md, EXPERIMENTS.md and everything under
+docs/.  External (http/https/mailto) links are not fetched — CI runs
+offline — but relative file targets must exist and fragment anchors
+must match a heading in the target document, using GitHub's
+heading-slug rules.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DOCS = sorted(
+    [REPO_ROOT / "README.md", REPO_ROOT / "DESIGN.md", REPO_ROOT / "EXPERIMENTS.md"]
+    + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+_FENCE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _strip_code(text: str) -> str:
+    """Remove fenced code blocks and inline code spans."""
+    return re.sub(r"`[^`]*`", "", _FENCE.sub("", text))
+
+
+def _links(path: Path) -> list[str]:
+    return _LINK.findall(_strip_code(path.read_text()))
+
+
+def _slug(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading."""
+    text = heading.strip().lower().replace("`", "")
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    headings = re.findall(
+        r"^#{1,6}\s+(.*)$", _FENCE.sub("", path.read_text()), re.MULTILINE
+    )
+    return {_slug(h) for h in headings}
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_relative_links_resolve(doc):
+    broken = []
+    for target in _links(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (doc.parent / path_part).resolve() if path_part else doc
+        if not resolved.exists():
+            broken.append(f"{target} -> missing file {path_part}")
+            continue
+        if fragment and resolved.suffix == ".md" and fragment not in _anchors(resolved):
+            broken.append(f"{target} -> no heading for anchor #{fragment}")
+    assert not broken, f"broken links in {doc.name}: {broken}"
+
+
+def test_docs_index_links_every_guide():
+    # The README's documentation table must not drift from docs/.
+    readme_targets = {
+        link.partition("#")[0] for link in _links(REPO_ROOT / "README.md")
+    }
+    for guide in (REPO_ROOT / "docs").glob("*.md"):
+        assert f"docs/{guide.name}" in readme_targets, (
+            f"docs/{guide.name} is not linked from README.md"
+        )

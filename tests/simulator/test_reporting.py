@@ -10,6 +10,7 @@ from repro.policies.scheme import LruScheme
 from repro.simulator.engine import simulate
 from repro.simulator.reporting import (
     load_metrics_json,
+    metrics_from_dict,
     metrics_to_dict,
     render_timeline,
     save_comparison_csv,
@@ -38,6 +39,30 @@ class TestDict:
         assert d["workload"] == "mini-gd"
         assert d["accesses"] == d["hits"] + d["misses"]
         assert len(d["stages"]) == metrics.num_stages_executed
+
+    def test_lossless_object_round_trip(self, metrics):
+        # The sweep result store relies on to_dict/from_dict being a
+        # perfect inverse pair, including after a JSON hop.
+        payload = json.loads(json.dumps(metrics_to_dict(metrics)))
+        rebuilt = metrics_from_dict(payload)
+        assert metrics_to_dict(rebuilt) == metrics_to_dict(metrics)
+        assert rebuilt.hit_ratio == metrics.hit_ratio
+        assert rebuilt.mean_node_hit_ratio == metrics.mean_node_hit_ratio
+        assert rebuilt.stage_records[-1].duration == \
+            metrics.stage_records[-1].duration
+
+    def test_round_trip_preserves_control_stats(self):
+        from repro.control.plane import RpcConfig
+
+        dag = build_dag(make_linear_app(num_jobs=3))
+        m = simulate(
+            dag, small_config(), MrdScheme(),
+            control_plane="rpc", control_config=RpcConfig(latency_s=1.0),
+        )
+        rebuilt = metrics_from_dict(metrics_to_dict(m))
+        assert rebuilt.control_plane == "rpc"
+        assert rebuilt.control.sent == m.control.sent
+        assert rebuilt.control.mean_order_delay == m.control.mean_order_delay
 
 
 class TestFiles:

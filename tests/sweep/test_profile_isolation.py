@@ -1,0 +1,93 @@
+"""Regression: shared ProfileStore paths contaminate MRD across configs.
+
+Workload signatures encode only the application *name* — not scale,
+iterations or partitions — and recurring-mode MRD trusts whatever
+complete profile the store serves for a signature.  Two configurations
+of the same workload sharing one store path therefore silently poison
+each other: the second run evicts and purges against the first run's
+reference distances.  The sweep runner prevents this by giving every
+cell its own fingerprint-keyed profile directory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.app_profiler import ProfileStore
+from repro.core.policy import MrdScheme
+from repro.experiments.harness import build_workload_dag, cache_mb_for
+from repro.simulator.config import CLUSTERS
+from repro.simulator.engine import simulate
+from repro.simulator.reporting import metrics_to_dict
+from repro.sweep.runner import run_cells
+from repro.sweep.schemes import SchemeSpec
+from repro.sweep.spec import CellSpec
+from repro.sweep.store import ResultStore
+
+
+@pytest.fixture()
+def small_and_big_dags():
+    return (
+        build_workload_dag("KM", iterations=2, partitions=8),
+        build_workload_dag("KM", iterations=6, partitions=8),
+    )
+
+
+def test_signature_ignores_build_parameters(small_and_big_dags):
+    # The contamination precondition: both configs share one signature.
+    small, big = small_and_big_dags
+    assert small.app.signature == big.app.signature
+
+
+def test_shared_profile_store_contaminates(tmp_path, small_and_big_dags):
+    small, big = small_and_big_dags
+    cluster = CLUSTERS["test"]
+    config = cluster.with_cache(cache_mb_for(big, 0.3, cluster))
+    path = tmp_path / "profiles.json"
+
+    # First run: ad-hoc MRD on the small config persists a *complete*
+    # profile under the shared signature.
+    simulate(small, config, MrdScheme(mode="adhoc",
+                                      profile_store=ProfileStore(path=path)))
+
+    # Second run: recurring MRD on the big config trusts that stale
+    # profile instead of its own DAG.
+    contaminated = simulate(
+        big, config,
+        MrdScheme(mode="recurring", profile_store=ProfileStore(path=path)),
+    )
+    clean = simulate(big, config, MrdScheme(mode="recurring"))
+    assert contaminated.hit_ratio < clean.hit_ratio
+    assert contaminated.jct > clean.jct
+
+
+def test_runner_isolates_profiles_per_cell(tmp_path):
+    # Two configurations of the same workload, both with file-backed
+    # profile stores, in one sweep: each must behave exactly like a run
+    # with a private (empty) store — no cross-cell contamination.
+    mrd = SchemeSpec("MRD")
+    cells = [
+        CellSpec(workload="KM", scheme_spec=mrd, cluster="test",
+                 cache_fraction=0.3, iterations=2, partitions=8,
+                 profile_store=True),
+        CellSpec(workload="KM", scheme_spec=mrd, cluster="test",
+                 cache_fraction=0.3, iterations=6, partitions=8,
+                 profile_store=True),
+    ]
+    store = ResultStore(tmp_path)
+    outcome = run_cells(cells, store=store)
+    outcome.raise_on_error()
+
+    for cell in cells:
+        dag = build_workload_dag("KM", iterations=cell.iterations, partitions=8)
+        cluster = CLUSTERS["test"]
+        config = cluster.with_cache(
+            cache_mb_for(dag, cell.cache_fraction, cluster)
+        )
+        reference = simulate(dag, config, MrdScheme(mode="recurring"))
+        reference.scheme = cell.scheme
+        assert outcome.result_for(cell).metrics == metrics_to_dict(reference)
+
+    # And the stores really are distinct directories, one per cell.
+    profile_dirs = sorted(p.name for p in store.profiles_dir.iterdir())
+    assert profile_dirs == sorted(c.fingerprint() for c in cells)

@@ -1,0 +1,103 @@
+"""Result-store persistence: atomicity, corruption handling, round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sweep.runner import run_cell
+from repro.sweep.spec import CellSpec
+from repro.sweep.store import STATUS_ERROR, STATUS_OK, CellResult, ResultStore
+
+
+def _ok_result(fingerprint: str = "abc123") -> CellResult:
+    cell = CellSpec(workload="SP", cluster="test", cache_fraction=0.4, partitions=8)
+    return CellResult(
+        fingerprint=fingerprint,
+        spec=cell.to_dict(),
+        status=STATUS_OK,
+        metrics={"jct": 1.0},
+        elapsed_s=0.5,
+    )
+
+
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cell = CellSpec(workload="SP", cluster="test", cache_fraction=0.5,
+                        partitions=8)
+        result = run_cell(cell)
+        assert result.ok
+        store.put(result)
+        loaded = store.get(result.fingerprint)
+        assert loaded == result
+        # The lossless metrics round trip must survive the disk hop too.
+        assert loaded.run_metrics().jct == result.run_metrics().jct
+
+    def test_missing_is_none(self, tmp_path):
+        assert ResultStore(tmp_path).get("deadbeef") is None
+
+    def test_corrupt_file_ignored(self, tmp_path, caplog):
+        store = ResultStore(tmp_path)
+        result = _ok_result()
+        store.put(result)
+        store.cell_path(result.fingerprint).write_text("{truncated")
+        with caplog.at_level("WARNING"):
+            assert store.get(result.fingerprint) is None
+        assert "recomputed" in caplog.text
+
+    def test_fingerprint_mismatch_ignored(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = _ok_result(fingerprint="aaaa")
+        store.put(result)
+        # A file renamed (or copied) to the wrong key must not be served.
+        store.cell_path("aaaa").rename(store.cell_path("bbbb"))
+        assert store.get("bbbb") is None
+
+    def test_put_is_atomic_no_temp_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_ok_result())
+        leftovers = [p for p in store.cells_dir.iterdir() if p.suffix != ".json"]
+        assert leftovers == []
+
+    def test_payload_is_plain_json(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = _ok_result()
+        path = store.put(result)
+        data = json.loads(path.read_text())
+        assert data["fingerprint"] == result.fingerprint
+        assert data["status"] == "ok"
+        # `cached` is runtime-only and must not leak into the file.
+        assert "cached" not in data
+
+    def test_iteration_and_len(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert len(store) == 0
+        store.put(_ok_result("aaaa"))
+        store.put(_ok_result("bbbb"))
+        assert len(store) == 2
+        assert {r.fingerprint for r in store} == {"aaaa", "bbbb"}
+
+    def test_profile_paths_are_isolated(self, tmp_path):
+        store = ResultStore(tmp_path)
+        a = store.profile_path("aaaa")
+        b = store.profile_path("bbbb")
+        assert a != b
+        assert a.parent.is_dir() and b.parent.is_dir()
+
+
+class TestCellResult:
+    def test_error_result_has_no_metrics(self):
+        result = CellResult(
+            fingerprint="ffff", spec={}, status=STATUS_ERROR,
+            error={"type": "ValueError", "message": "boom"},
+        )
+        assert not result.ok
+        assert result.describe_error() == "ValueError: boom"
+        with pytest.raises(ValueError, match="no metrics"):
+            result.run_metrics()
+
+    def test_json_round_trip(self):
+        result = _ok_result()
+        assert CellResult.from_json(result.to_json()) == result

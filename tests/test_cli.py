@@ -59,6 +59,84 @@ class TestCommands:
         assert "Sweep: SP" in out
         assert out.count("MRD") >= 2
 
+    def test_sweep_parallel_with_store_caches(self, tmp_path, capsys):
+        args = [
+            "sweep", "SP", "--schemes", "LRU,MRD", "--fractions", "0.3,0.6",
+            "--partitions", "8", "--jobs", "2", "--store", str(tmp_path),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "4 computed, 0 cached" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 computed, 4 cached" in second
+        # The tables themselves must be identical run-to-run.
+        assert first.split("cells:")[0] == second.split("cells:")[0]
+
+    def test_sweep_progress_goes_to_stderr(self, tmp_path, capsys):
+        assert main([
+            "sweep", "SP", "--schemes", "LRU", "--fractions", "0.5",
+            "--partitions", "8", "--store", str(tmp_path),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "[1/1]" in captured.err
+        assert "[1/1]" not in captured.out
+
+    def test_sweep_multiple_workloads(self, capsys):
+        assert main([
+            "sweep", "SP", "TC", "--schemes", "LRU", "--fractions", "0.5",
+            "--partitions", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep: SP on main" in out and "Sweep: TC on main" in out
+
+    def test_sweep_scheduler_equivalence(self, capsys):
+        assert main([
+            "sweep", "SP", "--schemes", "LRU,MRD", "--fractions", "0.4",
+            "--partitions", "8", "--schedulers", "event,reference",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler equivalence" in out and "agree" in out
+
+    def test_sweep_error_cell_exits_nonzero(self, capsys):
+        assert main([
+            "sweep", "SP", "--schemes", "LRU", "--fractions", "0.5",
+            "--partitions", "8", "--scale", "-1",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "ERROR" in out and "FAILED" in out
+
+    def test_sweep_spec_file(self, tmp_path, capsys):
+        spec = tmp_path / "grid.json"
+        spec.write_text(
+            '{"workloads": ["SP"], "schemes": ["LRU", "MRD"], '
+            '"fractions": [0.4], "partitions": 8}'
+        )
+        assert main(["sweep", "--spec", str(spec)]) == 0
+        assert "Sweep: SP" in capsys.readouterr().out
+
+    def test_sweep_bad_spec_exits(self, tmp_path):
+        spec = tmp_path / "grid.json"
+        spec.write_text('{"workloads": ["SP"], "warp": 9}')
+        with pytest.raises(SystemExit, match="sweep failed"):
+            main(["sweep", "--spec", str(spec)])
+
+    def test_sweep_unknown_scheme_exits(self):
+        with pytest.raises(SystemExit, match="unknown scheme"):
+            main(["sweep", "SP", "--schemes", "MAGIC"])
+
+    def test_sweep_unknown_workload_exits(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["sweep", "NOPE", "--schemes", "LRU"])
+
+    def test_sweep_without_workloads_exits(self):
+        with pytest.raises(SystemExit, match="workload names"):
+            main(["sweep"])
+
+    def test_experiment_store_rejected_for_tables(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not use a result store"):
+            main(["experiment", "table1", "--store", str(tmp_path)])
+
     def test_experiment_table3(self, capsys):
         assert main(["experiment", "table3"]) == 0
         assert "Table 3" in capsys.readouterr().out
