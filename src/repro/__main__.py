@@ -1,7 +1,14 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Downstream closed early (e.g. `repro lint ... | head`); die quietly
+    # like a well-behaved filter instead of printing a traceback.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    sys.exit(141)  # 128 + SIGPIPE

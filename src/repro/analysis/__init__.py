@@ -1,0 +1,47 @@
+"""Determinism-contract static analysis (``repro lint``).
+
+The reproduction's headline guarantees are determinism invariants:
+parallel sweeps are bit-identical to serial runs, an rpc control plane
+at zero latency is equivalent to the instant one, and every RNG draw is
+accounted for.  Nothing in the type system stops a future change from
+breaking them with a global ``random.random()`` call, a wall-clock read
+inside the simulator, or an unordered ``set`` iteration feeding a heap
+push — those bugs only surface (sometimes) as flaky equivalence-suite
+failures.
+
+This package encodes the contract as an AST-based lint pass:
+
+* :mod:`repro.analysis.base` — the rule framework (:class:`Rule`,
+  registry, :class:`ModuleContext` with parent/import maps);
+* :mod:`repro.analysis.determinism` — the shipped rule set
+  (DET001–DET004, MUT001);
+* :mod:`repro.analysis.suppressions` — ``# repro: noqa[RULE]`` line and
+  ``# repro: noqa-file[RULE]`` file suppressions;
+* :mod:`repro.analysis.baseline` — grandfathered-finding baselines so
+  the gate can be adopted incrementally;
+* :mod:`repro.analysis.runner` / :mod:`repro.analysis.reporters` — file
+  collection, rule execution and text/JSON output;
+* :mod:`repro.analysis.cli` — the ``repro lint`` subcommand, also
+  runnable dependency-free as ``python -m repro.analysis``.
+
+See ``docs/static-analysis.md`` for the rule catalog and workflow.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import Rule, all_rules, get_rule, register_rule
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+from repro.analysis.runner import LintConfig, LintResult, lint_paths
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "register_rule",
+]

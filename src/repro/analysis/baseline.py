@@ -1,0 +1,98 @@
+"""Baseline files: grandfather existing findings, gate only new ones.
+
+A baseline is a committed JSON file mapping finding keys
+(``path::rule::message`` — deliberately line-free, so reformatting a
+file never un-grandfathers its findings) to occurrence counts.  The
+runner subtracts the baseline from the current findings: a key's first
+``count`` occurrences are *grandfathered* (reported separately, never
+failing), anything beyond is *new* and fails the gate.
+
+Workflow::
+
+    repro lint src/repro --baseline lint-baseline.json   # gate
+    repro lint src/repro --baseline lint-baseline.json --write-baseline
+
+The repo's committed ``lint-baseline.json`` is **empty** — every
+finding in ``src/repro`` was fixed when the analyzer landed, and the
+self-lint test (``tests/analysis/test_self_lint.py``) keeps it that
+way.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for unreadable or structurally invalid baseline files."""
+
+
+class Baseline:
+    """Grandfathered finding counts, keyed by :attr:`Finding.key`."""
+
+    def __init__(self, counts: dict[str, int] | None = None) -> None:
+        self.counts: Counter[str] = Counter(counts or {})
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> Baseline:
+        return cls(Counter(finding.key for finding in findings))
+
+    @classmethod
+    def load(cls, path: str | Path) -> Baseline:
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise BaselineError(
+                f"baseline {path} is not a repro-lint baseline "
+                "(expected an object with a 'findings' key)"
+            )
+        findings = payload["findings"]
+        if not isinstance(findings, dict) or not all(
+            isinstance(v, int) and v >= 0 for v in findings.values()
+        ):
+            raise BaselineError(f"baseline {path} has malformed finding counts")
+        return cls(findings)
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": dict(sorted(self.counts.items())),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    # ------------------------------------------------------------------
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition into (new, grandfathered), preserving order.
+
+        For each key, the first ``counts[key]`` occurrences (by report
+        order, i.e. location) are grandfathered; the rest are new.
+        """
+        remaining = Counter(self.counts)
+        new: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for finding in findings:
+            if remaining[finding.key] > 0:
+                remaining[finding.key] -= 1
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        return new, grandfathered
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())

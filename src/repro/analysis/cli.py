@@ -1,0 +1,115 @@
+"""The ``repro lint`` subcommand (also ``python -m repro.analysis``).
+
+Kept free of any import outside :mod:`repro.analysis` and the standard
+library, so the CI lint job and the pre-commit hook can run it without
+installing the simulator's numeric dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.base import all_rules
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.runner import LintConfig, lint_paths
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags (shared by ``repro lint`` and ``-m repro.analysis``)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file of grandfathered findings; only findings "
+             "beyond it fail (a missing file is an empty baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite --baseline with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--no-scope", dest="scoped", action="store_false",
+        help="ignore per-rule path scoping (lint every rule everywhere)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _split_rules(value: str | None) -> list[str] | None:
+    if value is None:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        for rule in all_rules():
+            scope = (
+                ", ".join(rule.applies_to) if rule.applies_to else "everywhere"
+            )
+            print(f"{rule.id}  {rule.title}  [{scope}]")
+        return 0
+
+    if args.write_baseline and not args.baseline:
+        raise SystemExit("--write-baseline requires --baseline PATH")
+    try:
+        baseline = Baseline.load(args.baseline) if args.baseline else Baseline()
+    except BaselineError as exc:
+        raise SystemExit(f"lint failed: {exc}") from exc
+
+    config = LintConfig(
+        select=_split_rules(args.select),
+        ignore=_split_rules(args.ignore) or (),
+        scoped=args.scoped,
+        baseline=Baseline() if args.write_baseline else baseline,
+    )
+    try:
+        result = lint_paths(args.paths, config)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(f"lint failed: {exc}") from exc
+
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).save(args.baseline)
+        print(
+            f"baseline written to {args.baseline} "
+            f"({len(result.findings)} finding(s) grandfathered)"
+        )
+        return 0
+
+    render = render_json if args.format == "json" else render_text
+    print(render(result))
+    return 0 if result.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point for ``python -m repro.analysis``."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism-contract static analyzer (see docs/static-analysis.md)",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Finding: one rule violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """A single lint finding, ordered by location for stable reports."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def key(self) -> str:
+        """Baseline identity: location-free, so line drift never un-grandfathers.
+
+        Two findings with the same file, rule and message share a key;
+        the baseline stores a per-key count (see
+        :class:`repro.analysis.baseline.Baseline`).
+        """
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` (the text-reporter line)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -1,0 +1,38 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.runner import LintResult
+
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-oriented report: one ``path:line:col: RULE message`` per line."""
+    lines = [finding.render() for finding in result.findings]
+    for finding in result.grandfathered:
+        lines.append(f"{finding.render()} (baseline)")
+    noun = "file" if result.files_checked == 1 else "files"
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files_checked} {noun}"
+    )
+    if result.grandfathered:
+        summary += f" ({len(result.grandfathered)} grandfathered by baseline)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-oriented report (stable key order, one JSON object)."""
+    payload = {
+        "version": REPORT_VERSION,
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "findings": [finding.to_json() for finding in result.findings],
+        "grandfathered": [
+            finding.to_json() for finding in result.grandfathered
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,66 @@
+"""Suppression comments: ``# repro: noqa[RULE]`` and file-wide variants.
+
+Two forms, mirroring flake8's convention but namespaced so they never
+collide with ruff/flake8 directives:
+
+* **line** — ``# repro: noqa`` (all rules) or ``# repro: noqa[DET001]``
+  / ``# repro: noqa[DET001,DET003]`` on the physical line a finding is
+  reported at (a multi-line statement is suppressed at its first line);
+* **file** — ``# repro: noqa-file`` or ``# repro: noqa-file[RULE,...]``
+  on a line of its own, anywhere in the file (conventionally at the
+  top), suppresses matching findings for the whole module.
+
+An empty bracket list (``# repro: noqa[]``) suppresses nothing — it is
+treated as malformed and ignored, so a typo cannot silently disable
+every rule.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.findings import Finding
+
+_LINE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?\s*(?:#.*)?$")
+_FILE = re.compile(r"^\s*#\s*repro:\s*noqa-file(?:\[([A-Za-z0-9_,\s]+)\])?\s*$")
+
+
+def _rule_set(group: str | None) -> frozenset[str] | None:
+    """Bracket contents → rule-id set; ``None`` means "all rules"."""
+    if group is None:
+        return None
+    rules = frozenset(part.strip() for part in group.split(",") if part.strip())
+    return rules or frozenset({"<malformed>"})
+
+
+class Suppressions:
+    """Per-file suppression state parsed from source comments."""
+
+    def __init__(self, source: str) -> None:
+        #: line number → suppressed rule ids (None = all rules).
+        self.by_line: dict[int, frozenset[str] | None] = {}
+        #: file-wide suppressed rule ids (None once a bare noqa-file seen).
+        self.file_wide: frozenset[str] | None = frozenset()
+        suppress_all_file = False
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            file_match = _FILE.search(text)
+            if file_match:
+                rules = _rule_set(file_match.group(1))
+                if rules is None:
+                    suppress_all_file = True
+                elif self.file_wide is not None:
+                    self.file_wide = self.file_wide | rules
+                continue
+            line_match = _LINE.search(text)
+            if line_match and "noqa-file" not in text:
+                self.by_line[lineno] = _rule_set(line_match.group(1))
+        if suppress_all_file:
+            self.file_wide = None
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if self.file_wide is None or finding.rule in self.file_wide:
+            return True
+        if finding.line in self.by_line:
+            rules = self.by_line[finding.line]
+            return rules is None or finding.rule in rules
+        return False

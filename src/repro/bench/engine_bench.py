@@ -26,9 +26,9 @@ from __future__ import annotations
 import json
 import platform
 import time
+from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Optional
 
 from repro.cluster.cluster import ClusterConfig
 from repro.core.policy import MrdScheme
@@ -126,7 +126,7 @@ def _time_run(
 ) -> tuple[float, RunMetrics]:
     """Best-of-``repeats`` wall-clock seconds plus the run's metrics."""
     best = float("inf")
-    metrics: Optional[RunMetrics] = None
+    metrics: RunMetrics | None = None
     for _ in range(repeats):
         sim = SparkSimulator(dag, cluster, scheme_factory(), scheduler=scheduler)
         t0 = time.perf_counter()

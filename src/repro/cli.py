@@ -12,6 +12,7 @@ Examples::
     python -m repro experiment table1
     python -m repro bench --out BENCH_engine.json
     python -m repro bench --tasks 1500 --check-baseline BENCH_engine.json
+    python -m repro lint src/repro --format json
 
 Every command prints plain-text tables (the same renderers the
 benchmark suite uses) and is fully deterministic.
@@ -21,7 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.control.plane import CONTROL_PLANES, RpcConfig
 from repro.core.policy import MrdScheme
@@ -111,7 +112,7 @@ def _cluster(args: argparse.Namespace):
     try:
         return CLUSTERS[args.cluster]
     except KeyError:
-        raise SystemExit(f"unknown cluster {args.cluster!r}; choose from {sorted(CLUSTERS)}")
+        raise SystemExit(f"unknown cluster {args.cluster!r}; choose from {sorted(CLUSTERS)}") from None
 
 
 def _add_control_args(p: argparse.ArgumentParser) -> None:
@@ -141,7 +142,7 @@ def _control_kwargs(args: argparse.Namespace) -> dict:
             seed=args.control_seed,
         )
     except ValueError as exc:
-        raise SystemExit(f"bad control-plane config: {exc}")
+        raise SystemExit(f"bad control-plane config: {exc}") from exc
     return {"control_plane": "rpc", "control_config": config}
 
 
@@ -199,7 +200,7 @@ def _sweep_grid(args: argparse.Namespace):
         try:
             grid = load_grid(args.spec)
         except (OSError, ValueError) as exc:
-            raise SystemExit(f"sweep failed: {exc}")
+            raise SystemExit(f"sweep failed: {exc}") from exc
         if args.workloads:
             grid.workloads = list(args.workloads)
         return grid
@@ -217,7 +218,7 @@ def _sweep_grid(args: argparse.Namespace):
             "schedulers": args.schedulers.split(","),
         })
     except ValueError as exc:
-        raise SystemExit(f"sweep failed: {exc}")
+        raise SystemExit(f"sweep failed: {exc}") from exc
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -235,7 +236,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     try:
         validate_cells(cells)
     except ValueError as exc:
-        raise SystemExit(f"sweep failed: {exc}")
+        raise SystemExit(f"sweep failed: {exc}") from exc
     if not cells:
         print("empty grid: no workloads selected, nothing to run")
         return 0
@@ -341,7 +342,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             repeats=args.repeats,
         )
     except ValueError as exc:
-        raise SystemExit(f"bench failed: {exc}")
+        raise SystemExit(f"bench failed: {exc}") from exc
     payload = run_engine_bench(config, include_reference=not args.no_reference)
     print(render_bench(payload))
     if args.output:
@@ -353,7 +354,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 payload, args.check_baseline, max_slowdown=args.max_slowdown
             )
         except (OSError, ValueError) as exc:
-            raise SystemExit(f"bench failed: cannot read baseline: {exc}")
+            raise SystemExit(f"bench failed: cannot read baseline: {exc}") from exc
         if failures:
             for failure in failures:
                 print(f"REGRESSION: {failure}")
@@ -373,7 +374,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     except KeyError:
         raise SystemExit(
             f"unknown experiment {args.name!r}; choose from {sorted(_EXPERIMENTS)}"
-        )
+        ) from None
     # Sweep-backed drivers accept jobs/store; table drivers do not.
     params = inspect.signature(run).parameters
     kwargs = {}
@@ -387,6 +388,12 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 # ----------------------------------------------------------------------
 # trace subcommands
 # ----------------------------------------------------------------------
@@ -396,7 +403,7 @@ def cmd_trace_ingest(args: argparse.Namespace) -> int:
     try:
         trace = ingest_eventlog(args.eventlog)
     except (EventLogError, OSError) as exc:
-        raise SystemExit(f"ingest failed: {exc}")
+        raise SystemExit(f"ingest failed: {exc}") from exc
     print(trace.summary())
     for warning in trace.warnings:
         print(f"warning: {warning}")
@@ -437,13 +444,13 @@ def cmd_trace_record(args: argparse.Namespace) -> int:
     try:
         dag = build_dag(build_workload(args.workload, **kwargs))
     except KeyError as exc:
-        raise SystemExit(f"record failed: {exc.args[0]}")
+        raise SystemExit(f"record failed: {exc.args[0]}") from exc
     args.cluster = args.cluster or "main"
     cluster = _cluster(args)
     try:
         scheme = build_scheme(args.scheme)
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from exc
     cache = (
         args.cache_mb
         if args.cache_mb is not None
@@ -490,7 +497,7 @@ def cmd_trace_replay(args: argparse.Namespace) -> int:
             profile_store=store,
         )
     except (EventLogError, TraceFormatError, ValueError, OSError) as exc:
-        raise SystemExit(f"replay failed: {exc}")
+        raise SystemExit(f"replay failed: {exc}") from exc
     print(f"source={result.source} scheme={result.scheme} "
           f"cache={result.cache_mb_per_node:.1f} MB/node")
     print(result.metrics.summary())
@@ -506,7 +513,7 @@ def cmd_trace_diff(args: argparse.Namespace) -> int:
     try:
         diff = diff_trace_files(args.left, args.right)
     except (TraceFormatError, OSError) as exc:
-        raise SystemExit(f"diff failed: {exc}")
+        raise SystemExit(f"diff failed: {exc}") from exc
     if diff is None:
         print("traces are identical (zero divergence)")
         return 0
@@ -603,6 +610,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="allowed slowdown factor for --check-baseline")
     bench_p.set_defaults(func=cmd_bench)
 
+    lint_p = sub.add_parser(
+        "lint",
+        help="run the determinism-contract static analyzer "
+             "(see docs/static-analysis.md)",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint_p)
+    lint_p.set_defaults(func=cmd_lint)
+
     trace_p = sub.add_parser(
         "trace", help="ingest, record, replay and diff cache-management traces"
     )
@@ -687,10 +704,10 @@ def cmd_dot(args: argparse.Namespace) -> int:
     dag = build_workload_dag(
         args.workload, scale=args.scale, iterations=args.iterations, partitions=8
     )
-    if args.view == "lineage":
-        text = lineage_to_dot(dag)
-    else:
-        text = stages_to_dot(dag, include_skipped=not args.no_skipped)
+    text = (
+        lineage_to_dot(dag) if args.view == "lineage"
+        else stages_to_dot(dag, include_skipped=not args.no_skipped)
+    )
     if args.output:
         from pathlib import Path
 
@@ -715,7 +732,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     return args.func(args)
 

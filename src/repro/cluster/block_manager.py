@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.cluster.block import Block, BlockId
 from repro.cluster.node import WorkerNode
@@ -46,7 +45,7 @@ class BlockManagerStats:
         return self.hits + self.misses
 
     @property
-    def hit_ratio(self) -> Optional[float]:
+    def hit_ratio(self) -> float | None:
         """Hit fraction of all accesses, or ``None`` with zero accesses.
 
         ``None`` (rather than 0.0) keeps idle nodes — nodes that never

@@ -9,7 +9,7 @@ purge orders out to every node's block manager — the paper's
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.cluster.block import Block, BlockId
 from repro.cluster.block_manager import BlockManager, BlockManagerStats
@@ -71,9 +71,10 @@ class BlockManagerMaster:
         mgr = self.managers[node_id]
         node_dropped = 0
         for bid in [b for b in mgr.node.memory.block_ids() if b.rdd_id == rdd_id]:
-            if not mgr.node.memory.is_pinned(bid):
-                if mgr.purge_block(bid, drop_disk=drop_disk):
-                    node_dropped += 1
+            if not mgr.node.memory.is_pinned(bid) and mgr.purge_block(
+                bid, drop_disk=drop_disk
+            ):
+                node_dropped += 1
         if drop_disk:
             for bid in [b for b in list(mgr.node.disk.block_ids()) if b.rdd_id == rdd_id]:
                 mgr.node.disk.remove(bid)

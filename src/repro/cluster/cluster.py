@@ -58,7 +58,7 @@ class ClusterConfig:
     def total_slots(self) -> int:
         return self.slots_per_node * self.num_nodes
 
-    def with_cache(self, cache_mb_per_node: float) -> "ClusterConfig":
+    def with_cache(self, cache_mb_per_node: float) -> ClusterConfig:
         """Copy with a different per-node cache size (cache-size sweeps)."""
         return replace(self, cache_mb_per_node=cache_mb_per_node)
 
@@ -76,14 +76,21 @@ class Cluster:
         return len(self.nodes)
 
 
-def build_cluster(config: ClusterConfig, policy_factory: "PolicyFactory") -> Cluster:
+def build_cluster(
+    config: ClusterConfig,
+    policy_factory: PolicyFactory,
+    rng: random.Random | None = None,
+) -> Cluster:
     """Create the worker nodes, one policy instance per node.
 
     With nonzero ``heterogeneity`` every node gets a deterministic CPU
     speed factor drawn from the configured spread (same seed → same
-    cluster, so policy comparisons stay apples-to-apples).
+    cluster, so policy comparisons stay apples-to-apples).  The draws
+    come from an injected, seed-threaded ``random.Random`` (DET001) —
+    by default a fresh ``random.Random(config.heterogeneity_seed)``, so
+    cluster assembly never touches the process-global RNG.
     """
-    rng = random.Random(config.heterogeneity_seed)
+    rng = rng if rng is not None else random.Random(config.heterogeneity_seed)
     nodes = []
     for i in range(config.num_nodes):
         factor = 1.0

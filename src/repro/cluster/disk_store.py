@@ -11,7 +11,7 @@ assert accounting invariants.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 from repro.cluster.block import Block, BlockId
 
@@ -40,7 +40,7 @@ class DiskStore:
     def __contains__(self, block_id: BlockId) -> bool:
         return block_id in self._blocks
 
-    def get(self, block_id: BlockId) -> Optional[Block]:
+    def get(self, block_id: BlockId) -> Block | None:
         return self._blocks.get(block_id)
 
     def block_ids(self) -> Iterator[BlockId]:
@@ -56,7 +56,7 @@ class DiskStore:
         self._used_mb += block.size_mb
         return True
 
-    def remove(self, block_id: BlockId) -> Optional[Block]:
+    def remove(self, block_id: BlockId) -> Block | None:
         block = self._blocks.pop(block_id, None)
         if block is not None:
             self._used_mb -= block.size_mb

@@ -9,8 +9,8 @@ freed) is refused rather than partially cached.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
 
 from typing import TYPE_CHECKING
 
@@ -31,7 +31,7 @@ class PutResult:
 class MemoryStore:
     """Capacity-bounded in-memory block store for one worker node."""
 
-    def __init__(self, capacity_mb: float, policy: "EvictionPolicy") -> None:
+    def __init__(self, capacity_mb: float, policy: EvictionPolicy) -> None:
         if capacity_mb < 0:
             raise ValueError("capacity must be non-negative")
         self.capacity_mb = float(capacity_mb)
@@ -93,7 +93,7 @@ class MemoryStore:
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
-    def get(self, block_id: BlockId) -> Optional[Block]:
+    def get(self, block_id: BlockId) -> Block | None:
         """Read a block (cache hit path); updates policy recency state."""
         block = self._blocks.get(block_id)
         if block is not None:
@@ -142,7 +142,7 @@ class MemoryStore:
         self.policy.on_insert(block)
         return PutResult(stored=True, evicted=evicted)
 
-    def remove(self, block_id: BlockId) -> Optional[Block]:
+    def remove(self, block_id: BlockId) -> Block | None:
         """Drop a block outright (purge path); no-op if absent."""
         if block_id not in self._blocks:
             return None

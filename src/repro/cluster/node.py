@@ -25,7 +25,7 @@ class WorkerNode:
         node_id: int,
         num_slots: int,
         cache_capacity_mb: float,
-        policy: "EvictionPolicy",
+        policy: EvictionPolicy,
         disk_model: DiskModel | None = None,
         disk_capacity_mb: float = 200_000.0,
     ) -> None:
@@ -43,7 +43,7 @@ class WorkerNode:
         self.cpu_factor = 1.0
 
     @property
-    def policy(self) -> "EvictionPolicy":
+    def policy(self) -> EvictionPolicy:
         return self.memory.policy
 
     def reserve_io(self, now: float, size_mb: float) -> float:

@@ -24,8 +24,8 @@ Conventions
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Mapping, Optional
 
 
 @dataclass(frozen=True)
@@ -117,7 +117,7 @@ class CacheStatusReport(ControlMessage):
 
     used_mb: float
     free_mb: float
-    hit_ratio: Optional[float]
+    hit_ratio: float | None
     num_blocks: int
 
 

@@ -33,8 +33,8 @@ from __future__ import annotations
 
 import heapq
 import random
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable, Optional
 
 from repro.cluster.network import NetworkModel
 from repro.control.messages import ControlMessage
@@ -61,7 +61,7 @@ class RpcConfig:
     ``seed``: RNG seed for loss and jitter draws.
     """
 
-    latency_s: Optional[float] = None
+    latency_s: float | None = None
     jitter_s: float = 0.0
     loss_rate: float = 0.0
     message_kb: float = 1.0
@@ -126,7 +126,7 @@ class ControlPlane:
         #: plane keeps it permanently empty.
         self.heap: list[tuple[float, int, ControlMessage, DeliverFn]] = []
         #: Extra loss probability hook (failure-plan outage windows).
-        self.outage_loss: Optional[Callable[[ControlMessage], float]] = None
+        self.outage_loss: Callable[[ControlMessage], float] | None = None
 
     def send(self, msg: ControlMessage, deliver: DeliverFn) -> None:
         """Enqueue (or directly apply) one message."""
@@ -187,17 +187,15 @@ class RpcControlPlane(ControlPlane):
 
     def __init__(
         self,
-        config: Optional[RpcConfig] = None,
-        network: Optional[NetworkModel] = None,
+        config: RpcConfig | None = None,
+        network: NetworkModel | None = None,
     ) -> None:
         super().__init__()
         self.config = config or RpcConfig()
-        if self.config.latency_s is not None:
-            self.latency_s = self.config.latency_s
-        else:
-            self.latency_s = (network or NetworkModel()).message_time(
-                self.config.message_kb
-            )
+        self.latency_s = (
+            self.config.latency_s if self.config.latency_s is not None
+            else (network or NetworkModel()).message_time(self.config.message_kb)
+        )
         self._rng = random.Random(self.config.seed)
         self._seq = 0
 
@@ -246,8 +244,8 @@ class RpcControlPlane(ControlPlane):
 
 def build_control_plane(
     control_plane: str,
-    config: Optional[RpcConfig] = None,
-    network: Optional[NetworkModel] = None,
+    config: RpcConfig | None = None,
+    network: NetworkModel | None = None,
 ) -> ControlPlane:
     """Plane instance for a transport name (engine construction helper)."""
     if control_plane == "instant":

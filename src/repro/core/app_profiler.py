@@ -21,7 +21,6 @@ import json
 import logging
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
 
 logger = logging.getLogger(__name__)
 
@@ -52,7 +51,7 @@ class ApplicationProfile:
         }
 
     @classmethod
-    def from_json(cls, data: dict) -> "ApplicationProfile":
+    def from_json(cls, data: dict) -> ApplicationProfile:
         return cls(
             signature=data["signature"],
             references=[Reference(seq=s, job_id=j, rdd_id=r) for s, j, r in data["references"]],
@@ -64,13 +63,13 @@ class ApplicationProfile:
 class ProfileStore:
     """Profiles keyed by application signature, optionally file-backed."""
 
-    def __init__(self, path: Optional[Path] = None) -> None:
+    def __init__(self, path: Path | None = None) -> None:
         self.path = Path(path) if path else None
         self._profiles: dict[str, ApplicationProfile] = {}
         if self.path and self.path.exists():
             self._load()
 
-    def get(self, signature: str) -> Optional[ApplicationProfile]:
+    def get(self, signature: str) -> ApplicationProfile | None:
         return self._profiles.get(signature)
 
     def put(self, profile: ApplicationProfile) -> None:
@@ -114,7 +113,7 @@ class AppProfiler:
         self,
         dag: ApplicationDAG,
         mode: str = "recurring",
-        store: Optional[ProfileStore] = None,
+        store: ProfileStore | None = None,
     ) -> None:
         if mode not in ("adhoc", "recurring"):
             raise ValueError(f"mode must be 'adhoc' or 'recurring', got {mode!r}")

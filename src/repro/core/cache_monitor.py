@@ -19,8 +19,9 @@ has to live with.
 from __future__ import annotations
 
 import itertools
+from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, Mapping, Optional
+from typing import TYPE_CHECKING
 
 from repro.cluster.block import Block, BlockId
 from repro.core.manager import MrdManager
@@ -43,7 +44,7 @@ class CacheStatus:
     node_id: int
     used_mb: float
     free_mb: float
-    hit_ratio: Optional[float]
+    hit_ratio: float | None
     num_blocks: int
 
 
@@ -58,7 +59,7 @@ class MrdTableView:
     """
 
     #: Last delivered snapshot (shared, read-only) and its boundary seq.
-    _distances: Optional[Mapping[int, float]] = None
+    _distances: Mapping[int, float] | None = None
     _view_seq: int = -1
 
     def on_table_update(self, seq: int, distances: Mapping[int, float]) -> bool:
@@ -127,7 +128,7 @@ class CacheMonitor(MrdTableView, EvictionPolicy):
         self._last_touch.pop(block_id, None)
         self._sizes.pop(block_id, None)
 
-    def eviction_order(self, store: "MemoryStore") -> Iterator[BlockId]:
+    def eviction_order(self, store: MemoryStore) -> Iterator[BlockId]:
         # Largest distance first (inf ahead of any finite value).  Ties
         # — all blocks of one RDD share a distance — break on
         # *descending partition index*: a stable rule that keeps a fixed
@@ -136,7 +137,7 @@ class CacheMonitor(MrdTableView, EvictionPolicy):
         # cyclic scans of a working set larger than the cache).
         return iter(sorted(store.block_ids(), key=self._evict_key))
 
-    def admit_over(self, block: Block, victims: list[BlockId], store: "MemoryStore") -> bool:
+    def admit_over(self, block: Block, victims: list[BlockId], store: MemoryStore) -> bool:
         """Only displace blocks that are strictly worse than the newcomer.
 
         A block whose eviction key ranks at-or-before every victim's
@@ -157,7 +158,7 @@ class CacheMonitor(MrdTableView, EvictionPolicy):
         return (-dist, tie, -bid.partition, -bid.rdd_id)
 
     def report_cache_status(
-        self, store: "MemoryStore", hit_ratio: Optional[float]
+        self, store: MemoryStore, hit_ratio: float | None
     ) -> CacheStatus:
         """Build the periodic status report for the MRDmanager.
 

@@ -12,7 +12,7 @@ the largest-distance blocks).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.cluster.block import Block, BlockId
 from repro.cluster.cluster import Cluster
@@ -146,7 +146,7 @@ class MrdManager:
         #: control plane.  Under the instant plane this always matches
         #: live state at selection time; under rpc it lags by at least
         #: one message latency.
-        self.status_view: dict[int, "CacheStatusReport"] = {}
+        self.status_view: dict[int, CacheStatusReport] = {}
 
     # ------------------------------------------------------------------
     # lifecycle notifications from the scheduler
@@ -165,7 +165,7 @@ class MrdManager:
         """A cached RDD's blocks entered the cluster (first computation)."""
         self._materialized.add(rdd_id)
 
-    def on_cache_status(self, report: "CacheStatusReport") -> None:
+    def on_cache_status(self, report: CacheStatusReport) -> None:
         """A worker's ``reportCacheStatus`` message arrived at the driver.
 
         Keeps the newest report per node by send time — a reordered rpc
@@ -180,7 +180,7 @@ class MrdManager:
         """A worker left the cluster: its reported status is void."""
         self.status_view.pop(node_id, None)
 
-    def reported_hit_ratio(self) -> Optional[float]:
+    def reported_hit_ratio(self) -> float | None:
         """Mean hit ratio across reporting nodes, ignoring idle ones.
 
         Nodes that have served no cached reads report ``hit_ratio=None``

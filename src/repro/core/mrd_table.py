@@ -23,7 +23,7 @@ from __future__ import annotations
 import heapq
 import math
 from bisect import insort
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.core.reference_distance import Reference
 
@@ -51,7 +51,7 @@ class _RefQueue:
     def __len__(self) -> int:
         return len(self.entries) - self.head
 
-    def peek(self) -> Optional[tuple[int, int]]:
+    def peek(self) -> tuple[int, int] | None:
         return self.entries[self.head] if self.head < len(self.entries) else None
 
     def add(self, entry: tuple[int, int]) -> bool:

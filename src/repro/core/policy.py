@@ -15,7 +15,6 @@ Variants map directly to Figure 4's three bars:
 
 from __future__ import annotations
 
-from typing import Optional
 
 from typing import TYPE_CHECKING
 
@@ -56,14 +55,14 @@ class PrefetchAwareLruPolicy(MrdTableView, LruPolicy):
     def _live_distance(self, rdd_id: int) -> float:
         return self._manager.distance(rdd_id)
 
-    def prefetch_eviction_order(self, store: "MemoryStore"):
+    def prefetch_eviction_order(self, store: MemoryStore):
         return iter(sorted(store.block_ids(), key=self._distance_key))
 
-    def admit_prefetch_over(self, block: "Block", victims: list["BlockId"], store: "MemoryStore") -> bool:
+    def admit_prefetch_over(self, block: Block, victims: list[BlockId], store: MemoryStore) -> bool:
         incoming = self._distance_key(block.id)
         return all(incoming > self._distance_key(v) for v in victims)
 
-    def _distance_key(self, bid: "BlockId") -> tuple[float, int, int]:
+    def _distance_key(self, bid: BlockId) -> tuple[float, int, int]:
         return (-self.lookup_distance(bid.rdd_id), -bid.partition, -bid.rdd_id)
 
 
@@ -82,7 +81,7 @@ class MrdScheme(CacheScheme):
         eager_purge: bool = True,
         guarded_prefetch: bool = False,
         tie_breaker: str = "partition",
-        profile_store: Optional[ProfileStore] = None,
+        profile_store: ProfileStore | None = None,
     ) -> None:
         if not evict and not prefetch:
             raise ValueError("at least one of evict/prefetch must be enabled")
@@ -100,7 +99,7 @@ class MrdScheme(CacheScheme):
             eager_purge=eager_purge and evict,
             guarded_prefetch=guarded_prefetch,
         )
-        self.manager: Optional[MrdManager] = None
+        self.manager: MrdManager | None = None
         variant = "MRD"
         if not prefetch:
             variant = "MRD-evict"
@@ -143,7 +142,7 @@ class MrdScheme(CacheScheme):
         assert self.manager is not None
         self.manager.on_block_created(rdd_id)
 
-    def on_cache_status(self, report: "CacheStatusReport") -> None:
+    def on_cache_status(self, report: CacheStatusReport) -> None:
         assert self.manager is not None
         self.manager.on_cache_status(report)
 
@@ -151,12 +150,12 @@ class MrdScheme(CacheScheme):
         assert self.manager is not None
         self.manager.on_worker_deregister(node_id)
 
-    def table_snapshot(self) -> Optional[dict[int, float]]:
+    def table_snapshot(self) -> dict[int, float] | None:
         """Fresh snapshot for a (re-)registering worker (paper §4.4)."""
         assert self.manager is not None
         return self.manager.table.snapshot()
 
-    def reference_distance(self, rdd_id: int) -> Optional[float]:
+    def reference_distance(self, rdd_id: int) -> float | None:
         """The MRD_Table's current distance (trace-recorder hook)."""
         assert self.manager is not None
         return self.manager.distance(rdd_id)

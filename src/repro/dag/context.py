@@ -11,8 +11,8 @@ the simulator.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.dag.rdd import RDD
 

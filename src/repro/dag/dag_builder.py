@@ -23,7 +23,6 @@ The algorithm mirrors Spark's ``DAGScheduler``:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.dag.context import SparkApplication
 from repro.dag.rdd import NarrowDependency, RDD, ShuffleDependency
@@ -83,7 +82,7 @@ class _StageSkeleton:
     id: int
     job_id: int
     rdd: RDD
-    shuffle_dep: Optional[ShuffleDependency]
+    shuffle_dep: ShuffleDependency | None
     parent_ids: list[int]
     skipped: bool
 
@@ -149,7 +148,7 @@ class DagBuilder:
         """
         created: dict[object, int] = {}  # dedupe key -> skeleton id (within job)
 
-        def create(rdd: RDD, shuffle_dep: Optional[ShuffleDependency]) -> int:
+        def create(rdd: RDD, shuffle_dep: ShuffleDependency | None) -> int:
             key: object = shuffle_dep.shuffle_id if shuffle_dep else ("result", rdd.id)
             if key in created:
                 return created[key]

@@ -16,8 +16,9 @@ The classes here are deliberately close to Spark's own vocabulary
 from __future__ import annotations
 
 import enum
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dag.context import SparkContext
@@ -46,7 +47,7 @@ class StorageLevel(enum.Enum):
 class Dependency:
     """Edge in the lineage graph: ``child`` depends on ``parent``."""
 
-    parent: "RDD"
+    parent: RDD
 
     @property
     def is_shuffle(self) -> bool:
@@ -112,7 +113,7 @@ class RDD:
 
     def __init__(
         self,
-        ctx: "SparkContext",
+        ctx: SparkContext,
         deps: Sequence[Dependency],
         num_partitions: int,
         partition_size_mb: float,
@@ -141,15 +142,15 @@ class RDD:
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
-    def cache(self) -> "RDD":
+    def cache(self) -> RDD:
         """Mark this RDD for caching (``MEMORY_AND_DISK`` semantics)."""
         return self.persist(StorageLevel.MEMORY_AND_DISK)
 
-    def persist(self, level: StorageLevel = StorageLevel.MEMORY_AND_DISK) -> "RDD":
+    def persist(self, level: StorageLevel = StorageLevel.MEMORY_AND_DISK) -> RDD:
         self.storage_level = level
         return self
 
-    def unpersist(self) -> "RDD":
+    def unpersist(self) -> RDD:
         self.storage_level = StorageLevel.NONE
         return self
 
@@ -161,7 +162,7 @@ class RDD:
     # graph helpers
     # ------------------------------------------------------------------
     @property
-    def parents(self) -> tuple["RDD", ...]:
+    def parents(self) -> tuple[RDD, ...]:
         return tuple(d.parent for d in self.deps)
 
     @property
@@ -169,7 +170,7 @@ class RDD:
         """Total materialized size across all partitions."""
         return self.partition_size_mb * self.num_partitions
 
-    def narrow_ancestors(self) -> Iterator["RDD"]:
+    def narrow_ancestors(self) -> Iterator[RDD]:
         """Yield this RDD and every ancestor reachable via narrow deps only.
 
         This is exactly the set of RDDs pipelined into the same stage.
@@ -187,7 +188,7 @@ class RDD:
                 if isinstance(dep, NarrowDependency):
                     stack.append(dep.parent)
 
-    def ancestors(self) -> Iterator["RDD"]:
+    def ancestors(self) -> Iterator[RDD]:
         """Yield this RDD and every ancestor (crossing shuffle edges)."""
         seen: set[int] = set()
         stack: list[RDD] = [self]

@@ -10,7 +10,6 @@ sequence numbers every cached RDD is written and read.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.dag.context import JobSpec
 from repro.dag.rdd import RDD, ShuffleDependency
@@ -54,7 +53,7 @@ class Stage:
     seq: int
     rdd: RDD
     pipeline: tuple[RDD, ...]
-    shuffle_dep: Optional[ShuffleDependency]
+    shuffle_dep: ShuffleDependency | None
     parent_stage_ids: tuple[int, ...]
     skipped: bool
     num_tasks: int
@@ -120,7 +119,7 @@ class RddReferenceProfile:
     read_seqs: list[int] = field(default_factory=list)
     read_jobs: list[int] = field(default_factory=list)
     read_stage_ids: list[int] = field(default_factory=list)
-    unpersist_after_job: Optional[int] = None
+    unpersist_after_job: int | None = None
 
     @property
     def reference_count(self) -> int:

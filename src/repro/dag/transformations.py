@@ -15,7 +15,7 @@ graph held by the context.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.dag.rdd import NarrowDependency, RDD, ShuffleDependency
 
@@ -29,7 +29,7 @@ DEFAULT_WIDE_CPU_PER_MB = 0.008
 def _derived(
     parent: RDD,
     size_factor: float,
-    cpu_per_mb: Optional[float],
+    cpu_per_mb: float | None,
     default_cpu: float,
 ) -> tuple[float, float]:
     """Return (partition_size_mb, compute_cost) for a derived RDD."""
@@ -42,9 +42,9 @@ def _narrow(
     parent: RDD,
     op: str,
     size_factor: float = 1.0,
-    cpu_per_mb: Optional[float] = None,
+    cpu_per_mb: float | None = None,
     name: str = "",
-    num_partitions: Optional[int] = None,
+    num_partitions: int | None = None,
 ) -> RDD:
     size, cpu = _derived(parent, size_factor, cpu_per_mb, DEFAULT_CPU_PER_MB)
     return RDD(
@@ -62,9 +62,9 @@ def _wide(
     parents: Sequence[RDD],
     op: str,
     size_factor: float = 1.0,
-    cpu_per_mb: Optional[float] = None,
+    cpu_per_mb: float | None = None,
     name: str = "",
-    num_partitions: Optional[int] = None,
+    num_partitions: int | None = None,
 ) -> RDD:
     ctx = parents[0].ctx
     deps = [ShuffleDependency(p, shuffle_id=ctx._next_shuffle_id()) for p in parents]
@@ -85,24 +85,24 @@ def _wide(
 # ----------------------------------------------------------------------
 # narrow transformations
 # ----------------------------------------------------------------------
-def rdd_map(self: RDD, size_factor: float = 1.0, cpu_per_mb: Optional[float] = None, name: str = "") -> RDD:
+def rdd_map(self: RDD, size_factor: float = 1.0, cpu_per_mb: float | None = None, name: str = "") -> RDD:
     """Element-wise transformation; pipelined into the parent's stage."""
     return _narrow(self, "map", size_factor, cpu_per_mb, name)
 
 
-def rdd_filter(self: RDD, selectivity: float = 0.5, cpu_per_mb: Optional[float] = None, name: str = "") -> RDD:
+def rdd_filter(self: RDD, selectivity: float = 0.5, cpu_per_mb: float | None = None, name: str = "") -> RDD:
     """Keep a ``selectivity`` fraction of the data (narrow)."""
     if not 0.0 <= selectivity <= 1.0:
         raise ValueError(f"selectivity must be in [0, 1], got {selectivity}")
     return _narrow(self, "filter", selectivity, cpu_per_mb, name)
 
 
-def rdd_flat_map(self: RDD, size_factor: float = 2.0, cpu_per_mb: Optional[float] = None, name: str = "") -> RDD:
+def rdd_flat_map(self: RDD, size_factor: float = 2.0, cpu_per_mb: float | None = None, name: str = "") -> RDD:
     """One-to-many transformation (narrow), typically inflating the data."""
     return _narrow(self, "flatMap", size_factor, cpu_per_mb, name)
 
 
-def rdd_map_partitions(self: RDD, size_factor: float = 1.0, cpu_per_mb: Optional[float] = None, name: str = "") -> RDD:
+def rdd_map_partitions(self: RDD, size_factor: float = 1.0, cpu_per_mb: float | None = None, name: str = "") -> RDD:
     """Per-partition transformation (narrow)."""
     return _narrow(self, "mapPartitions", size_factor, cpu_per_mb, name)
 
@@ -128,7 +128,7 @@ def rdd_union(self: RDD, other: RDD, name: str = "") -> RDD:
     )
 
 
-def rdd_zip_partitions(self: RDD, other: RDD, size_factor: float = 1.0, cpu_per_mb: Optional[float] = None, name: str = "") -> RDD:
+def rdd_zip_partitions(self: RDD, other: RDD, size_factor: float = 1.0, cpu_per_mb: float | None = None, name: str = "") -> RDD:
     """Combine co-partitioned RDDs partition-by-partition (narrow).
 
     Used by graph workloads to merge vertex state with incoming
@@ -155,37 +155,37 @@ def rdd_zip_partitions(self: RDD, other: RDD, size_factor: float = 1.0, cpu_per_
 # ----------------------------------------------------------------------
 # wide (shuffle) transformations
 # ----------------------------------------------------------------------
-def rdd_group_by_key(self: RDD, size_factor: float = 1.0, cpu_per_mb: Optional[float] = None, name: str = "", num_partitions: Optional[int] = None) -> RDD:
+def rdd_group_by_key(self: RDD, size_factor: float = 1.0, cpu_per_mb: float | None = None, name: str = "", num_partitions: int | None = None) -> RDD:
     """Group values by key; always shuffles the full dataset."""
     return _wide([self], "groupByKey", size_factor, cpu_per_mb, name, num_partitions)
 
 
-def rdd_reduce_by_key(self: RDD, size_factor: float = 0.5, cpu_per_mb: Optional[float] = None, name: str = "", num_partitions: Optional[int] = None) -> RDD:
+def rdd_reduce_by_key(self: RDD, size_factor: float = 0.5, cpu_per_mb: float | None = None, name: str = "", num_partitions: int | None = None) -> RDD:
     """Combine values per key; map-side combining shrinks the output."""
     return _wide([self], "reduceByKey", size_factor, cpu_per_mb, name, num_partitions)
 
 
-def rdd_sort_by_key(self: RDD, cpu_per_mb: Optional[float] = None, name: str = "", num_partitions: Optional[int] = None) -> RDD:
+def rdd_sort_by_key(self: RDD, cpu_per_mb: float | None = None, name: str = "", num_partitions: int | None = None) -> RDD:
     """Range-partitioned total sort (wide)."""
     return _wide([self], "sortByKey", 1.0, cpu_per_mb, name, num_partitions)
 
 
-def rdd_join(self: RDD, other: RDD, size_factor: float = 1.0, cpu_per_mb: Optional[float] = None, name: str = "", num_partitions: Optional[int] = None) -> RDD:
+def rdd_join(self: RDD, other: RDD, size_factor: float = 1.0, cpu_per_mb: float | None = None, name: str = "", num_partitions: int | None = None) -> RDD:
     """Inner join of two keyed RDDs (wide on both parents)."""
     return _wide([self, other], "join", size_factor, cpu_per_mb, name, num_partitions)
 
 
-def rdd_cogroup(self: RDD, other: RDD, size_factor: float = 1.0, cpu_per_mb: Optional[float] = None, name: str = "", num_partitions: Optional[int] = None) -> RDD:
+def rdd_cogroup(self: RDD, other: RDD, size_factor: float = 1.0, cpu_per_mb: float | None = None, name: str = "", num_partitions: int | None = None) -> RDD:
     """Cogroup two keyed RDDs (wide on both parents)."""
     return _wide([self, other], "cogroup", size_factor, cpu_per_mb, name, num_partitions)
 
 
-def rdd_distinct(self: RDD, size_factor: float = 0.8, name: str = "", num_partitions: Optional[int] = None) -> RDD:
+def rdd_distinct(self: RDD, size_factor: float = 0.8, name: str = "", num_partitions: int | None = None) -> RDD:
     """Deduplicate (implemented as a shuffle, like Spark)."""
     return _wide([self], "distinct", size_factor, None, name, num_partitions)
 
 
-def rdd_partition_by(self: RDD, num_partitions: Optional[int] = None, name: str = "") -> RDD:
+def rdd_partition_by(self: RDD, num_partitions: int | None = None, name: str = "") -> RDD:
     """Repartition by key (wide, size-preserving)."""
     return _wide([self], "partitionBy", 1.0, None, name, num_partitions)
 

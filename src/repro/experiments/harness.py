@@ -20,8 +20,8 @@ serial path since they cannot cross a process boundary.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, Union
 
 from repro.cluster.cluster import ClusterConfig
 from repro.dag.analysis import peak_live_cached_mb
@@ -35,7 +35,7 @@ from repro.workloads.base import WorkloadParams
 from repro.workloads.registry import get_workload
 
 SchemeFactory = Callable[[], CacheScheme]
-SchemeLike = Union[SchemeFactory, SchemeSpec, str]
+SchemeLike = SchemeFactory | SchemeSpec | str
 
 #: The scheme line-up most experiments compare (fresh instance per run;
 #: every entry is a picklable SchemeSpec, so sweeps parallelize).
@@ -123,8 +123,8 @@ def cache_mb_for(dag: ApplicationDAG, fraction: float, cluster: ClusterConfig) -
 def build_workload_dag(
     workload: str,
     scale: float = 1.0,
-    iterations: Optional[int] = None,
-    partitions: Optional[int] = None,
+    iterations: int | None = None,
+    partitions: int | None = None,
 ) -> ApplicationDAG:
     """Compile one benchmark workload into its application DAG."""
     params = WorkloadParams(
@@ -135,7 +135,7 @@ def build_workload_dag(
     return build_dag(get_workload(workload).build(params))
 
 
-def _preset_name(cluster: ClusterConfig) -> Optional[str]:
+def _preset_name(cluster: ClusterConfig) -> str | None:
     """Registry name of ``cluster`` if it *is* a preset, else ``None``."""
     preset = CLUSTERS.get(cluster.name)
     return cluster.name if preset == cluster else None
@@ -143,10 +143,10 @@ def _preset_name(cluster: ClusterConfig) -> Optional[str]:
 
 def sweep_workload(
     workload: str,
-    schemes: Optional[dict[str, SchemeLike]] = None,
+    schemes: dict[str, SchemeLike] | None = None,
     cluster: ClusterConfig = MAIN_CLUSTER,
     cache_fractions: Sequence[float] = DEFAULT_CACHE_FRACTIONS,
-    dag: Optional[ApplicationDAG] = None,
+    dag: ApplicationDAG | None = None,
     jobs: int = 1,
     store=None,
     resume: bool = True,

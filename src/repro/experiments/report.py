@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Optional
 
 from repro.experiments import (
     fig2,
@@ -29,7 +28,7 @@ from repro.experiments import (
 
 
 def generate_report(
-    out: Optional[Path] = None,
+    out: Path | None = None,
     progress: bool = False,
     jobs: int = 1,
     store=None,

@@ -14,7 +14,8 @@ they only rank blocks.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Optional
+from collections.abc import Callable, Iterable, Mapping
+from typing import TYPE_CHECKING
 
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -40,7 +41,7 @@ class EvictionPolicy(abc.ABC):
     def on_remove(self, block_id: BlockId) -> None:
         """A block left the store (evicted or purged)."""
 
-    def on_miss(self, block_id: "BlockId") -> None:
+    def on_miss(self, block_id: BlockId) -> None:
         """A read request missed the store (optional hook).
 
         Lets trace-tracking policies observe the complete access
@@ -48,13 +49,13 @@ class EvictionPolicy(abc.ABC):
         """
 
     @abc.abstractmethod
-    def eviction_order(self, store: "MemoryStore") -> Iterable[BlockId]:
+    def eviction_order(self, store: MemoryStore) -> Iterable[BlockId]:
         """Blocks in the order they should be evicted (worst first)."""
 
     def advance_stage(self, seq: int) -> None:
         """The application moved to active stage ``seq`` (optional hook)."""
 
-    def on_table_update(self, seq: int, distances: "Mapping[int, float]") -> bool:
+    def on_table_update(self, seq: int, distances: Mapping[int, float]) -> bool:
         """A driver distance-table broadcast reached this node.
 
         Distance-view policies (MRD's CacheMonitor) replace their local
@@ -64,7 +65,7 @@ class EvictionPolicy(abc.ABC):
         """
         return True
 
-    def admit_over(self, block: "Block", victims: list["BlockId"], store: "MemoryStore") -> bool:
+    def admit_over(self, block: Block, victims: list[BlockId], store: MemoryStore) -> bool:
         """Should ``block`` be inserted at the cost of evicting ``victims``?
 
         Default (Spark semantics): always admit — insertion pressure
@@ -76,7 +77,7 @@ class EvictionPolicy(abc.ABC):
         """
         return True
 
-    def prefetch_eviction_order(self, store: "MemoryStore") -> Iterable[BlockId]:
+    def prefetch_eviction_order(self, store: MemoryStore) -> Iterable[BlockId]:
         """Victim order for *prefetch-triggered* insertions.
 
         Defaults to the normal eviction order.  The paper's prefetching
@@ -87,17 +88,17 @@ class EvictionPolicy(abc.ABC):
         """
         return self.eviction_order(store)
 
-    def admit_prefetch_over(self, block: "Block", victims: list[BlockId], store: "MemoryStore") -> bool:
+    def admit_prefetch_over(self, block: Block, victims: list[BlockId], store: MemoryStore) -> bool:
         """Admission rule for prefetch-triggered insertions."""
         return self.admit_over(block, victims, store)
 
     def select_victims(
         self,
-        store: "MemoryStore",
+        store: MemoryStore,
         needed_mb: float,
         protect: frozenset[BlockId] = frozenset(),
         for_prefetch: bool = False,
-    ) -> Optional[list[BlockId]]:
+    ) -> list[BlockId] | None:
         """Pick blocks to evict to free ``needed_mb``.
 
         Walks :meth:`eviction_order` (or :meth:`prefetch_eviction_order`

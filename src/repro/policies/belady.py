@@ -11,7 +11,8 @@ the tests compare every other policy against.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.policies.base import EvictionPolicy
 from repro.policies.profile_oracle import ProfileOracle
@@ -42,18 +43,18 @@ class BeladyPolicy(EvictionPolicy):
     def on_remove(self, block_id: BlockId) -> None:
         self._last_touch.pop(block_id, None)
 
-    def eviction_order(self, store: "MemoryStore") -> Iterator[BlockId]:
+    def eviction_order(self, store: MemoryStore) -> Iterator[BlockId]:
         # Furthest next use first; never-again-used blocks lead.  Ties
         # (blocks of the same RDD) break on descending partition index —
         # the stable rule that avoids cyclic-scan thrash and is what
         # block-granular MIN would converge to.
         return iter(sorted(store.block_ids(), key=self._evict_key))
 
-    def admit_over(self, block: "Block", victims: list["BlockId"], store: "MemoryStore") -> bool:
+    def admit_over(self, block: Block, victims: list[BlockId], store: MemoryStore) -> bool:
         """MIN never displaces a block it would rather keep."""
         incoming = self._evict_key(block.id)
         return all(incoming > self._evict_key(v) for v in victims)
 
-    def _evict_key(self, bid: "BlockId") -> tuple[float, int, int]:
+    def _evict_key(self, bid: BlockId) -> tuple[float, int, int]:
         nxt = self._oracle.next_reference_seq(bid.rdd_id)
         return (-nxt, -bid.partition, -bid.rdd_id)

@@ -10,7 +10,8 @@ blocks with large historical counts are the last to leave.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.policies.base import EvictionPolicy
 
@@ -25,28 +26,28 @@ class LfuPolicy(EvictionPolicy):
     name = "LFU"
 
     def __init__(self) -> None:
-        self._freq: dict["BlockId", int] = {}
+        self._freq: dict[BlockId, int] = {}
         self._touch = itertools.count()
-        self._last_touch: dict["BlockId", int] = {}
+        self._last_touch: dict[BlockId, int] = {}
 
-    def on_insert(self, block: "Block") -> None:
+    def on_insert(self, block: Block) -> None:
         self._freq[block.id] = self._freq.get(block.id, 0) + 1
         self._last_touch[block.id] = next(self._touch)
 
-    def on_access(self, block: "Block") -> None:
+    def on_access(self, block: Block) -> None:
         self._freq[block.id] = self._freq.get(block.id, 0) + 1
         self._last_touch[block.id] = next(self._touch)
 
-    def on_remove(self, block_id: "BlockId") -> None:
+    def on_remove(self, block_id: BlockId) -> None:
         # Frequency history survives eviction (classic LFU keeps it; a
         # re-inserted block resumes its count).
         self._last_touch.pop(block_id, None)
 
-    def frequency(self, block_id: "BlockId") -> int:
+    def frequency(self, block_id: BlockId) -> int:
         return self._freq.get(block_id, 0)
 
-    def eviction_order(self, store: "MemoryStore") -> Iterator["BlockId"]:
-        def key(bid: "BlockId") -> tuple[int, int]:
+    def eviction_order(self, store: MemoryStore) -> Iterator[BlockId]:
+        def key(bid: BlockId) -> tuple[int, int]:
             return (self._freq.get(bid, 0), self._last_touch.get(bid, 0))
 
         return iter(sorted(store.block_ids(), key=key))

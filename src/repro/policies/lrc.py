@@ -11,7 +11,8 @@ exactly the behaviour this implementation preserves.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.policies.base import EvictionPolicy
 from repro.policies.profile_oracle import ProfileOracle
@@ -45,7 +46,7 @@ class LrcPolicy(EvictionPolicy):
     def on_remove(self, block_id: BlockId) -> None:
         self._last_touch.pop(block_id, None)
 
-    def eviction_order(self, store: "MemoryStore") -> Iterator[BlockId]:
+    def eviction_order(self, store: MemoryStore) -> Iterator[BlockId]:
         def key(bid: BlockId) -> tuple[int, int]:
             count = self._oracle.remaining_reference_count(bid.rdd_id)
             return (count, self._last_touch.get(bid, 0))

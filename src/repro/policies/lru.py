@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.policies.base import EvictionPolicy
 
@@ -38,6 +39,6 @@ class LruPolicy(EvictionPolicy):
     def on_remove(self, block_id: BlockId) -> None:
         self._recency.pop(block_id, None)
 
-    def eviction_order(self, store: "MemoryStore") -> Iterator[BlockId]:
+    def eviction_order(self, store: MemoryStore) -> Iterator[BlockId]:
         # Oldest first.  Copy: callers may evict while iterating.
         return iter(list(self._recency.keys()))

@@ -18,7 +18,8 @@ against each other.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.policies.base import EvictionPolicy
 from repro.policies.profile_oracle import ProfileOracle
@@ -50,7 +51,7 @@ class MemTunePolicy(EvictionPolicy):
     def on_remove(self, block_id: BlockId) -> None:
         self._last_touch.pop(block_id, None)
 
-    def eviction_order(self, store: "MemoryStore") -> Iterator[BlockId]:
+    def eviction_order(self, store: MemoryStore) -> Iterator[BlockId]:
         needed = self._oracle.referenced_in_window(self._lookahead)
 
         def key(bid: BlockId) -> tuple[int, int]:

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.policies.base import EvictionPolicy
 
@@ -30,7 +31,7 @@ class RandomPolicy(EvictionPolicy):
     def on_remove(self, block_id: BlockId) -> None:
         self._blocks.discard(block_id)
 
-    def eviction_order(self, store: "MemoryStore") -> Iterator[BlockId]:
+    def eviction_order(self, store: MemoryStore) -> Iterator[BlockId]:
         order = sorted(self._blocks)  # sort first: set order is salted per process
         self._rng.shuffle(order)
         return iter(order)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.cluster.block import Block, BlockId
 from repro.cluster.cluster import Cluster
@@ -48,7 +48,7 @@ class StageOrders:
     #: Driver distance-table snapshot to broadcast to every worker
     #: (``None`` for schemes whose node policies hold no distance view).
     #: Built fresh per boundary and never mutated afterwards.
-    table_snapshot: Optional[dict[int, float]] = None
+    table_snapshot: dict[int, float] | None = None
 
 
 class CacheScheme(abc.ABC):
@@ -74,7 +74,7 @@ class CacheScheme(abc.ABC):
     def on_block_created(self, rdd_id: int) -> None:
         """A cached RDD's blocks were computed for the first time."""
 
-    def on_cache_status(self, report: "CacheStatusReport") -> None:
+    def on_cache_status(self, report: CacheStatusReport) -> None:
         """A worker's periodic cache-status report reached the driver.
 
         Delivered through the control plane, so under the rpc transport
@@ -85,7 +85,7 @@ class CacheScheme(abc.ABC):
     def on_worker_deregister(self, node_id: int) -> None:
         """A worker left the cluster; forget its reported status."""
 
-    def table_snapshot(self) -> Optional[dict[int, float]]:
+    def table_snapshot(self) -> dict[int, float] | None:
         """Fresh distance-table snapshot for (re-)registered workers.
 
         Distance-tracking schemes return the mapping the driver would
@@ -93,7 +93,7 @@ class CacheScheme(abc.ABC):
         """
         return None
 
-    def reference_distance(self, rdd_id: int) -> Optional[float]:
+    def reference_distance(self, rdd_id: int) -> float | None:
         """Current reference distance of ``rdd_id``, if tracked.
 
         Distance-tracking schemes (MRD) override this so the trace
@@ -112,7 +112,7 @@ class _OracleScheme(CacheScheme):
     visibility = "recurring"
 
     def __init__(self) -> None:
-        self.oracle: Optional[ProfileOracle] = None
+        self.oracle: ProfileOracle | None = None
 
     def prepare(self, dag: ApplicationDAG) -> None:
         self.oracle = ProfileOracle(dag, visibility=self.visibility)

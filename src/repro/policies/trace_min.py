@@ -20,7 +20,8 @@ or the one-shot :func:`true_min_metrics`.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.policies.base import EvictionPolicy
 from repro.policies.lru import LruPolicy
@@ -38,15 +39,15 @@ class RecordingLruPolicy(LruPolicy):
 
     name = "LRU-recording"
 
-    def __init__(self, trace: list["BlockId"]) -> None:
+    def __init__(self, trace: list[BlockId]) -> None:
         super().__init__()
         self.trace = trace
 
-    def on_access(self, block: "Block") -> None:
+    def on_access(self, block: Block) -> None:
         super().on_access(block)
         self.trace.append(block.id)
 
-    def on_miss(self, block_id: "BlockId") -> None:
+    def on_miss(self, block_id: BlockId) -> None:
         self.trace.append(block_id)
 
 
@@ -56,13 +57,13 @@ class RecordingScheme(CacheScheme):
     name = "LRU-recording"
 
     def __init__(self) -> None:
-        self.traces: dict[int, list["BlockId"]] = {}
+        self.traces: dict[int, list[BlockId]] = {}
 
-    def prepare(self, dag: "ApplicationDAG") -> None:
+    def prepare(self, dag: ApplicationDAG) -> None:
         pass
 
     def policy_factory(self, node_id: int) -> EvictionPolicy:
-        trace: list["BlockId"] = []
+        trace: list[BlockId] = []
         self.traces[node_id] = trace
         return RecordingLruPolicy(trace)
 
@@ -77,29 +78,29 @@ class TraceMinPolicy(EvictionPolicy):
 
     name = "True-MIN"
 
-    def __init__(self, trace: list["BlockId"]) -> None:
+    def __init__(self, trace: list[BlockId]) -> None:
         self.trace = trace
         self.position = 0
-        self._postings: dict["BlockId", list[int]] = {}
+        self._postings: dict[BlockId, list[int]] = {}
         for i, bid in enumerate(trace):
             self._postings.setdefault(bid, []).append(i)
 
     def _advance(self) -> None:
         self.position += 1
 
-    def on_insert(self, block: "Block") -> None:
+    def on_insert(self, block: Block) -> None:
         pass
 
-    def on_access(self, block: "Block") -> None:
+    def on_access(self, block: Block) -> None:
         self._advance()
 
-    def on_miss(self, block_id: "BlockId") -> None:
+    def on_miss(self, block_id: BlockId) -> None:
         self._advance()
 
-    def on_remove(self, block_id: "BlockId") -> None:
+    def on_remove(self, block_id: BlockId) -> None:
         pass
 
-    def next_use(self, bid: "BlockId") -> float:
+    def next_use(self, bid: BlockId) -> float:
         """Next trace position at/after the cursor, or +inf."""
         postings = self._postings.get(bid)
         if not postings:
@@ -107,12 +108,12 @@ class TraceMinPolicy(EvictionPolicy):
         i = bisect_left(postings, self.position)
         return postings[i] if i < len(postings) else float("inf")
 
-    def eviction_order(self, store: "MemoryStore") -> Iterator["BlockId"]:
+    def eviction_order(self, store: MemoryStore) -> Iterator[BlockId]:
         return iter(
             sorted(store.block_ids(), key=lambda bid: -self.next_use(bid))
         )
 
-    def admit_over(self, block: "Block", victims: list["BlockId"], store) -> bool:
+    def admit_over(self, block: Block, victims: list[BlockId], store) -> bool:
         incoming = self.next_use(block.id)
         return all(incoming < self.next_use(v) for v in victims)
 
@@ -122,10 +123,10 @@ class TraceMinScheme(CacheScheme):
 
     name = "True-MIN"
 
-    def __init__(self, traces: dict[int, list["BlockId"]]) -> None:
+    def __init__(self, traces: dict[int, list[BlockId]]) -> None:
         self.traces = traces
 
-    def prepare(self, dag: "ApplicationDAG") -> None:
+    def prepare(self, dag: ApplicationDAG) -> None:
         pass
 
     def policy_factory(self, node_id: int) -> EvictionPolicy:
@@ -133,8 +134,8 @@ class TraceMinScheme(CacheScheme):
 
 
 def record_access_trace(
-    dag: "ApplicationDAG", cluster_config: "ClusterConfig"
-) -> dict[int, list["BlockId"]]:
+    dag: ApplicationDAG, cluster_config: ClusterConfig
+) -> dict[int, list[BlockId]]:
     """Pass 1: run under recording LRU and return per-node traces."""
     from repro.simulator.engine import simulate
 
@@ -144,8 +145,8 @@ def record_access_trace(
 
 
 def true_min_metrics(
-    dag: "ApplicationDAG", cluster_config: "ClusterConfig"
-) -> "RunMetrics":
+    dag: ApplicationDAG, cluster_config: ClusterConfig
+) -> RunMetrics:
     """Two-pass convenience: record, then replay under true MIN."""
     from repro.simulator.engine import simulate
 

@@ -45,7 +45,6 @@ from __future__ import annotations
 import heapq
 import math
 from collections import deque
-from typing import Optional, Union
 
 from repro.cluster.block import Block, BlockId, block_of
 from repro.cluster.block_manager import AccessOutcome, BlockManager
@@ -99,13 +98,13 @@ class SparkSimulator:
         dag: ApplicationDAG,
         cluster_config: ClusterConfig,
         scheme: CacheScheme,
-        cost_model: Optional[CostModel] = None,
+        cost_model: CostModel | None = None,
         promote_on_miss: bool = True,
-        failure_plan: Optional[FailurePlan] = None,
-        recorder: Optional[TraceRecorder] = None,
+        failure_plan: FailurePlan | None = None,
+        recorder: TraceRecorder | None = None,
         scheduler: str = "event",
-        control_plane: Union[str, ControlPlane] = "instant",
-        control_config: Optional[RpcConfig] = None,
+        control_plane: str | ControlPlane = "instant",
+        control_config: RpcConfig | None = None,
     ) -> None:
         if scheduler not in SCHEDULERS:
             raise ValueError(
@@ -129,7 +128,7 @@ class SparkSimulator:
         )
         self.promote_on_miss = promote_on_miss
         self.failure_plan = failure_plan
-        self.cluster: Optional[Cluster] = None
+        self.cluster: Cluster | None = None
         #: The run's control-plane transport (reset at every run start).
         self.control_config = control_config
         self.control: ControlPlane = (
@@ -178,12 +177,11 @@ class SparkSimulator:
         control.reset()
         control.recorder = rec
         plan = self.failure_plan
-        if plan is not None and plan.outages:
-            control.outage_loss = lambda msg: plan.control_loss(
-                self._current_seq, msg.node_id
-            )
-        else:
-            control.outage_loss = None
+        control.outage_loss = (
+            (lambda msg: plan.control_loss(self._current_seq, msg.node_id))
+            if plan is not None and plan.outages
+            else None
+        )
         # Initial worker registration is synchronous on every plane:
         # Spark blocks on executor registration before scheduling work.
         for node in self.cluster.nodes:
@@ -302,10 +300,11 @@ class SparkSimulator:
 
     def _run_stage(self, stage: Stage, start: float) -> float:
         assert self.cluster is not None
-        if self.scheduler == "reference":
-            stage_end = self._run_stage_reference(stage, start)
-        else:
-            stage_end = self._run_stage_event(stage, start)
+        stage_end = (
+            self._run_stage_reference(stage, start)
+            if self.scheduler == "reference"
+            else self._run_stage_event(stage, start)
+        )
         for rdd in stage.cache_writes:
             self.scheme.on_block_created(rdd.id)
         return stage_end

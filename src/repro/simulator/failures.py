@@ -80,7 +80,7 @@ class FailurePlan:
     failures: list[NodeFailure] = field(default_factory=list)
     outages: list[ControlOutage] = field(default_factory=list)
 
-    def add(self, at_seq: int, node_id: int, lose_disk: bool = False) -> "FailurePlan":
+    def add(self, at_seq: int, node_id: int, lose_disk: bool = False) -> FailurePlan:
         self.failures.append(NodeFailure(at_seq=at_seq, node_id=node_id, lose_disk=lose_disk))
         return self
 
@@ -90,7 +90,7 @@ class FailurePlan:
         to_seq: int,
         node_id: int | None = None,
         loss_rate: float = 1.0,
-    ) -> "FailurePlan":
+    ) -> FailurePlan:
         self.outages.append(ControlOutage(
             from_seq=from_seq, to_seq=to_seq, node_id=node_id, loss_rate=loss_rate
         ))

@@ -7,7 +7,6 @@ plus a per-stage timeline for debugging and Figure-2 style traces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.cluster.block_manager import BlockManagerStats
 from repro.control.plane import ControlPlaneStats
@@ -40,7 +39,7 @@ class RunMetrics:
     stage_records: list[StageRecord] = field(default_factory=list)
     #: Per-node hit fraction; ``None`` marks a node that served no
     #: cached reads at all (idle for accounting purposes).
-    per_node_hit_ratio: list[Optional[float]] = field(default_factory=list)
+    per_node_hit_ratio: list[float | None] = field(default_factory=list)
     cache_mb_per_node: float = 0.0
     #: Memory blocks dropped by injected node failures (0 without a plan).
     failure_lost_blocks: int = 0
@@ -57,7 +56,7 @@ class RunMetrics:
         return 0.0 if ratio is None else ratio
 
     @property
-    def mean_node_hit_ratio(self) -> Optional[float]:
+    def mean_node_hit_ratio(self) -> float | None:
         """Average per-node hit ratio over nodes that saw accesses.
 
         Idle nodes are excluded instead of counted as 0.0 hits, so the
@@ -73,7 +72,7 @@ class RunMetrics:
     def num_stages_executed(self) -> int:
         return len(self.stage_records)
 
-    def normalized_jct(self, baseline: "RunMetrics") -> float:
+    def normalized_jct(self, baseline: RunMetrics) -> float:
         """This run's JCT as a fraction of ``baseline``'s (Fig. 4 y-axis)."""
         if baseline.jct <= 0:
             raise ValueError("baseline JCT must be positive")

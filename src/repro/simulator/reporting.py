@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import csv
 import json
+from collections.abc import Iterable
 from pathlib import Path
-from typing import Iterable
 
 from repro.cluster.block_manager import BlockManagerStats
 from repro.control.plane import ControlPlaneStats

@@ -29,9 +29,9 @@ from __future__ import annotations
 import multiprocessing
 import time
 import traceback
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Callable, Optional, Sequence, Union
 
 from repro.control.plane import RpcConfig
 from repro.core.app_profiler import ProfileStore
@@ -56,7 +56,7 @@ def _build_cluster_config(cell: CellSpec):
     return config
 
 
-def _execute_cell(cell: CellSpec, profile_path: Optional[str]) -> RunMetrics:
+def _execute_cell(cell: CellSpec, profile_path: str | None) -> RunMetrics:
     """Run one cell to completion (pure function of the spec)."""
     from repro.dag.analysis import peak_live_cached_mb
     from repro.dag.dag_builder import build_dag
@@ -100,7 +100,7 @@ def _execute_cell(cell: CellSpec, profile_path: Optional[str]) -> RunMetrics:
     return metrics
 
 
-def run_cell(cell: CellSpec, profile_path: Optional[str] = None) -> CellResult:
+def run_cell(cell: CellSpec, profile_path: str | None = None) -> CellResult:
     """Execute one cell, mapping any exception to an error result."""
     fingerprint = cell.fingerprint()
     start = time.perf_counter()
@@ -127,7 +127,7 @@ def run_cell(cell: CellSpec, profile_path: Optional[str] = None) -> CellResult:
     )
 
 
-def _pool_entry(task: tuple[CellSpec, Optional[str]]) -> CellResult:
+def _pool_entry(task: tuple[CellSpec, str | None]) -> CellResult:
     cell, profile_path = task
     return run_cell(cell, profile_path)
 
@@ -189,7 +189,7 @@ def scheduler_mismatches(outcome: SweepOutcome) -> list[str]:
     reference core must be indistinguishable.  Returns one description
     per divergent group (empty list = all equivalent).
     """
-    groups: dict[str, dict[str, Optional[dict]]] = {}
+    groups: dict[str, dict[str, dict | None]] = {}
     labels: dict[str, str] = {}
     for cell, result in zip(outcome.cells, outcome.results, strict=True):
         spec = cell.to_dict()
@@ -217,9 +217,9 @@ def _pool_context():
 def run_cells(
     cells: Sequence[CellSpec],
     jobs: int = 1,
-    store: Optional[Union[ResultStore, str, Path]] = None,
+    store: ResultStore | str | Path | None = None,
     resume: bool = True,
-    progress: Optional[ProgressFn] = None,
+    progress: ProgressFn | None = None,
 ) -> SweepOutcome:
     """Run every cell; return results in cell order.
 
@@ -236,7 +236,7 @@ def run_cells(
     start = time.perf_counter()
 
     results: dict[str, CellResult] = {}
-    pending: list[tuple[CellSpec, Optional[str]]] = []
+    pending: list[tuple[CellSpec, str | None]] = []
     seen_pending: set[str] = set()
     order: list[str] = []
     cached = 0
@@ -251,7 +251,7 @@ def run_cells(
             results[fingerprint] = stored
             cached += 1
             continue
-        profile_path: Optional[str] = None
+        profile_path: str | None = None
         if cell.profile_store:
             if store is None:
                 raise ValueError(

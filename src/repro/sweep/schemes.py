@@ -19,8 +19,8 @@ the labels used across ``docs/policies.md`` and EXPERIMENTS.md.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable, Optional, Union
 
 from repro.core.app_profiler import ProfileStore
 from repro.core.policy import MrdScheme
@@ -94,7 +94,7 @@ class SchemeSpec:
             variant += "-adhoc"
         return variant
 
-    def build(self, profile_store: Optional[ProfileStore] = None) -> CacheScheme:
+    def build(self, profile_store: ProfileStore | None = None) -> CacheScheme:
         """Fresh scheme instance (``profile_store`` applies to MRD only)."""
         if self.base != "MRD":
             return _BASE_FACTORIES[self.base]()
@@ -124,7 +124,7 @@ class SchemeSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "SchemeSpec":
+    def from_dict(cls, data: dict) -> SchemeSpec:
         """Inverse of :meth:`to_dict` (unknown keys rejected)."""
         allowed = {"base", "evict", "prefetch", "mode", "metric"}
         extra = set(data) - allowed
@@ -149,7 +149,7 @@ SCHEME_SPECS: dict[str, SchemeSpec] = {
     "MRD-jobdist": SchemeSpec("MRD", metric="job"),
 }
 
-SchemeLike = Union[SchemeSpec, str, dict]
+SchemeLike = SchemeSpec | str | dict
 
 
 def resolve_scheme(value: SchemeLike) -> SchemeSpec:
@@ -173,7 +173,7 @@ def resolve_scheme(value: SchemeLike) -> SchemeSpec:
     raise ValueError(f"cannot resolve scheme from {type(value).__name__}")
 
 
-def maybe_resolve_scheme(value: object) -> Optional[SchemeSpec]:
+def maybe_resolve_scheme(value: object) -> SchemeSpec | None:
     """Like :func:`resolve_scheme` but returns ``None`` for live factories."""
     if isinstance(value, (SchemeSpec, str, dict)):
         return resolve_scheme(value)

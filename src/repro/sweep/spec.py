@@ -36,9 +36,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Sequence, Union
 
 from repro.simulator.config import CLUSTERS
 from repro.simulator.engine import SCHEDULERS
@@ -76,19 +76,19 @@ class CellSpec:
     cluster_overrides: tuple[tuple[str, float], ...] = ()
     #: Cache as a fraction of the workload's peak live cached set;
     #: ignored when ``cache_mb`` pins an absolute per-node size.
-    cache_fraction: Optional[float] = 0.5
-    cache_mb: Optional[float] = None
+    cache_fraction: float | None = 0.5
+    cache_mb: float | None = None
     scale: float = 1.0
-    iterations: Optional[int] = None
-    partitions: Optional[int] = None
+    iterations: int | None = None
+    partitions: int | None = None
     seed: int = 0
     scheduler: str = "event"
     control_plane: str = "instant"
-    control_latency: Optional[float] = None
+    control_latency: float | None = None
     control_jitter: float = 0.0
     control_loss: float = 0.0
     #: ``None`` → derived from the fingerprint (deterministic per cell).
-    control_seed: Optional[int] = None
+    control_seed: int | None = None
     #: Give this cell a file-backed, per-cell ProfileStore (requires a
     #: result store); cells NEVER share profile directories — a stored
     #: profile from one configuration silently changes another's MRD
@@ -145,7 +145,7 @@ class CellSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "CellSpec":
+    def from_dict(cls, data: dict) -> CellSpec:
         """Rebuild a cell from :meth:`to_dict` output."""
         data = dict(data)
         data["scheme_spec"] = SchemeSpec.from_dict(data.get("scheme_spec", {}))
@@ -222,19 +222,19 @@ class GridSpec:
     workloads: list[str] = field(default_factory=list)
     schemes: list[object] = field(default_factory=lambda: ["LRU", "MRD"])
     cache_fractions: list[float] = field(default_factory=lambda: [0.5])
-    cache_mb: Optional[float] = None
+    cache_mb: float | None = None
     clusters: list[str] = field(default_factory=lambda: ["main"])
     cluster_overrides: dict = field(default_factory=dict)
     scale: float = 1.0
-    iterations: Optional[int] = None
-    partitions: Optional[int] = None
+    iterations: int | None = None
+    partitions: int | None = None
     seeds: list[int] = field(default_factory=lambda: [0])
     schedulers: list[str] = field(default_factory=lambda: ["event"])
     control_plane: str = "instant"
-    control_latencies: list[Optional[float]] = field(default_factory=lambda: [None])
+    control_latencies: list[float | None] = field(default_factory=lambda: [None])
     control_jitter: float = 0.0
     control_loss: float = 0.0
-    control_seed: Optional[int] = None
+    control_seed: int | None = None
     profile_store: bool = False
     name: str = "sweep"
 
@@ -261,7 +261,7 @@ class GridSpec:
             return []
         overrides = tuple(sorted(self.cluster_overrides.items()))
         schemes = self.resolved_schemes()
-        fractions: Sequence[Optional[float]] = (
+        fractions: Sequence[float | None] = (
             [None] if self.cache_mb is not None else self.cache_fractions
         )
         out: list[CellSpec] = []
@@ -296,7 +296,7 @@ class GridSpec:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_dict(cls, data: dict) -> "GridSpec":
+    def from_dict(cls, data: dict) -> GridSpec:
         """Build a grid from a parsed TOML/JSON mapping (strict keys)."""
         data = dict(data)
         # Accepted aliases, matching the CLI flag names.
@@ -320,7 +320,7 @@ class GridSpec:
         return grid
 
 
-def load_grid(path: Union[str, Path]) -> GridSpec:
+def load_grid(path: str | Path) -> GridSpec:
     """Read a grid spec file (``.toml`` on Python ≥ 3.11, else JSON)."""
     path = Path(path)
     text = path.read_text()

@@ -26,13 +26,14 @@ demonstrates it).
 
 from __future__ import annotations
 
+import contextlib
 import json
 import logging
 import os
 import tempfile
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Optional, Union
 
 from repro.simulator.metrics import RunMetrics
 from repro.simulator.reporting import metrics_from_dict
@@ -52,9 +53,9 @@ class CellResult:
     spec: dict
     status: str
     #: ``metrics_to_dict`` payload when ``status == "ok"``.
-    metrics: Optional[dict] = None
+    metrics: dict | None = None
     #: ``{"type", "message", "traceback"}`` when ``status == "error"``.
-    error: Optional[dict] = None
+    error: dict | None = None
     #: Wall-clock compute time (informational; excluded from identity).
     elapsed_s: float = 0.0
     #: True when this result was served from the store, not computed.
@@ -91,7 +92,7 @@ class CellResult:
         }
 
     @classmethod
-    def from_json(cls, data: dict) -> "CellResult":
+    def from_json(cls, data: dict) -> CellResult:
         return cls(
             fingerprint=data["fingerprint"],
             spec=data["spec"],
@@ -105,7 +106,7 @@ class CellResult:
 class ResultStore:
     """Fingerprint-keyed result files plus per-cell profile directories."""
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.cells_dir = self.root / "cells"
         self.profiles_dir = self.root / "profiles"
@@ -121,7 +122,7 @@ class ResultStore:
         return cell_dir / "profiles.json"
 
     # ------------------------------------------------------------------
-    def get(self, fingerprint: str) -> Optional[CellResult]:
+    def get(self, fingerprint: str) -> CellResult | None:
         """Stored result, or ``None`` when absent/unreadable."""
         path = self.cell_path(fingerprint)
         try:
@@ -157,25 +158,28 @@ class ResultStore:
                 fh.write(payload)
             os.replace(tmp_name, path)
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(tmp_name)
-            except OSError:
-                pass
             raise
         return path
 
     # ------------------------------------------------------------------
-    def fingerprints(self) -> set[str]:
-        """Fingerprints with a stored result file."""
+    def fingerprints(self) -> list[str]:
+        """Fingerprints with a stored result file, in sorted order.
+
+        Sorted explicitly (DET004): ``Path.glob`` yields directory order,
+        which depends on the filesystem and on cell completion order —
+        resume behaviour must not.
+        """
         if not self.cells_dir.is_dir():
-            return set()
-        return {p.stem for p in self.cells_dir.glob("*.json")}
+            return []
+        return sorted(p.stem for p in self.cells_dir.glob("*.json"))
 
     def __len__(self) -> int:
         return len(self.fingerprints())
 
     def __iter__(self) -> Iterator[CellResult]:
-        for fingerprint in sorted(self.fingerprints()):
+        for fingerprint in self.fingerprints():
             result = self.get(fingerprint)
             if result is not None:
                 yield result

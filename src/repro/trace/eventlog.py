@@ -33,7 +33,6 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
 
 from repro.dag.context import SparkApplication, SparkContext
 from repro.dag.dag_builder import ApplicationDAG, build_dag
@@ -76,7 +75,7 @@ class IngestedTrace:
     """Everything reconstructed from one Spark event log."""
 
     app_name: str
-    spark_version: Optional[str]
+    spark_version: str | None
     application: SparkApplication
     dag: ApplicationDAG
     #: Spark RDD id -> repro RDD id (dense registration order).
@@ -113,7 +112,7 @@ class IngestedTrace:
         return "\n".join(lines)
 
 
-def iter_raw_events(path: Union[str, Path]):
+def iter_raw_events(path: str | Path):
     """Yield ``(lineno, record)`` for each JSON line of an event log."""
     with open(path) as fh:
         for lineno, line in enumerate(fh, start=1):
@@ -137,10 +136,10 @@ def iter_raw_events(path: Union[str, Path]):
 class _LogCollector:
     """Single streaming pass over the log, accumulating typed records."""
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: str | Path) -> None:
         self.path = path
-        self.app_name: Optional[str] = None
-        self.spark_version: Optional[str] = None
+        self.app_name: str | None = None
+        self.spark_version: str | None = None
         self.jobs: list[JobRecord] = []
         #: Stream-ordered (kind, payload) for order-sensitive replay:
         #: ("job", JobRecord) and ("unpersist", spark_rdd_id).
@@ -151,7 +150,7 @@ class _LogCollector:
         self.num_events = 0
 
     # ------------------------------------------------------------------
-    def collect(self) -> "_LogCollector":
+    def collect(self) -> _LogCollector:
         for lineno, raw in iter_raw_events(self.path):
             self.num_events += 1
             event = raw["Event"]
@@ -231,7 +230,7 @@ class _LogCollector:
 class _DagReconstructor:
     """Turn collected records into a :class:`SparkApplication`."""
 
-    def __init__(self, collected: _LogCollector, app_name: Optional[str]) -> None:
+    def __init__(self, collected: _LogCollector, app_name: str | None) -> None:
         self.c = collected
         self.app_name = app_name or collected.app_name or "ingested-app"
         self.warnings: list[str] = []
@@ -389,7 +388,7 @@ class _DagReconstructor:
                 rdds[rid].compute_cost = per_rdd
 
 
-def ingest_eventlog(path: Union[str, Path]) -> IngestedTrace:
+def ingest_eventlog(path: str | Path) -> IngestedTrace:
     """Parse a Spark event log and compile it into an application DAG."""
     collected = _LogCollector(path).collect()
     reconstructor = _DagReconstructor(collected, collected.app_name)

@@ -17,9 +17,10 @@ from __future__ import annotations
 import dataclasses
 import json
 import math
+from collections.abc import Iterable
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Iterable, Optional, Union
+from typing import IO
 
 
 class TraceFormatError(ValueError):
@@ -121,7 +122,7 @@ class Eviction(TraceEvent):
     partition: int
     node_id: int
     size_mb: float
-    distance: Optional[float] = None
+    distance: float | None = None
     #: "insert" for demand insertions, "prefetch" when a prefetch
     #: forced the pressure, "promote" for read-through promotions.
     cause: str = "insert"
@@ -260,9 +261,9 @@ def event_from_dict(data: dict) -> TraceEvent:
 # JSONL serialization
 # ----------------------------------------------------------------------
 def write_jsonl(
-    path: Union[str, Path],
+    path: str | Path,
     events: Iterable[TraceEvent],
-    meta: Optional[dict] = None,
+    meta: dict | None = None,
 ) -> None:
     """Write a trace file: one optional meta header line, then events.
 
@@ -277,7 +278,7 @@ def write_jsonl(
             fh.write(json.dumps(ev.to_dict()) + "\n")
 
 
-def read_jsonl(path: Union[str, Path]) -> tuple[dict, list[TraceEvent]]:
+def read_jsonl(path: str | Path) -> tuple[dict, list[TraceEvent]]:
     """Read a trace file back; returns ``(meta, events)``.
 
     ``meta`` is ``{}`` when the file has no header line.  Raises
@@ -322,14 +323,14 @@ _CHROME_CATEGORIES = {
 }
 
 
-def _finite(value: Optional[float]) -> Optional[Union[float, str]]:
+def _finite(value: float | None) -> float | str | None:
     """Chrome's JSON parser rejects Infinity; stringify it."""
     if value is not None and isinstance(value, float) and math.isinf(value):
         return "inf"
     return value
 
 
-def to_chrome_trace(events: Iterable[TraceEvent], meta: Optional[dict] = None) -> dict:
+def to_chrome_trace(events: Iterable[TraceEvent], meta: dict | None = None) -> dict:
     """Convert a recorded event stream into Chrome ``trace_event`` JSON.
 
     Stages become duration ("X") events on the scheduler track (pid 0,
@@ -387,9 +388,9 @@ def to_chrome_trace(events: Iterable[TraceEvent], meta: Optional[dict] = None) -
 
 
 def write_chrome_trace(
-    path: Union[str, Path],
+    path: str | Path,
     events: Iterable[TraceEvent],
-    meta: Optional[dict] = None,
+    meta: dict | None = None,
 ) -> None:
     """Write the Chrome ``trace_event`` JSON file for ``events``."""
     Path(path).write_text(json.dumps(to_chrome_trace(events, meta)))

@@ -17,8 +17,8 @@ carry the victim's distance at the moment of eviction.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from pathlib import Path
-from typing import Callable, Optional, Union
 
 from repro.trace.events import (
     TraceEvent,
@@ -34,7 +34,7 @@ class TraceRecorder:
 
     enabled = True
 
-    def __init__(self, meta: Optional[dict] = None) -> None:
+    def __init__(self, meta: dict | None = None) -> None:
         self.events: list[TraceEvent] = []
         self.meta: dict = dict(meta or {})
         #: Simulated-time cursor, advanced by the engine so that block
@@ -42,7 +42,7 @@ class TraceRecorder:
         self.now: float = 0.0
         #: Installed by distance-tracking schemes (MRD): rdd_id -> the
         #: scheme's current reference distance, or None when untracked.
-        self.distance_of: Optional[Callable[[int], float]] = None
+        self.distance_of: Callable[[int], float] | None = None
 
     def emit(self, event: TraceEvent) -> None:
         self.events.append(event)
@@ -54,7 +54,7 @@ class TraceRecorder:
         return len(self.events)
 
     # ------------------------------------------------------------------
-    def lookup_distance(self, rdd_id: int) -> Optional[float]:
+    def lookup_distance(self, rdd_id: int) -> float | None:
         """Current reference distance of ``rdd_id``, if anyone tracks it."""
         return self.distance_of(rdd_id) if self.distance_of is not None else None
 
@@ -65,17 +65,17 @@ class TraceRecorder:
     # ------------------------------------------------------------------
     # export / import
     # ------------------------------------------------------------------
-    def to_jsonl(self, path: Union[str, Path]) -> None:
+    def to_jsonl(self, path: str | Path) -> None:
         write_jsonl(path, self.events, meta=self.meta or None)
 
-    def to_chrome(self, path: Union[str, Path]) -> None:
+    def to_chrome(self, path: str | Path) -> None:
         write_chrome_trace(path, self.events, meta=self.meta or None)
 
     def chrome_trace(self) -> dict:
         return to_chrome_trace(self.events, meta=self.meta or None)
 
     @classmethod
-    def from_jsonl(cls, path: Union[str, Path]) -> "TraceRecorder":
+    def from_jsonl(cls, path: str | Path) -> TraceRecorder:
         meta, events = read_jsonl(path)
         rec = cls(meta=meta)
         rec.events = events

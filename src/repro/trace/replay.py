@@ -19,9 +19,9 @@ Three entry points:
 from __future__ import annotations
 
 import json
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Optional, Union
 
 from repro.core.app_profiler import ProfileStore
 from repro.core.policy import MrdScheme
@@ -69,7 +69,7 @@ def build_scheme(name: str) -> CacheScheme:
     return factory()
 
 
-def detect_format(path: Union[str, Path]) -> str:
+def detect_format(path: str | Path) -> str:
     """``"eventlog"`` (Spark listener JSON) or ``"recorded"`` (our JSONL)."""
     with open(path) as fh:
         for line in fh:
@@ -103,7 +103,7 @@ class ReplayResult:
     metrics: RunMetrics
     recorder: TraceRecorder
     #: Present when the source was a Spark event log.
-    ingested: Optional[IngestedTrace] = None
+    ingested: IngestedTrace | None = None
 
     @property
     def events(self) -> list[TraceEvent]:
@@ -120,12 +120,12 @@ def _cluster_config(name: str) -> ClusterConfig:
 
 
 def replay(
-    path: Union[str, Path],
-    scheme: Union[str, CacheScheme] = "lru",
-    cluster: Optional[str] = None,
-    cache_mb: Optional[float] = None,
+    path: str | Path,
+    scheme: str | CacheScheme = "lru",
+    cluster: str | None = None,
+    cache_mb: float | None = None,
     cache_fraction: float = 0.5,
-    profile_store: Optional[ProfileStore] = None,
+    profile_store: ProfileStore | None = None,
 ) -> ReplayResult:
     """Reconstruct the application behind ``path`` and simulate it.
 
@@ -144,7 +144,7 @@ def replay(
     from repro.experiments.harness import cache_mb_for
 
     source = detect_format(path)
-    ingested: Optional[IngestedTrace] = None
+    ingested: IngestedTrace | None = None
     meta: dict = {}
     if source == "eventlog":
         ingested = ingest_eventlog(path)
@@ -183,10 +183,10 @@ def replay(
     # original run exactly.
     config = _cluster_config(cluster or meta.get("cluster") or "main")
     if cache_mb is None:
-        if meta.get("cache_mb") is not None:
-            cache_mb = float(meta["cache_mb"])
-        else:
-            cache_mb = cache_mb_for(dag, cache_fraction, config)
+        cache_mb = (
+            float(meta["cache_mb"]) if meta.get("cache_mb") is not None
+            else cache_mb_for(dag, cache_fraction, config)
+        )
     config = config.with_cache(cache_mb)
 
     recorder = TraceRecorder(meta={
@@ -221,8 +221,8 @@ class TraceDiff:
     """First divergence between two event streams."""
 
     index: int
-    left: Optional[dict]
-    right: Optional[dict]
+    left: dict | None
+    right: dict | None
     len_left: int
     len_right: int
 
@@ -242,7 +242,7 @@ class TraceDiff:
 
 def diff_traces(
     left: list[TraceEvent], right: list[TraceEvent]
-) -> Optional[TraceDiff]:
+) -> TraceDiff | None:
     """First event where two traces differ, or ``None`` if identical."""
     for i, (a, b) in enumerate(zip(left, right)):
         da, db = a.to_dict(), b.to_dict()
@@ -263,8 +263,8 @@ def diff_traces(
 
 
 def diff_trace_files(
-    left: Union[str, Path], right: Union[str, Path]
-) -> Optional[TraceDiff]:
+    left: str | Path, right: str | Path
+) -> TraceDiff | None:
     """File-level :func:`diff_traces` (reads both JSONL traces)."""
     _, a = read_jsonl(left)
     _, b = read_jsonl(right)
@@ -291,14 +291,14 @@ class TraceWorkloadSpec(WorkloadSpec):
 
     eventlog_path: str = ""
 
-    def build(self, params: Optional[WorkloadParams] = None):
+    def build(self, params: WorkloadParams | None = None):
         if not self.eventlog_path:
             raise ValueError("TraceWorkloadSpec requires eventlog_path")
         return ingest_eventlog(self.eventlog_path).application
 
 
 def workload_from_eventlog(
-    path: Union[str, Path], name: Optional[str] = None
+    path: str | Path, name: str | None = None
 ) -> TraceWorkloadSpec:
     """Ingest ``path`` once and wrap it as a registerable workload spec."""
     trace = ingest_eventlog(path)

@@ -18,7 +18,6 @@ in neither set raises, so silently-misparsed logs cannot happen.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 
 class EventLogError(ValueError):
@@ -129,8 +128,8 @@ class StageInfoRecord:
     num_tasks: int
     parent_ids: tuple[int, ...]
     rdd_infos: list[RddInfoRecord]
-    submission_time_ms: Optional[int] = None
-    completion_time_ms: Optional[int] = None
+    submission_time_ms: int | None = None
+    completion_time_ms: int | None = None
 
 
 @dataclass
@@ -213,7 +212,7 @@ def parse_job_start(raw: dict) -> JobRecord:
     )
 
 
-def parse_task_end(raw: dict) -> Optional[TaskMetricsRecord]:
+def parse_task_end(raw: dict) -> TaskMetricsRecord | None:
     """Task metrics, or ``None`` for failed tasks (no useful metrics)."""
     reason = (raw.get("Task End Reason") or {}).get("Reason", "Success")
     if reason != "Success":

@@ -21,8 +21,8 @@ Common structural patterns shared by several workloads live here:
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable, Optional
 
 from repro.dag.context import SparkApplication, SparkContext
 from repro.dag.rdd import RDD
@@ -39,7 +39,7 @@ class WorkloadParams:
     """
 
     scale: float = 1.0
-    iterations: Optional[int] = None
+    iterations: int | None = None
     partitions: int = 64
     seed: int = 0
 
@@ -68,7 +68,7 @@ class WorkloadSpec:
     #: which the paper calls out in §5.9.)
     iterations_effective: bool = True
 
-    def build(self, params: Optional[WorkloadParams] = None) -> SparkApplication:
+    def build(self, params: WorkloadParams | None = None) -> SparkApplication:
         """Record the workload program into a fresh application."""
         params = params or WorkloadParams()
         ctx = SparkContext(self.name)

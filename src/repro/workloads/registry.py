@@ -9,7 +9,6 @@ The canonical entry point for examples, tests and benchmarks:
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.dag.context import SparkApplication
 from repro.workloads.base import WorkloadParams, WorkloadSpec
@@ -70,7 +69,7 @@ def register_workload(spec: WorkloadSpec, replace: bool = False) -> WorkloadSpec
     return spec
 
 
-def workload_names(suite: Optional[str] = None) -> list[str]:
+def workload_names(suite: str | None = None) -> list[str]:
     """Registered workload names, optionally filtered by suite.
 
     Built-in benchmarks come first in paper order; dynamically
@@ -96,7 +95,7 @@ def get_workload(name: str) -> WorkloadSpec:
 
 def build_workload(
     name: str,
-    params: Optional[WorkloadParams] = None,
+    params: WorkloadParams | None = None,
     **kwargs,
 ) -> SparkApplication:
     """Build an application for workload ``name``.

@@ -52,10 +52,22 @@ class SyntheticConfig:
             raise ValueError("stages_per_job must be a valid (min, max) range")
 
 
-def generate_application(seed: int, config: SyntheticConfig | None = None) -> SparkApplication:
-    """Sample one application from the envelope, deterministically."""
+def generate_application(
+    seed: int,
+    config: SyntheticConfig | None = None,
+    rng: random.Random | None = None,
+) -> SparkApplication:
+    """Sample one application from the envelope, deterministically.
+
+    All randomness flows through one injected ``random.Random`` (DET001:
+    never the process-global ``random`` module).  By default the
+    generator owns a fresh ``random.Random(seed)``, so identical seeds
+    produce identical applications regardless of whatever else the
+    process drew; callers threading a shared experiment RNG can inject
+    their own instance instead.
+    """
     cfg = config or SyntheticConfig()
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     ctx = SparkContext(f"synthetic-{seed}")
 
     base = ctx.text_file(
@@ -77,10 +89,11 @@ def generate_application(seed: int, config: SyntheticConfig | None = None) -> Sp
             rdd for created, rdd in reusable
             if rdd.is_cached and job - created <= cfg.reuse_window
         ]
-        if candidates and rng.random() < cfg.reuse_probability:
-            source = rng.choice(candidates)
-        else:
-            source = current
+        source = (
+            rng.choice(candidates)
+            if candidates and rng.random() < cfg.reuse_probability
+            else current
+        )
 
         rdd = source
         hops = rng.randint(*cfg.stages_per_job)
@@ -94,13 +107,16 @@ def generate_application(seed: int, config: SyntheticConfig | None = None) -> Sp
                 )
             elif op < 0.65 and candidates:
                 other = rng.choice(candidates)
-                if other.num_partitions == rdd.num_partitions:
-                    rdd = rdd.zip_partitions(
+                # Partitions are uniform in this envelope; the join arm
+                # is a safety net for future non-uniform configs.
+                rdd = (
+                    rdd.zip_partitions(
                         other, size_factor=rng.uniform(0.3, 0.8), cpu_per_mb=cpu,
                         name=f"syn-j{job}-zip{hop}",
                     )
-                else:  # pragma: no cover - partitions are uniform here
-                    rdd = rdd.join(other, name=f"syn-j{job}-join{hop}")
+                    if other.num_partitions == rdd.num_partitions
+                    else rdd.join(other, name=f"syn-j{job}-join{hop}")
+                )
             else:
                 rdd = rdd.reduce_by_key(
                     size_factor=rng.uniform(0.3, 1.0), cpu_per_mb=cpu,

@@ -1,0 +1,17 @@
+"""DET001 positive fixture: draws on the process-global random module."""
+
+import random
+import random as rnd
+from random import randint, shuffle  # noqa: F401  (the import itself is the finding)
+
+
+def jitter() -> float:
+    return random.random() * 2.0  # global draw
+
+
+def pick(items):
+    return rnd.choice(items)  # aliased module, still the global RNG
+
+
+def reseed() -> None:
+    random.seed(42)  # reseeding the global RNG is also a draw-order hazard

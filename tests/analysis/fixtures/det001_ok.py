@@ -1,0 +1,16 @@
+"""DET001 negative fixture: all draws come from injected Random instances."""
+
+import random
+
+
+def jitter(rng: random.Random) -> float:
+    return rng.random() * 2.0  # instance draw: attributable and replayable
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)  # constructing the injected instance is the fix
+
+
+def sample(seed: int, items):
+    rng = random.SystemRandom() if seed < 0 else random.Random(seed)
+    return rng.choice(list(items))

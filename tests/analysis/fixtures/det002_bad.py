@@ -1,0 +1,18 @@
+"""DET002 positive fixture: wall-clock reads in simulated-world code."""
+
+import datetime
+import time
+from datetime import datetime as dt
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def measure() -> float:
+    start = time.perf_counter()
+    return time.perf_counter() - start
+
+
+def today():
+    return datetime.datetime.now(), dt.utcnow()

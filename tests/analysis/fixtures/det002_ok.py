@@ -1,0 +1,12 @@
+"""DET002 negative fixture: simulated components take time from the engine."""
+
+import time
+
+
+def schedule(now: float, latency: float) -> float:
+    # Simulated time is threaded in by the caller; no host clock here.
+    return now + latency
+
+
+def sleep_is_fine() -> None:
+    time.sleep(0.0)  # not a clock *read*; still host-dependent but allowed

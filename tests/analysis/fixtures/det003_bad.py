@@ -1,0 +1,29 @@
+"""DET003 positive fixture: unordered iteration feeding ordered constructs."""
+
+import heapq
+
+
+def candidates_from_set(blocks: set) -> list:
+    return [b for b in blocks if b]  # fine: plain parameter, type unknown
+
+
+def comprehension_over_set(sizes) -> list:
+    return [s * 2 for s in set(sizes)]  # set(...) builds an ordered list
+
+
+def loop_appends(ids) -> list:
+    victims = []
+    for bid in {i for i in ids}:  # set comprehension feeds .append
+        victims.append(bid)
+    return victims
+
+
+def heap_from_view(table: dict) -> list:
+    heap: list = []
+    for rdd_id, dist in table.items():  # dict view feeds a heap push
+        heapq.heappush(heap, (dist, rdd_id))
+    return heap
+
+
+def materialized(ids) -> list:
+    return list(set(ids))  # list() captures hash-salted order

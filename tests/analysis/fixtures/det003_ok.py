@@ -1,0 +1,32 @@
+"""DET003 negative fixture: explicit sorting or order-insensitive sinks."""
+
+import heapq
+
+
+def comprehension_sorted(sizes) -> list:
+    return [s * 2 for s in sorted(set(sizes))]
+
+
+def loop_sorted(ids) -> list:
+    victims = []
+    for bid in sorted({i for i in ids}):
+        victims.append(bid)
+    return victims
+
+
+def heap_sorted(table: dict) -> list:
+    heap: list = []
+    for rdd_id, dist in sorted(table.items()):
+        heapq.heappush(heap, (dist, rdd_id))
+    return heap
+
+
+def order_insensitive(ids) -> int:
+    return sum(i for i in set(ids))  # sum() does not depend on order
+
+
+def plain_view_loop(table: dict) -> float:
+    total = 0.0
+    for value in table.values():  # no ordering-sensitive sink in the body
+        total += value
+    return total

@@ -1,0 +1,17 @@
+"""DET004 positive fixture: directory-listing order leaks into behaviour."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def first_profile(root: str) -> str:
+    return os.listdir(root)[0]
+
+
+def all_cells(root: str) -> list:
+    return [p for p in glob.glob(f"{root}/*.json")]
+
+
+def walk(root: Path) -> list:
+    return [p.stem for p in root.glob("*.json")]

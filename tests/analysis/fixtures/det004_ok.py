@@ -1,0 +1,17 @@
+"""DET004 negative fixture: every listing is explicitly sorted."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def first_profile(root: str) -> str:
+    return sorted(os.listdir(root))[0]
+
+
+def all_cells(root: str) -> list:
+    return sorted(glob.glob(f"{root}/*.json"))
+
+
+def walk(root: Path) -> list:
+    return sorted(p.stem for p in root.glob("*.json"))

@@ -1,0 +1,21 @@
+"""MUT001 positive fixture: mutable default arguments."""
+
+from collections import OrderedDict
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def ordered(pairs=OrderedDict()):
+    return pairs
+
+
+def keyword_only(*, seen=set()):
+    return seen

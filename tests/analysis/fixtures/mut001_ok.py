@@ -1,0 +1,11 @@
+"""MUT001 negative fixture: None defaults, built inside the function."""
+
+
+def collect(item, bucket=None):
+    bucket = bucket if bucket is not None else []
+    bucket.append(item)
+    return bucket
+
+
+def immutable_defaults(name="x", factor=1.0, pair=(1, 2), flag=frozenset()):
+    return name, factor, pair, flag

@@ -1,0 +1,75 @@
+"""Baseline load/save/split semantics (grandfathering workflow)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, Finding
+from repro.analysis.baseline import BaselineError
+
+
+def _finding(path="a.py", line=1, rule="DET001", message="m"):
+    return Finding(path=path, line=line, col=1, rule=rule, message=message)
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    baseline = Baseline.load(tmp_path / "absent.json")
+    assert len(baseline) == 0
+    new, grandfathered = baseline.split([_finding()])
+    assert len(new) == 1 and grandfathered == []
+
+
+def test_round_trip(tmp_path):
+    findings = [_finding(line=1), _finding(line=9), _finding(rule="MUT001")]
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).save(path)
+    loaded = Baseline.load(path)
+    assert len(loaded) == 3
+    new, grandfathered = loaded.split(findings)
+    assert new == [] and len(grandfathered) == 3
+
+
+def test_line_drift_stays_grandfathered(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings([_finding(line=10)]).save(path)
+    # The same finding moved 50 lines down: still grandfathered.
+    new, grandfathered = Baseline.load(path).split([_finding(line=60)])
+    assert new == [] and len(grandfathered) == 1
+
+
+def test_extra_occurrence_beyond_count_is_new():
+    baseline = Baseline.from_findings([_finding(line=1)])
+    findings = [_finding(line=1), _finding(line=2)]
+    new, grandfathered = baseline.split(findings)
+    assert len(grandfathered) == 1 and len(new) == 1
+    assert new[0].line == 2  # earlier occurrences consume the allowance
+
+
+def test_different_message_is_new():
+    baseline = Baseline.from_findings([_finding(message="old")])
+    new, _ = baseline.split([_finding(message="new")])
+    assert len(new) == 1
+
+
+def test_saved_file_is_stable_json(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings([_finding(), _finding(line=2)]).save(path)
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+    assert payload["findings"] == {"a.py::DET001::m": 2}
+
+
+@pytest.mark.parametrize("content", [
+    "not json at all",
+    '["a", "list"]',
+    '{"no_findings_key": 1}',
+    '{"findings": {"k": -1}}',
+    '{"findings": {"k": "many"}}',
+])
+def test_malformed_baseline_raises(tmp_path, content):
+    path = tmp_path / "baseline.json"
+    path.write_text(content)
+    with pytest.raises(BaselineError):
+        Baseline.load(path)

@@ -1,0 +1,111 @@
+"""Runner plumbing: file discovery, rule selection, reporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, lint_paths
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.runner import (
+    PARSE_ERROR_RULE,
+    LintConfig,
+    iter_python_files,
+)
+
+BAD_SOURCE = "import random\nx = random.random()\ny = random.randint(1, 6)\n"
+
+
+def _tree(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "b.py").write_text("B = 2\n")
+    (tmp_path / "pkg" / "a.py").write_text("A = 1\n")
+    (tmp_path / "top.py").write_text(BAD_SOURCE)
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+    (tmp_path / "notes.txt").write_text("not python\n")
+    return tmp_path
+
+
+def test_iter_python_files_sorted_and_skips_cache_dirs(tmp_path):
+    files = iter_python_files([_tree(tmp_path)])
+    assert [f.name for f in files] == ["a.py", "b.py", "top.py"]
+    assert files == sorted(files)
+
+
+def test_iter_python_files_dedupes_overlapping_paths(tmp_path):
+    root = _tree(tmp_path)
+    files = iter_python_files([root, root / "pkg", root / "pkg" / "a.py"])
+    assert len(files) == len({f.resolve() for f in files}) == 3
+
+
+def test_iter_python_files_missing_path_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        iter_python_files([tmp_path / "absent.py"])
+
+
+def test_lint_paths_counts_files_and_findings(tmp_path):
+    result = lint_paths([_tree(tmp_path)])
+    assert result.files_checked == 3
+    assert len(result.findings) == 2  # the two draws in top.py
+    assert not result.ok
+
+
+def test_select_restricts_rules(tmp_path):
+    root = _tree(tmp_path)
+    result = lint_paths([root], LintConfig(select=["MUT001"]))
+    assert result.findings == [] and result.ok
+
+
+def test_ignore_drops_rules(tmp_path):
+    result = lint_paths([_tree(tmp_path)], LintConfig(ignore=["DET001"]))
+    assert result.findings == []
+
+
+def test_unknown_rule_id_rejected(tmp_path):
+    with pytest.raises(ValueError, match="NOPE"):
+        lint_paths([_tree(tmp_path)], LintConfig(select=["NOPE"]))
+
+
+def test_baseline_grandfathers_known_findings(tmp_path):
+    root = _tree(tmp_path)
+    first = lint_paths([root])
+    baseline = Baseline.from_findings(first.findings)
+    second = lint_paths([root], LintConfig(baseline=baseline))
+    assert second.ok
+    assert len(second.grandfathered) == len(first.findings) == 2
+
+
+def test_syntax_error_becomes_parse_finding(tmp_path):
+    path = tmp_path / "broken.py"
+    path.write_text("def broken(:\n")
+    result = lint_paths([path])
+    assert len(result.findings) == 1
+    assert result.findings[0].rule == PARSE_ERROR_RULE
+    assert "does not parse" in result.findings[0].message
+
+
+def test_text_reporter_mentions_baseline_and_summary(tmp_path):
+    root = _tree(tmp_path)
+    first = lint_paths([root])
+    text = render_text(first)
+    assert "2 finding(s)" in text and "3 files" in text
+    assert "DET001" in text
+
+    gated = lint_paths(
+        [root], LintConfig(baseline=Baseline.from_findings(first.findings))
+    )
+    text = render_text(gated)
+    assert "(baseline)" in text
+    assert "0 finding(s)" in text
+
+
+def test_json_reporter_round_trips(tmp_path):
+    result = lint_paths([_tree(tmp_path)])
+    payload = json.loads(render_json(result))
+    assert payload["files_checked"] == 3
+    assert payload["ok"] is False
+    assert len(payload["findings"]) == 2
+    first = payload["findings"][0]
+    assert {"path", "line", "col", "rule", "message"} <= set(first)

@@ -1,0 +1,28 @@
+"""Self-lint gate: the shipped tree passes its own analyzer, no baseline.
+
+This is the acceptance criterion for the determinism contract — every
+DET/MUT finding in ``src/repro`` has been fixed at the source rather
+than grandfathered, so the committed baseline stays empty and any new
+finding fails CI immediately.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_repro_is_clean_with_empty_baseline():
+    result = lint_paths([REPO_ROOT / "src" / "repro"])
+    assert result.ok, [f.render() for f in result.findings]
+    assert result.grandfathered == []
+    assert result.files_checked > 100  # the whole tree, not a subset
+
+
+def test_committed_baseline_is_empty():
+    baseline = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+    assert baseline == {"version": 1, "findings": {}}

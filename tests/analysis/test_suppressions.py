@@ -1,0 +1,87 @@
+"""Line and file suppression comments (``# repro: noqa[...]``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import get_rule
+from repro.analysis.runner import lint_file
+from repro.analysis.suppressions import Suppressions
+
+
+def _write(tmp_path, source: str):
+    path = tmp_path / "mod.py"
+    path.write_text(source)
+    return path
+
+
+def _det001(tmp_path, source: str):
+    return lint_file(_write(tmp_path, source), [get_rule("DET001")], scoped=False)
+
+
+BAD_LINE = "import random\nx = random.random()\n"
+
+
+def test_unsuppressed_finding_fires(tmp_path):
+    assert len(_det001(tmp_path, BAD_LINE)) == 1
+
+
+def test_line_noqa_with_rule(tmp_path):
+    src = "import random\nx = random.random()  # repro: noqa[DET001]\n"
+    assert _det001(tmp_path, src) == []
+
+
+def test_line_noqa_bare_suppresses_all_rules(tmp_path):
+    src = "import random\nx = random.random()  # repro: noqa\n"
+    assert _det001(tmp_path, src) == []
+
+
+def test_line_noqa_other_rule_does_not_suppress(tmp_path):
+    src = "import random\nx = random.random()  # repro: noqa[DET004]\n"
+    assert len(_det001(tmp_path, src)) == 1
+
+
+def test_line_noqa_multiple_rules(tmp_path):
+    src = "import random\nx = random.random()  # repro: noqa[DET004, DET001]\n"
+    assert _det001(tmp_path, src) == []
+
+
+def test_line_noqa_on_other_line_does_not_suppress(tmp_path):
+    src = "import random  # repro: noqa[DET001]\nx = random.random()\n"
+    assert len(_det001(tmp_path, src)) == 1
+
+
+def test_file_noqa_with_rule(tmp_path):
+    src = "# repro: noqa-file[DET001]\nimport random\nx = random.random()\n"
+    assert _det001(tmp_path, src) == []
+
+
+def test_file_noqa_bare_suppresses_everything(tmp_path):
+    src = "# repro: noqa-file\nimport random\nx = random.random()\n"
+    assert _det001(tmp_path, src) == []
+
+
+def test_file_noqa_scoped_to_other_rule_keeps_finding(tmp_path):
+    src = "# repro: noqa-file[MUT001]\nimport random\nx = random.random()\n"
+    assert len(_det001(tmp_path, src)) == 1
+
+
+def test_malformed_empty_brackets_suppress_nothing(tmp_path):
+    src = "import random\nx = random.random()  # repro: noqa[]\n"
+    assert len(_det001(tmp_path, src)) == 1
+
+
+@pytest.mark.parametrize("comment", [
+    "# repro: noqa[DET001]",
+    "#repro:noqa[DET001]",
+    "#  repro:  noqa[DET001]",
+])
+def test_comment_spacing_variants(tmp_path, comment):
+    src = f"import random\nx = random.random()  {comment}\n"
+    assert _det001(tmp_path, src) == []
+
+
+def test_plain_ruff_noqa_is_not_ours():
+    sup = Suppressions("x = 1  # noqa: F401\n")
+    assert sup.by_line == {}
+    assert sup.file_wide == frozenset()

@@ -1,5 +1,7 @@
 """Unit tests for cluster configuration and assembly."""
 
+import random
+
 import pytest
 
 from repro.cluster.cluster import ClusterConfig, build_cluster
@@ -51,3 +53,40 @@ class TestBuildCluster:
         for node in cluster.nodes:
             assert node.num_slots == 5
             assert node.memory.capacity_mb == pytest.approx(77.0)
+
+
+class TestHeterogeneityRng:
+    """Heterogeneity draws come from an injected seeded Random (DET001)."""
+
+    CFG = ClusterConfig(num_nodes=6, heterogeneity=0.3, heterogeneity_seed=11)
+
+    @staticmethod
+    def _factors(cluster):
+        return [node.cpu_factor for node in cluster.nodes]
+
+    def test_same_seed_same_cluster(self):
+        a = self._factors(build_cluster(self.CFG, lambda i: LruPolicy()))
+        b = self._factors(build_cluster(self.CFG, lambda i: LruPolicy()))
+        assert a == b
+        assert len(set(a)) > 1  # the spread actually spreads
+
+    def test_injected_rng_matches_default_seeding(self):
+        default = self._factors(build_cluster(self.CFG, lambda i: LruPolicy()))
+        injected = self._factors(build_cluster(
+            self.CFG, lambda i: LruPolicy(),
+            rng=random.Random(self.CFG.heterogeneity_seed),
+        ))
+        assert default == injected
+
+    def test_different_seed_different_cluster(self):
+        import dataclasses
+
+        other = dataclasses.replace(self.CFG, heterogeneity_seed=12)
+        assert self._factors(build_cluster(self.CFG, lambda i: LruPolicy())) \
+            != self._factors(build_cluster(other, lambda i: LruPolicy()))
+
+    def test_process_global_rng_untouched(self):
+        random.seed(1234)
+        state = random.getstate()
+        build_cluster(self.CFG, lambda i: LruPolicy())
+        assert random.getstate() == state

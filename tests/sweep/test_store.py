@@ -79,6 +79,24 @@ class TestResultStore:
         assert len(store) == 2
         assert {r.fingerprint for r in store} == {"aaaa", "bbbb"}
 
+    def test_iteration_order_independent_of_write_order(self, tmp_path):
+        """Resume must not depend on on-disk directory order (DET004).
+
+        Two stores receive the same cells in opposite completion orders;
+        iteration (what a resumed sweep replays) must be identical, and
+        sorted, for both.
+        """
+        prints = ["cafe", "0a0a", "beef", "f00d", "1234"]
+        forward = ResultStore(tmp_path / "fwd")
+        backward = ResultStore(tmp_path / "bwd")
+        for fp in prints:
+            forward.put(_ok_result(fp))
+        for fp in reversed(prints):
+            backward.put(_ok_result(fp))
+        assert forward.fingerprints() == backward.fingerprints() == sorted(prints)
+        assert [r.fingerprint for r in forward] == \
+            [r.fingerprint for r in backward] == sorted(prints)
+
     def test_profile_paths_are_isolated(self, tmp_path):
         store = ResultStore(tmp_path)
         a = store.profile_path("aaaa")

@@ -220,3 +220,85 @@ class TestCommands:
                 "run", "SP", "--scheme", name, "--partitions", "8",
                 "--cache-fraction", "0.4",
             ]) == 0
+
+
+class TestLintCommand:
+    """``repro lint``: the determinism-contract analyzer as a subcommand."""
+
+    BAD = "import random\nx = random.random()\n"
+    OK = '"""Clean module."""\n\nX = 1\n'
+
+    @staticmethod
+    def _file(tmp_path, source):
+        path = tmp_path / "mod.py"
+        path.write_text(source)
+        return str(path)
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        assert main(["lint", self._file(tmp_path, self.OK)]) == 0
+        assert "0 finding(s) in 1 file" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        assert main(["lint", self._file(tmp_path, self.BAD)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "mod.py:2:" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        assert main([
+            "lint", self._file(tmp_path, self.BAD), "--format", "json",
+        ]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "DET001"
+
+    def test_select_and_ignore(self, tmp_path):
+        bad = self._file(tmp_path, self.BAD)
+        assert main(["lint", bad, "--select", "MUT001"]) == 0
+        assert main(["lint", bad, "--ignore", "DET001"]) == 0
+        assert main(["lint", bad, "--select", "DET001,MUT001"]) == 1
+
+    def test_unknown_rule_exits_with_message(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown rule"):
+            main(["lint", self._file(tmp_path, self.OK), "--select", "NOPE"])
+
+    def test_baseline_gates_only_new_findings(self, tmp_path, capsys):
+        bad = self._file(tmp_path, self.BAD)
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", bad, "--baseline", baseline,
+                     "--write-baseline"]) == 0
+        assert "baseline written" in capsys.readouterr().out
+        # Grandfathered findings no longer fail...
+        assert main(["lint", bad, "--baseline", baseline]) == 0
+        assert "(baseline)" in capsys.readouterr().out
+        # ...but a new finding beyond the baseline does.
+        (tmp_path / "mod.py").write_text(self.BAD + "y = random.randint(1, 6)\n")
+        assert main(["lint", bad, "--baseline", baseline]) == 1
+
+    def test_write_baseline_requires_path(self, tmp_path):
+        with pytest.raises(SystemExit, match="--write-baseline"):
+            main(["lint", self._file(tmp_path, self.OK), "--write-baseline"])
+
+    def test_malformed_baseline_exits(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("not json")
+        with pytest.raises(SystemExit, match="lint failed"):
+            main(["lint", self._file(tmp_path, self.OK),
+                  "--baseline", str(baseline)])
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "DET003", "DET004", "MUT001"):
+            assert rule_id in out
+
+    def test_missing_path_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="lint failed"):
+            main(["lint", str(tmp_path / "absent.py")])
+
+    def test_module_entry_point_matches_subcommand(self, tmp_path):
+        from repro.analysis.cli import main as lint_main
+
+        assert lint_main([self._file(tmp_path, self.BAD)]) == 1
+        assert lint_main([self._file(tmp_path, self.OK)]) == 0

@@ -1,5 +1,7 @@
 """Tests for the synthetic random-DAG workload generator."""
 
+import random
+
 import pytest
 
 from repro.dag.dag_builder import build_dag
@@ -52,6 +54,26 @@ class TestGeneration:
         metrics = simulate(dag, small_config(cache_mb=32.0), LruScheme())
         assert metrics.jct > 0
         assert metrics.num_stages_executed == dag.num_active_stages
+
+    def test_injected_rng_matches_default_seeding(self):
+        """``rng=Random(seed)`` reproduces the seed-only call bit-for-bit.
+
+        This is the DET001 contract: the generator draws only from the
+        injected ``random.Random``, never the process-global RNG.
+        """
+        default = build_dag(generate_application(7))
+        injected = build_dag(generate_application(7, rng=random.Random(7)))
+        assert default.num_stages == injected.num_stages
+        assert default.num_jobs == injected.num_jobs
+        assert {r: p.read_seqs for r, p in default.profiles.items()} == {
+            r: p.read_seqs for r, p in injected.profiles.items()
+        }
+
+    def test_process_global_rng_untouched(self):
+        random.seed(1234)
+        state = random.getstate()
+        generate_application(3)
+        assert random.getstate() == state
 
     def test_large_envelope(self):
         cfg = SyntheticConfig(num_jobs=40, stages_per_job=(2, 6))
