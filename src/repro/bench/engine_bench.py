@@ -11,8 +11,10 @@ Two workload profiles are measured:
 * ``sched`` — sparse caching, so per-task scheduling overhead dominates
   and the numbers isolate the scheduler itself (the quadratic
   ``min()``-scan vs the global event queue);
-* ``cache`` — the default synthetic cache density, an end-to-end figure
-  where block-manager bookkeeping shares the profile.
+* ``cache`` — the default synthetic cache density under a deliberately
+  undersized cache, so the run is cache-*bound*: misses, evictions and
+  (under MRD) prefetches are all nonzero and the eviction/bookkeeping
+  hot paths genuinely share the profile.
 
 The payload is written to ``BENCH_engine.json`` (repo root) as the
 perf trajectory's data points; CI re-runs a reduced size and fails on
@@ -75,11 +77,30 @@ class BenchConfig:
         )
 
 
-#: Workload profiles: name -> SyntheticConfig overrides.
-_PROFILES: dict[str, dict] = {
-    "sched": {"cache_probability": 0.05, "reuse_probability": 0.3},
-    "cache": {},
+@dataclass(frozen=True)
+class BenchProfile:
+    """One measured workload profile.
+
+    ``overrides`` reshape the synthetic generator; ``cache_mb`` (when
+    set) overrides the cluster's per-node cache so a profile can force
+    cache pressure independently of the benchmark's default sizing.
+    """
+
+    overrides: dict
+    cache_mb: float | None = None
+
+
+#: Workload profiles measured by the benchmark, in report order.
+_PROFILES: dict[str, BenchProfile] = {
+    "sched": BenchProfile({"cache_probability": 0.05, "reuse_probability": 0.3}),
+    # 40 MB/node makes the default cache density overflow: both schemes
+    # miss and evict, and MRD additionally exercises its prefetch path.
+    "cache": BenchProfile({}, cache_mb=40.0),
 }
+
+
+def bench_profile_names() -> tuple[str, ...]:
+    return tuple(_PROFILES)
 
 
 def build_bench_dag(config: BenchConfig, profile: str) -> ApplicationDAG:
@@ -88,7 +109,7 @@ def build_bench_dag(config: BenchConfig, profile: str) -> ApplicationDAG:
     Jobs are added until the active-stage task count clears the floor,
     so the guarantee survives generator/DAG-builder changes.
     """
-    overrides = _PROFILES[profile]
+    overrides = _PROFILES[profile].overrides
     num_jobs = 4
     while True:
         cfg = SyntheticConfig(
@@ -139,9 +160,17 @@ def _time_run(
 def run_engine_bench(
     config: BenchConfig | None = None,
     include_reference: bool = True,
+    profiles: tuple[str, ...] | None = None,
 ) -> dict:
     """Run the full benchmark matrix; returns the JSON-ready payload."""
     config = config or BenchConfig()
+    if profiles is None:
+        profiles = bench_profile_names()
+    unknown = [p for p in profiles if p not in _PROFILES]
+    if unknown:
+        raise ValueError(
+            f"unknown bench profiles {unknown}; choose from {bench_profile_names()}"
+        )
     cluster = config.cluster()
     payload: dict = {
         "bench": "engine",
@@ -162,15 +191,19 @@ def run_engine_bench(
         "metrics_identical": True,
     }
     schedulers = SCHEDULERS if include_reference else ("event",)
-    for profile in _PROFILES:
+    for profile in profiles:
         dag = build_bench_dag(config, profile)
         tasks = total_tasks(dag)
+        override = _PROFILES[profile].cache_mb
+        profile_cluster = (
+            cluster.with_cache(override) if override is not None else cluster
+        )
         for scheme_name, factory in BENCH_SCHEMES.items():
             seconds: dict[str, float] = {}
             fingerprints: dict[str, tuple] = {}
             for scheduler in schedulers:
                 secs, metrics = _time_run(
-                    dag, cluster, factory, scheduler, config.repeats
+                    dag, profile_cluster, factory, scheduler, config.repeats
                 )
                 seconds[scheduler] = secs
                 fingerprints[scheduler] = _metrics_fingerprint(metrics)
@@ -178,6 +211,7 @@ def run_engine_bench(
                     "profile": profile,
                     "scheme": scheme_name,
                     "scheduler": scheduler,
+                    "cache_mb_per_node": profile_cluster.cache_mb_per_node,
                     "tasks": tasks,
                     "stages": dag.num_active_stages,
                     "seconds": secs,

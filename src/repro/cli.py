@@ -38,6 +38,7 @@ from repro.experiments import (
     fig10,
     fig11_12,
     fig_control_latency,
+    fig_load,
     table1,
     table3,
 )
@@ -59,6 +60,7 @@ from repro.policies.scheme import (
 )
 from repro.simulator.config import CLUSTERS
 from repro.simulator.engine import simulate
+from repro.tenancy.arbitration import ARBITRATIONS
 from repro.workloads.registry import workload_names
 
 #: name -> zero-arg scheme factory for the CLI.
@@ -89,6 +91,7 @@ _EXPERIMENTS = {
     "fig10": (fig10.run, fig10.render),
     "fig11_12": (fig11_12.run, fig11_12.render),
     "fig_control_latency": (fig_control_latency.run, fig_control_latency.render),
+    "fig_load": (fig_load.run, fig_load.render),
 }
 
 
@@ -343,7 +346,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise SystemExit(f"bench failed: {exc}") from exc
-    payload = run_engine_bench(config, include_reference=not args.no_reference)
+    profiles = tuple(args.profiles.split(",")) if args.profiles else None
+    try:
+        payload = run_engine_bench(
+            config, include_reference=not args.no_reference, profiles=profiles
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bench failed: {exc}") from exc
     print(render_bench(payload))
     if args.output:
         save_payload(payload, args.output)
@@ -385,6 +394,94 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     elif args.store is not None:
         raise SystemExit(f"experiment {args.name!r} does not use a result store")
     print(render(run(**kwargs)))
+    return 0
+
+
+def cmd_mt_run(args: argparse.Namespace) -> int:
+    from repro.dag.dag_builder import build_dag
+    from repro.sweep.schemes import resolve_scheme_mix
+    from repro.tenancy import (
+        AppSpec,
+        FixedArrivals,
+        MultiTenantSimulator,
+        PoissonArrivals,
+    )
+    from repro.workloads.base import WorkloadParams
+    from repro.workloads.registry import build_workload
+
+    cluster = _cluster(args)
+    try:
+        schemes = resolve_scheme_mix(args.schemes.split(","))
+    except ValueError as exc:
+        raise SystemExit(f"mt run failed: {exc}") from exc
+    num_apps = args.apps if args.apps is not None else len(args.workloads)
+    if num_apps <= 0:
+        raise SystemExit("mt run failed: --apps must be positive")
+
+    params = WorkloadParams(
+        scale=args.scale, iterations=args.iterations, partitions=args.partitions
+    )
+    # Cache sized for the largest application in the mix, so every app
+    # could run alone at the requested fraction — contention then comes
+    # from overlap, not from an undersized baseline.
+    try:
+        if args.cache_mb is not None:
+            cache = args.cache_mb
+        else:
+            cache = max(
+                cache_mb_for(
+                    build_dag(build_workload(name, params)),
+                    args.cache_fraction,
+                    cluster,
+                )
+                for name in dict.fromkeys(args.workloads)
+            )
+    except KeyError as exc:
+        raise SystemExit(f"mt run failed: {exc.args[0]}") from exc
+
+    apps = [
+        AppSpec(
+            workload=args.workloads[i % len(args.workloads)],
+            scheme=schemes[i % len(schemes)],
+            scale=args.scale,
+            iterations=args.iterations,
+            partitions=args.partitions,
+            seed=i,
+        )
+        for i in range(num_apps)
+    ]
+    try:
+        arrivals = (
+            PoissonArrivals(rate=args.rate, seed=args.seed)
+            if args.arrival == "poisson"
+            else FixedArrivals(interval=args.interval)
+        )
+        metrics = MultiTenantSimulator(
+            apps,
+            cluster.with_cache(cache),
+            arrivals=arrivals,
+            arbitration=args.arbitration,
+            **_control_kwargs(args),
+        ).run()
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"mt run failed: {exc.args[0]}") from exc
+    print(
+        f"cluster={cluster.name} cache={cache:.1f} MB/node "
+        f"arbitration={args.arbitration} arrivals={arrivals.name}"
+    )
+    print(metrics.summary())
+    rows = [
+        (
+            m.app_id, spec.workload, m.scheme,
+            round(m.arrival_time, 2), round(m.jct, 2),
+            f"{m.hit_ratio * 100:.0f}%", m.stats.evictions,
+        )
+        for spec, m in zip(apps, metrics.apps)
+    ]
+    print(format_table(
+        ["App", "Workload", "Scheme", "Arrival", "JCT", "Hit", "Evictions"],
+        rows,
+    ))
     return 0
 
 
@@ -602,6 +699,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="timing repetitions; best is reported")
     bench_p.add_argument("--no-reference", action="store_true",
                          help="skip the O(tasks x nodes) reference core")
+    bench_p.add_argument("--profiles", default=None,
+                         help="comma list of workload profiles to measure "
+                              "(default: all; e.g. sched,cache)")
     bench_p.add_argument("-o", "--out", dest="output", default=None,
                          help="write the JSON payload here (e.g. BENCH_engine.json)")
     bench_p.add_argument("--check-baseline", default=None,
@@ -609,6 +709,46 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--max-slowdown", type=float, default=2.0,
                          help="allowed slowdown factor for --check-baseline")
     bench_p.set_defaults(func=cmd_bench)
+
+    mt_p = sub.add_parser(
+        "mt", help="multi-tenant mode: concurrent applications on one cluster"
+    )
+    mt_sub = mt_p.add_subparsers(dest="mt_command", required=True)
+    mtrun_p = mt_sub.add_parser(
+        "run", help="stream a mix of applications into a shared cluster"
+    )
+    mtrun_p.add_argument("workloads", nargs="+", metavar="workload",
+                         help="workload mix, cycled over the submitted apps")
+    mtrun_p.add_argument("--apps", type=int, default=None,
+                         help="number of applications (default: one per "
+                              "listed workload)")
+    mtrun_p.add_argument("--schemes", default="LRU",
+                         help="comma list of per-app cache schemes, cycled "
+                              "like the workload mix")
+    mtrun_p.add_argument("--arbitration", choices=sorted(ARBITRATIONS),
+                         default="static",
+                         help="cross-application cache arbitration policy")
+    mtrun_p.add_argument("--arrival", choices=("fixed", "poisson"),
+                         default="fixed", help="arrival process")
+    mtrun_p.add_argument("--rate", type=float, default=0.1,
+                         help="poisson arrival rate (apps per simulated second)")
+    mtrun_p.add_argument("--interval", type=float, default=0.0,
+                         help="fixed interarrival gap in simulated seconds")
+    mtrun_p.add_argument("--seed", type=int, default=0,
+                         help="arrival-process seed (poisson)")
+    mtrun_p.add_argument("--cluster", default="main",
+                         help=f"one of {sorted(CLUSTERS)}")
+    mtrun_p.add_argument("--cache-fraction", type=float, default=0.4,
+                         help="per-node cache as a fraction of the largest "
+                              "app's peak live cached set")
+    mtrun_p.add_argument("--cache-mb", type=float, default=None,
+                         help="absolute cache MB per node (overrides "
+                              "--cache-fraction)")
+    mtrun_p.add_argument("--scale", type=float, default=1.0)
+    mtrun_p.add_argument("--iterations", type=int, default=None)
+    mtrun_p.add_argument("--partitions", type=int, default=8)
+    _add_control_args(mtrun_p)
+    mtrun_p.set_defaults(func=cmd_mt_run)
 
     lint_p = sub.add_parser(
         "lint",

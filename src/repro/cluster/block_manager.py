@@ -9,6 +9,7 @@ aggregates into the paper's reported quantities.
 from __future__ import annotations
 
 import enum
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.cluster.block import Block, BlockId
@@ -68,6 +69,13 @@ class BlockManager:
         self.inflight_prefetch: dict[BlockId, float] = {}
         #: Blocks that entered memory via prefetch and were not yet read.
         self._prefetched_unread: set[BlockId] = set()
+        #: Multi-tenant hook: maps an evicted block to the manager whose
+        #: stats should be charged.  On a shared cluster an insertion by
+        #: one application can displace another application's blocks;
+        #: the tenancy layer installs a router so each eviction lands on
+        #: the *owner's* counters.  ``None`` (default) charges ``self``,
+        #: as does a router returning ``None`` (unresolvable owner).
+        self.eviction_router: Callable[[BlockId], "BlockManager | None"] | None = None
 
     # ------------------------------------------------------------------
     # reads
@@ -168,10 +176,16 @@ class BlockManager:
 
     def _account_evictions(self, evicted: list[Block], cause: str = "insert") -> None:
         rec = self.recorder
+        router = self.eviction_router
         for block in evicted:
-            self.stats.evictions += 1
-            self.stats.evicted_mb += block.size_mb
-            self._prefetched_unread.discard(block.id)
+            owner = self
+            if router is not None:
+                routed = router(block.id)
+                if routed is not None:
+                    owner = routed
+            owner.stats.evictions += 1
+            owner.stats.evicted_mb += block.size_mb
+            owner._prefetched_unread.discard(block.id)
             if rec.enabled:
                 rec.emit(Eviction(
                     t=rec.now, rdd_id=block.id.rdd_id, partition=block.id.partition,

@@ -86,6 +86,26 @@ class BlockManagerMaster:
             ))
         return node_dropped
 
+    def drop_rdd_range(self, lo: int, hi: int) -> int:
+        """Silently drop every block with ``lo <= rdd_id < hi``.
+
+        Application-teardown path of the multi-tenant layer: a finished
+        app's blocks leave memory *and* disk without touching eviction
+        or purge counters (its metrics were already collected).  Eviction
+        policies still observe the removals through ``on_remove``.
+        Returns the number of memory blocks dropped.
+        """
+        dropped = 0
+        for mgr in self.managers:
+            memory, disk = mgr.node.memory, mgr.node.disk
+            for bid in [b for b in memory.block_ids() if lo <= b.rdd_id < hi]:
+                if not memory.is_pinned(bid):
+                    memory.remove(bid)
+                    dropped += 1
+            for bid in [b for b in list(disk.block_ids()) if lo <= b.rdd_id < hi]:
+                disk.remove(bid)
+        return dropped
+
     def memory_contains(self, block_id: BlockId) -> bool:
         return block_id in self.manager_for(block_id).node.memory
 

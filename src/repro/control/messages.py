@@ -18,6 +18,9 @@ Conventions
 * ``node_id`` is the worker endpoint: the destination for driver→worker
   messages (orders, table broadcasts) and the source for worker→driver
   messages (status reports, registration).
+* ``app_id`` scopes a message to one application (multi-tenant runs
+  multiplex several drivers over one cluster); single-application runs
+  leave it at 0.
 * ``is_order`` marks messages whose send→apply delay feeds the
   order-to-apply latency metric (purges and prefetches).
 """
@@ -60,6 +63,7 @@ class PurgeOrder(ControlMessage):
     rdd_id: int
     issued_seq: int
     drop_disk: bool = False
+    app_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -80,6 +84,7 @@ class PrefetchOrder(ControlMessage):
     size_mb: float
     rdd_name: str
     issued_seq: int
+    app_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -99,6 +104,7 @@ class StageBoundary(ControlMessage):
 
     seq: int
     distances: Mapping[int, float]
+    app_id: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -119,6 +125,7 @@ class CacheStatusReport(ControlMessage):
     free_mb: float
     hit_ratio: float | None
     num_blocks: int
+    app_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -134,6 +141,7 @@ class WorkerRegister(ControlMessage):
     kind = "worker_register"
 
     reason: str = "startup"
+    app_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -143,6 +151,7 @@ class WorkerDeregister(ControlMessage):
     kind = "worker_deregister"
 
     reason: str = "failure"
+    app_id: int = 0
 
 
 #: Wire tag -> message class (mirrors the trace-event registry idiom).

@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING
 from repro.cluster.block import Block, BlockId
 from repro.cluster.cluster import Cluster
 from repro.core.app_profiler import AppProfiler
-from repro.core.mrd_table import INFINITE, MrdTable
+from repro.core.mrd_table import MrdTable
 from repro.dag.dag_builder import ApplicationDAG
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -138,6 +138,12 @@ class MrdManager:
         #: rdd ids whose blocks exist (have been computed) — only these
         #: can be purged or prefetched.
         self._materialized: set[int] = set()
+        #: This application's rdd-id universe.  On a shared (multi-
+        #: tenant) cluster the node stores also hold other applications'
+        #: blocks; every store scan below must ignore those — a foreign
+        #: block is not "infinitely distant data worth evicting", it is
+        #: simply not ours to reason about.
+        self._known_rdds: set[int] = {r.id for r in dag.app.rdds}
         #: Largest number of references ever held by the MRD_Table — the
         #: paper's storage-overhead metric (§4.4: "the largest MRD_Table
         #: ... contained less than 300 references").
@@ -234,7 +240,7 @@ class MrdManager:
             return []
         threshold = self.current_threshold(cluster)
         master = cluster.master
-        rdds = self.dag.app.rdds
+        rdd_by_id = self.dag.app.rdd_by_id
         capacity = {n.node_id: n.memory.capacity_mb for n in cluster.nodes}
         # Free memory starts from each node's *reported* status when one
         # has been delivered (the paper's reportCacheStatus loop) and
@@ -259,7 +265,7 @@ class MrdManager:
         for dist, rdd_id in self.table.candidates_by_distance():
             if rdd_id not in self._materialized:
                 continue
-            rdd = rdds[rdd_id]
+            rdd = rdd_by_id(rdd_id)
             for p in range(rdd.num_partitions):
                 bid = BlockId(rdd_id, p)
                 mgr = master.manager_for(bid)
@@ -294,13 +300,11 @@ class MrdManager:
         return orders
 
     def _worst_cached_distance(self, mgr) -> float:
-        worst = -1.0
-        for bid in mgr.node.memory.block_ids():
-            d = self.table.distance(bid.rdd_id)
-            if d is INFINITE or d == INFINITE:
-                return INFINITE
-            worst = max(worst, d)
-        return worst
+        return self.table.worst_distance(
+            bid.rdd_id
+            for bid in mgr.node.memory.block_ids()
+            if bid.rdd_id in self._known_rdds
+        )
 
     # ------------------------------------------------------------------
     def finalize(self) -> None:

@@ -181,6 +181,23 @@ class MrdTable:
             return float(head[0] - self.current_seq)
         return float(head[1] - self.current_job)
 
+    def worst_distance(self, rdd_ids: Iterable[int]) -> float:
+        """Largest current distance among ``rdd_ids`` (-1.0 for none).
+
+        Short-circuits to ``INFINITE`` as soon as any id has no upcoming
+        reference: the callers (the manager's forced-prefetch guard and
+        the cross-app distance arbitration) only need to know whether
+        something already-dead is resident, not which one.
+        """
+        worst = -1.0
+        for rdd_id in rdd_ids:
+            d = self.distance(rdd_id)
+            if d == INFINITE:
+                return INFINITE
+            if d > worst:
+                worst = d
+        return worst
+
     def dead_rdds(self) -> list[int]:
         """Tracked RDDs whose reference list has emptied (infinite distance)."""
         return sorted(r for r, queue in self._refs.items() if not len(queue))

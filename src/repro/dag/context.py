@@ -48,10 +48,22 @@ class UnpersistEvent:
 
 
 class SparkContext:
-    """Records RDDs and jobs created by a workload program."""
+    """Records RDDs and jobs created by a workload program.
 
-    def __init__(self, app_name: str = "app") -> None:
+    ``first_rdd_id`` offsets every assigned rdd id: ids run contiguously
+    from ``first_rdd_id`` in registration order.  The multi-tenant layer
+    builds each concurrent application in its own disjoint id namespace
+    (app *k* starts at ``k * RDD_NAMESPACE_STRIDE``), so block ids,
+    distance tables and control messages from different applications can
+    share one cluster without a translation layer.  The default of 0
+    keeps single-application ids identical to what they always were.
+    """
+
+    def __init__(self, app_name: str = "app", first_rdd_id: int = 0) -> None:
+        if first_rdd_id < 0:
+            raise ValueError("first_rdd_id must be non-negative")
         self.app_name = app_name
+        self.first_rdd_id = first_rdd_id
         self.rdds: list[RDD] = []
         self.jobs: list[JobSpec] = []
         self.unpersist_events: list[UnpersistEvent] = []
@@ -61,9 +73,17 @@ class SparkContext:
     # registration hooks used by RDD / transformations
     # ------------------------------------------------------------------
     def _register_rdd(self, rdd: RDD) -> int:
-        rdd_id = len(self.rdds)
+        rdd_id = self.first_rdd_id + len(self.rdds)
         self.rdds.append(rdd)
         return rdd_id
+
+    def rdd_by_id(self, rdd_id: int) -> RDD:
+        """The RDD carrying ``rdd_id`` (ids are contiguous from
+        ``first_rdd_id``, so this is an O(1) index, not a scan)."""
+        index = rdd_id - self.first_rdd_id
+        if not 0 <= index < len(self.rdds):
+            raise KeyError(f"no rdd {rdd_id} in context {self.app_name!r}")
+        return self.rdds[index]
 
     def _next_shuffle_id(self) -> int:
         sid = self._shuffle_counter
@@ -140,7 +160,7 @@ class SparkContext:
         """
         cached = {r.id for r in self.rdds if r.is_cached}
         cached.update(ev.rdd.id for ev in self.unpersist_events)
-        return [self.rdds[i] for i in sorted(cached)]
+        return [self.rdd_by_id(i) for i in sorted(cached)]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -173,13 +193,22 @@ class SparkApplication:
     def rdds(self) -> list[RDD]:
         return self.ctx.rdds
 
+    def rdd_by_id(self, rdd_id: int) -> RDD:
+        """O(1) id lookup (see :meth:`SparkContext.rdd_by_id`)."""
+        return self.ctx.rdd_by_id(rdd_id)
+
 
 def record_application(
     program: Callable[[SparkContext], None],
     app_name: str = "app",
+    first_rdd_id: int = 0,
 ) -> SparkApplication:
-    """Run ``program`` against a fresh context and capture the application."""
-    ctx = SparkContext(app_name)
+    """Run ``program`` against a fresh context and capture the application.
+
+    ``first_rdd_id`` places the recording in an offset rdd-id namespace
+    (used by the multi-tenant layer to keep concurrent apps disjoint).
+    """
+    ctx = SparkContext(app_name, first_rdd_id=first_rdd_id)
     program(ctx)
     if not ctx.jobs:
         raise ValueError(f"program {app_name!r} recorded no jobs (no action was called)")

@@ -156,22 +156,53 @@ class SparkSimulator:
             self._unpersist_by_job.setdefault(ev.after_job_id, []).append(ev.rdd.id)
         #: Memoized per-partition recompute costs (failure-recovery path).
         self._recompute_cost: dict[int, float] = {}
+        #: Application id stamped on every control message; 0 for the
+        #: single-application engine, per-app under the tenancy layer.
+        self.app_id = 0
+        #: ``RunMetrics.app_id`` value (None marks a standalone run).
+        self._metrics_app_id: int | None = None
+        # Per-run state initialized by _start_run().
+        self._records: list[StageRecord] = []
+        self._lost_blocks = 0
+        self._current_job = -1
+        self._last_seq = 0
+        self._t_origin = 0.0
 
     # ------------------------------------------------------------------
     def run(self) -> RunMetrics:
         """Simulate the whole application; returns the collected metrics."""
+        self._start_run(0.0)
+        now = 0.0
+        for stage in self.dag.active_stages:
+            self._begin_stage(stage, now)
+            start = now
+            now = self._run_stage(stage, start)
+            self._record_stage(stage, start, now)
+        return self._finish_run(now)
+
+    # ------------------------------------------------------------------
+    # run lifecycle (each phase is reusable: the multi-tenant engine
+    # drives per-app copies of these around its own global event loop)
+    # ------------------------------------------------------------------
+    def _start_run(self, now: float) -> None:
+        """(Re)initialize per-run state; ``now`` is the application's
+        start time (0.0 standalone, the arrival time under tenancy)."""
         self.scheme.prepare(self.dag)
         rec = self.recorder
         if rec.enabled:
-            rec.now = 0.0
+            rec.now = now
             rec.distance_of = self.scheme.reference_distance
-        self.cluster = build_cluster(self.cluster_config, self.scheme.policy_factory)
+        self.cluster = self._build_cluster()
         self._prefetch_heap = []
         self._prefetch_seq = 0
         self._current_seq = 0
-        master = self.cluster.master
+        self._records = []
+        self._lost_blocks = 0
+        self._current_job = -1
+        self._last_seq = 0
+        self._t_origin = now
         if rec.enabled:
-            for mgr in master.managers:
+            for mgr in self.cluster.master.managers:
                 mgr.recorder = rec
         control = self.control
         control.reset()
@@ -182,97 +213,115 @@ class SparkSimulator:
             if plan is not None and plan.outages
             else None
         )
+        self._register_workers(now)
+
+    def _build_cluster(self) -> Cluster:
+        """Cluster for this run (tenancy overrides with a shared view)."""
+        return build_cluster(self.cluster_config, self.scheme.policy_factory)
+
+    def _register_workers(self, now: float) -> None:
         # Initial worker registration is synchronous on every plane:
         # Spark blocks on executor registration before scheduling work.
         for node in self.cluster.nodes:
-            control.send_local(
-                WorkerRegister(sent_at=0.0, node_id=node.node_id),
+            self.control.send_local(
+                WorkerRegister(sent_at=now, node_id=node.node_id, app_id=self.app_id),
                 self._deliver_register,
             )
-        now = 0.0
-        current_job = -1
-        records: list[StageRecord] = []
 
-        lost_blocks = 0
-        last_seq = 0
-        for stage in self.dag.active_stages:
-            self._current_seq = last_seq = stage.seq
-            if stage.job_id != current_job:
-                # Previous jobs finished: apply their unpersist events.
-                for j in range(max(current_job, 0), stage.job_id):
-                    self._apply_unpersists(j)
-                # Newly submitted jobs reveal their DAGs to the scheme.
-                for j in range(current_job + 1, stage.job_id + 1):
-                    self.scheme.on_job_submit(j)
-                    if rec.enabled:
-                        rec.emit(JobStart(t=now, job_id=j))
-                current_job = stage.job_id
-            if plan is not None:
-                failed = plan.failures_at(stage.seq)
-                lost_blocks += plan.apply(stage.seq, self.cluster)
-                # The replacement re-registers through the control plane;
-                # on (possibly delayed) delivery the driver re-issues the
-                # distance-table snapshot (paper §4.4).
-                for failure in failed:
-                    control.send(
-                        WorkerDeregister(sent_at=now, node_id=failure.node_id),
-                        self._deliver_deregister,
-                    )
-                    control.send(
-                        WorkerRegister(
-                            sent_at=now, node_id=failure.node_id, reason="replacement"
-                        ),
-                        self._deliver_register,
-                    )
-            # Reports are sent before the pump so a zero-latency rpc
-            # plane delivers them (deliver_at == now) before the scheme
-            # plans the boundary — exactly the instant plane's ordering.
-            self._send_status_reports(now)
-            control.pump(now)
-            if rec.enabled:
-                rec.now = now
-                rec.emit(StageStart(
-                    t=now, seq=stage.seq, stage_id=stage.id,
-                    job_id=stage.job_id, num_tasks=stage.num_tasks,
-                ))
-            orders = self.scheme.on_stage_start(stage.seq, self.cluster)
-            self._dispatch_stage_orders(stage.seq, orders, now)
-            start = now
-            now = self._run_stage(stage, start)
-            if rec.enabled:
-                rec.now = now
-                rec.emit(StageEnd(
-                    t=now, seq=stage.seq, stage_id=stage.id, job_id=stage.job_id,
-                ))
-            records.append(
-                StageRecord(
-                    seq=stage.seq,
-                    stage_id=stage.id,
-                    job_id=stage.job_id,
-                    start=start,
-                    end=now,
-                    num_tasks=stage.num_tasks,
+    def _begin_stage(self, stage: Stage, now: float) -> None:
+        """Stage-boundary driver work: job submits, failures, reports,
+        control pump, and the scheme's purge/prefetch orders."""
+        rec = self.recorder
+        control = self.control
+        self._current_seq = self._last_seq = stage.seq
+        if stage.job_id != self._current_job:
+            # Previous jobs finished: apply their unpersist events.
+            for j in range(max(self._current_job, 0), stage.job_id):
+                self._apply_unpersists(j)
+            # Newly submitted jobs reveal their DAGs to the scheme.
+            for j in range(self._current_job + 1, stage.job_id + 1):
+                self.scheme.on_job_submit(j)
+                if rec.enabled:
+                    rec.emit(JobStart(t=now, job_id=j))
+            self._current_job = stage.job_id
+        plan = self.failure_plan
+        if plan is not None:
+            failed = plan.failures_at(stage.seq)
+            self._lost_blocks += plan.apply(stage.seq, self.cluster)
+            # The replacement re-registers through the control plane;
+            # on (possibly delayed) delivery the driver re-issues the
+            # distance-table snapshot (paper §4.4).
+            for failure in failed:
+                control.send(
+                    WorkerDeregister(
+                        sent_at=now, node_id=failure.node_id, app_id=self.app_id
+                    ),
+                    self._deliver_deregister,
                 )
-            )
+                control.send(
+                    WorkerRegister(
+                        sent_at=now, node_id=failure.node_id,
+                        reason="replacement", app_id=self.app_id,
+                    ),
+                    self._deliver_register,
+                )
+        # Reports are sent before the pump so a zero-latency rpc
+        # plane delivers them (deliver_at == now) before the scheme
+        # plans the boundary — exactly the instant plane's ordering.
+        self._send_status_reports(now)
+        control.pump(now)
+        if rec.enabled:
+            rec.now = now
+            rec.emit(StageStart(
+                t=now, seq=stage.seq, stage_id=stage.id,
+                job_id=stage.job_id, num_tasks=stage.num_tasks,
+            ))
+        orders = self.scheme.on_stage_start(stage.seq, self.cluster)
+        self._dispatch_stage_orders(stage.seq, orders, now)
 
+    def _record_stage(self, stage: Stage, start: float, end: float) -> None:
+        rec = self.recorder
+        if rec.enabled:
+            rec.now = end
+            rec.emit(StageEnd(
+                t=end, seq=stage.seq, stage_id=stage.id, job_id=stage.job_id,
+            ))
+        self._records.append(
+            StageRecord(
+                seq=stage.seq,
+                stage_id=stage.id,
+                job_id=stage.job_id,
+                start=start,
+                end=end,
+                num_tasks=stage.num_tasks,
+            )
+        )
+
+    def _finish_run(self, now: float) -> RunMetrics:
+        """Drain the control plane, finalize the scheme, collect metrics.
+
+        JCT is measured from the run's start time, so under tenancy it
+        is the application's *sojourn* (completion − arrival)."""
         # Drain messages still in flight when the application ended, so
         # sent == delivered + dropped and late orders are counted stale.
-        self._current_seq = last_seq + 1
-        control.pump(math.inf)
-        self._apply_unpersists(current_job)
+        self._current_seq = self._last_seq + 1
+        self.control.pump(math.inf)
+        self._apply_unpersists(self._current_job)
         self.scheme.finalize()
-        stats = master.total_stats()
+        master = self.cluster.master
         return RunMetrics(
             scheme=self.scheme.name,
             workload=self.dag.app.signature,
-            jct=now,
-            stats=stats,
-            stage_records=records,
+            jct=now - self._t_origin,
+            stats=master.total_stats(),
+            stage_records=self._records,
             per_node_hit_ratio=[m.stats.hit_ratio for m in master.managers],
             cache_mb_per_node=self.cluster_config.cache_mb_per_node,
-            failure_lost_blocks=lost_blocks,
-            control_plane=control.name,
-            control=control.stats,
+            failure_lost_blocks=self._lost_blocks,
+            control_plane=self.control.name,
+            control=self.control.stats,
+            app_id=self._metrics_app_id,
+            arrival_time=self._t_origin,
         )
 
     # ------------------------------------------------------------------
@@ -481,7 +530,7 @@ class SparkSimulator:
         files survive node loss on the paper's clusters because they are
         spread over all nodes).
         """
-        rdd = self.dag.app.rdds[bid.rdd_id]
+        rdd = self.dag.app.rdd_by_id(bid.rdd_id)
         t += self._partition_recompute_time(rdd)
         block = Block(id=bid, size_mb=size_mb, rdd_name=rdd.name)
         # Re-persist through the manager so recovery-driven insertions
@@ -532,7 +581,8 @@ class SparkSimulator:
             for node in self.cluster.nodes:
                 control.send(
                     StageBoundary(
-                        sent_at=now, node_id=node.node_id, seq=seq, distances=snap
+                        sent_at=now, node_id=node.node_id, seq=seq,
+                        distances=snap, app_id=self.app_id,
                     ),
                     self._deliver_table,
                 )
@@ -540,7 +590,8 @@ class SparkSimulator:
             for node_id in range(master.num_nodes):
                 control.send(
                     PurgeOrder(
-                        sent_at=now, node_id=node_id, rdd_id=rdd_id, issued_seq=seq
+                        sent_at=now, node_id=node_id, rdd_id=rdd_id,
+                        issued_seq=seq, app_id=self.app_id,
                     ),
                     self._deliver_purge,
                 )
@@ -554,6 +605,7 @@ class SparkSimulator:
                     size_mb=block.size_mb,
                     rdd_name=block.rdd_name,
                     issued_seq=seq,
+                    app_id=self.app_id,
                 ),
                 self._deliver_prefetch,
             )
@@ -576,6 +628,7 @@ class SparkSimulator:
                     free_mb=node.memory.free_mb,
                     hit_ratio=mgr.stats.hit_ratio,
                     num_blocks=len(node.memory),
+                    app_id=self.app_id,
                 ),
                 self._deliver_status,
             )
@@ -634,6 +687,7 @@ class SparkSimulator:
                     node_id=msg.node_id,
                     seq=self._current_seq,
                     distances=snap,
+                    app_id=self.app_id,
                 ),
                 self._deliver_table,
             )

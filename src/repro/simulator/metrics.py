@@ -48,6 +48,13 @@ class RunMetrics:
     #: Control-traffic counters (messages sent/delivered/dropped, stale
     #: orders, mean order-to-apply delay).
     control: ControlPlaneStats = field(default_factory=ControlPlaneStats)
+    #: Multi-tenant identity: which application of a shared-cluster run
+    #: these metrics belong to (``None`` for a standalone run).
+    app_id: int | None = None
+    #: Simulated time the application entered the cluster.  Under
+    #: tenancy ``jct`` is the sojourn (completion − arrival); stage
+    #: records keep absolute simulation times.
+    arrival_time: float = 0.0
 
     @property
     def hit_ratio(self) -> float:

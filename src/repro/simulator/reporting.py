@@ -48,6 +48,9 @@ def metrics_to_dict(metrics: RunMetrics) -> dict:
         "per_node_hit_ratio": list(metrics.per_node_hit_ratio),
         "mean_node_hit_ratio": metrics.mean_node_hit_ratio,
         "control_plane": metrics.control_plane,
+        # Multi-tenant identity (None / 0.0 for standalone runs).
+        "app_id": metrics.app_id,
+        "arrival_time": metrics.arrival_time,
         "control": {
             "sent": metrics.control.sent,
             "delivered": metrics.control.delivered,
@@ -111,6 +114,8 @@ def metrics_from_dict(data: dict) -> RunMetrics:
         failure_lost_blocks=data["failure_lost_blocks"],
         control_plane=data.get("control_plane", "instant"),
         control=control,
+        app_id=data.get("app_id"),
+        arrival_time=data.get("arrival_time", 0.0),
     )
 
 

@@ -19,7 +19,7 @@ the labels used across ``docs/policies.md`` and EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
 from repro.core.app_profiler import ProfileStore
@@ -171,6 +171,19 @@ def resolve_scheme(value: SchemeLike) -> SchemeSpec:
     if isinstance(value, dict):
         return SchemeSpec.from_dict(value)
     raise ValueError(f"cannot resolve scheme from {type(value).__name__}")
+
+
+def resolve_scheme_mix(values: Iterable[SchemeLike]) -> tuple[SchemeSpec, ...]:
+    """Resolve a scheme *mix* (one entry per concurrent application).
+
+    The multi-tenant CLI takes ``--schemes LRU,MRD`` and cycles the mix
+    over the submitted applications; this resolves every entry eagerly
+    so an unknown name fails before any simulation starts.
+    """
+    specs = tuple(resolve_scheme(v) for v in values)
+    if not specs:
+        raise ValueError("a scheme mix needs at least one scheme")
+    return specs
 
 
 def maybe_resolve_scheme(value: object) -> SchemeSpec | None:

@@ -1,0 +1,113 @@
+"""Aggregate metrics of one multi-tenant run.
+
+Per-application quantities stay in each app's
+:class:`~repro.simulator.metrics.RunMetrics` (with ``app_id`` and
+``arrival_time`` stamped by the tenancy engine; ``jct`` is the app's
+*sojourn*, completion minus arrival).  This module adds the cluster-
+level aggregates the load experiments report — aggregate hit ratio,
+JCT percentiles, makespan — plus a lossless dict round trip mirroring
+``repro.simulator.reporting``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.reporting import metrics_from_dict, metrics_to_dict
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (inclusive), 0.0 for an empty list.
+
+    ``q`` is in (0, 100]; the nearest-rank definition returns an actual
+    observed value (no interpolation), which keeps percentile tables
+    bit-stable across platforms.
+    """
+    if not 0 < q <= 100:
+        raise ValueError("q must be in (0, 100]")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class MultiTenantMetrics:
+    """Everything measured over one multi-tenant simulation."""
+
+    #: Arbitration policy name the shared nodes ran under.
+    arbitration: str
+    #: Arrival process name that streamed the applications in.
+    arrival_process: str
+    #: Completion time of the last application (simulated seconds).
+    makespan: float
+    #: Per-application metrics in application-index order; each entry
+    #: carries ``app_id``, ``arrival_time`` and sojourn ``jct``.
+    apps: tuple[RunMetrics, ...]
+
+    # ------------------------------------------------------------------
+    @property
+    def jcts(self) -> list[float]:
+        return [m.jct for m in self.apps]
+
+    @property
+    def jct_p50(self) -> float:
+        return percentile(self.jcts, 50)
+
+    @property
+    def jct_p99(self) -> float:
+        return percentile(self.jcts, 99)
+
+    @property
+    def mean_jct(self) -> float:
+        if not self.apps:
+            return 0.0
+        return sum(self.jcts) / len(self.apps)
+
+    @property
+    def aggregate_hit_ratio(self) -> float:
+        """Cluster-wide hit fraction: all hits over all cached reads."""
+        hits = sum(m.stats.hits for m in self.apps)
+        accesses = sum(m.stats.accesses for m in self.apps)
+        return hits / accesses if accesses else 0.0
+
+    @property
+    def total_evictions(self) -> int:
+        return sum(m.stats.evictions for m in self.apps)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.apps)} apps under {self.arbitration}/"
+            f"{self.arrival_process} | makespan {self.makespan:.2f}s | "
+            f"JCT p50 {self.jct_p50:.2f}s p99 {self.jct_p99:.2f}s | "
+            f"hit {self.aggregate_hit_ratio * 100:.1f}% | "
+            f"evictions {self.total_evictions}"
+        )
+
+
+def mt_metrics_to_dict(metrics: MultiTenantMetrics) -> dict:
+    """Flatten a multi-tenant run into JSON-serializable primitives.
+
+    Aggregates that are derivable (percentiles, hit ratio) are not
+    stored — :func:`mt_metrics_from_dict` recomputes them, keeping the
+    round trip lossless by construction.
+    """
+    return {
+        "arbitration": metrics.arbitration,
+        "arrival_process": metrics.arrival_process,
+        "makespan": metrics.makespan,
+        "apps": [metrics_to_dict(m) for m in metrics.apps],
+    }
+
+
+def mt_metrics_from_dict(data: dict) -> MultiTenantMetrics:
+    """Rebuild a :class:`MultiTenantMetrics` from its dict form."""
+    return MultiTenantMetrics(
+        arbitration=data["arbitration"],
+        arrival_process=data["arrival_process"],
+        makespan=data["makespan"],
+        apps=tuple(metrics_from_dict(m) for m in data["apps"]),
+    )

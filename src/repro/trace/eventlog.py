@@ -255,8 +255,8 @@ class _DagReconstructor:
                     old.disk_size_bytes = max(old.disk_size_bytes, rdd.disk_size_bytes)
 
     # ------------------------------------------------------------------
-    def build(self) -> tuple[SparkApplication, dict[int, int]]:
-        ctx = SparkContext(self.app_name)
+    def build(self, first_rdd_id: int = 0) -> tuple[SparkApplication, dict[int, int]]:
+        ctx = SparkContext(self.app_name, first_rdd_id=first_rdd_id)
         mapping: dict[int, int] = {}
         rdds: dict[int, RDD] = {}
         for spark_id in sorted(self.rdd_infos):
@@ -388,11 +388,15 @@ class _DagReconstructor:
                 rdds[rid].compute_cost = per_rdd
 
 
-def ingest_eventlog(path: str | Path) -> IngestedTrace:
-    """Parse a Spark event log and compile it into an application DAG."""
+def ingest_eventlog(path: str | Path, first_rdd_id: int = 0) -> IngestedTrace:
+    """Parse a Spark event log and compile it into an application DAG.
+
+    ``first_rdd_id`` offsets the remapped RDD ids (multi-tenant
+    namespacing), exactly like :class:`SparkContext`'s parameter.
+    """
     collected = _LogCollector(path).collect()
     reconstructor = _DagReconstructor(collected, collected.app_name)
-    application, mapping = reconstructor.build()
+    application, mapping = reconstructor.build(first_rdd_id)
     dag = build_dag(application)
     return IngestedTrace(
         app_name=reconstructor.app_name,

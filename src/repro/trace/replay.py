@@ -291,10 +291,10 @@ class TraceWorkloadSpec(WorkloadSpec):
 
     eventlog_path: str = ""
 
-    def build(self, params: WorkloadParams | None = None):
+    def build(self, params: WorkloadParams | None = None, first_rdd_id: int = 0):
         if not self.eventlog_path:
             raise ValueError("TraceWorkloadSpec requires eventlog_path")
-        return ingest_eventlog(self.eventlog_path).application
+        return ingest_eventlog(self.eventlog_path, first_rdd_id=first_rdd_id).application
 
 
 def workload_from_eventlog(

@@ -68,10 +68,16 @@ class WorkloadSpec:
     #: which the paper calls out in §5.9.)
     iterations_effective: bool = True
 
-    def build(self, params: WorkloadParams | None = None) -> SparkApplication:
-        """Record the workload program into a fresh application."""
+    def build(
+        self, params: WorkloadParams | None = None, first_rdd_id: int = 0
+    ) -> SparkApplication:
+        """Record the workload program into a fresh application.
+
+        ``first_rdd_id`` offsets the recording's rdd-id namespace (the
+        multi-tenant layer gives each concurrent app a disjoint range).
+        """
         params = params or WorkloadParams()
-        ctx = SparkContext(self.name)
+        ctx = SparkContext(self.name, first_rdd_id=first_rdd_id)
         self.builder(ctx, params)
         if not ctx.jobs:
             raise RuntimeError(f"workload {self.name} recorded no jobs")

@@ -96,15 +96,17 @@ def get_workload(name: str) -> WorkloadSpec:
 def build_workload(
     name: str,
     params: WorkloadParams | None = None,
+    first_rdd_id: int = 0,
     **kwargs,
 ) -> SparkApplication:
     """Build an application for workload ``name``.
 
     Keyword arguments are forwarded to :class:`WorkloadParams` when no
     explicit ``params`` is given (``scale=``, ``iterations=``,
-    ``partitions=``, ``seed=``).
+    ``partitions=``, ``seed=``).  ``first_rdd_id`` offsets the rdd-id
+    namespace (multi-tenant builds).
     """
     if params is not None and kwargs:
         raise TypeError("pass either params or keyword overrides, not both")
     spec = get_workload(name)
-    return spec.build(params or WorkloadParams(**kwargs))
+    return spec.build(params or WorkloadParams(**kwargs), first_rdd_id=first_rdd_id)

@@ -15,6 +15,7 @@ from repro.experiments import (
     fig10,
     fig11_12,
     fig_control_latency,
+    fig_load,
     table1,
     table3,
 )
@@ -208,6 +209,44 @@ class TestControlLatency:
     def test_render(self, rows):
         text = fig_control_latency.render(rows)
         assert "Control-plane latency" in text and "vs instant" in text
+
+
+class TestFigLoad:
+    KWARGS = dict(
+        rates=(0.05, 0.25), schemes=("LRU", "MRD"), num_apps=3
+    )
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig_load.run(**self.KWARGS)
+
+    def test_grid_shape(self, rows):
+        # 2 rates x 2 schemes x 3 arbitrations, one row per cell.
+        assert len(rows) == 12
+        assert {(r.rate, r.scheme) for r in rows} == {
+            (0.05, "LRU"), (0.05, "MRD"), (0.25, "LRU"), (0.25, "MRD"),
+        }
+        assert all(r.num_apps == 3 for r in rows)
+
+    def test_deterministic_rerun(self, rows):
+        assert fig_load.run(**self.KWARGS) == rows
+
+    def test_sojourns_ordered_and_positive(self, rows):
+        for r in rows:
+            assert 0 < r.jct_p50 <= r.jct_p99
+            assert r.makespan >= r.jct_p99
+            assert 0.0 <= r.hit_ratio <= 1.0
+
+    def test_mrd_beats_lru_on_hits(self, rows):
+        by_cell = {(r.rate, r.scheme, r.arbitration): r for r in rows}
+        for rate in (0.05, 0.25):
+            for arb in ("static", "maxmin", "global-mrd"):
+                assert by_cell[rate, "MRD", arb].hit_ratio >= \
+                    by_cell[rate, "LRU", arb].hit_ratio
+
+    def test_render(self, rows):
+        text = fig_load.render(rows)
+        assert "Offered load" in text and "global-mrd" in text
 
 
 class TestCorrelations:

@@ -64,6 +64,66 @@ class TestDict:
         assert rebuilt.control.sent == m.control.sent
         assert rebuilt.control.mean_order_delay == m.control.mean_order_delay
 
+    def test_round_trip_preserves_tenancy_fields(self, metrics):
+        # Standalone runs: app_id None, arrival_time 0.0 — and the pair
+        # must survive the dict hop unchanged.
+        assert metrics.app_id is None
+        payload = json.loads(json.dumps(metrics_to_dict(metrics)))
+        rebuilt = metrics_from_dict(payload)
+        assert rebuilt.app_id is None
+        assert rebuilt.arrival_time == 0.0
+
+
+class TestMultiTenantDict:
+    """mt_metrics_to_dict/from_dict are a lossless inverse pair."""
+
+    @pytest.fixture(scope="class")
+    def mt_metrics(self):
+        from repro.simulator.config import CLUSTERS
+        from repro.tenancy import AppSpec, MultiTenantSimulator, PoissonArrivals
+
+        apps = [
+            AppSpec(workload="KM", scheme="MRD", partitions=8, share=2.0),
+            AppSpec(workload="PR", scheme="LRU", partitions=8),
+        ]
+        return MultiTenantSimulator(
+            apps,
+            CLUSTERS["main"].with_cache(60.0),
+            arrivals=PoissonArrivals(rate=0.1, seed=3),
+            arbitration="global-mrd",
+        ).run()
+
+    def test_json_round_trip_is_lossless(self, mt_metrics):
+        from repro.tenancy import mt_metrics_from_dict, mt_metrics_to_dict
+
+        d = mt_metrics_to_dict(mt_metrics)
+        assert json.loads(json.dumps(d)) == d
+        rebuilt = mt_metrics_from_dict(json.loads(json.dumps(d)))
+        assert mt_metrics_to_dict(rebuilt) == d
+        assert rebuilt == mt_metrics
+
+    def test_per_app_fields_survive(self, mt_metrics):
+        from repro.tenancy import mt_metrics_from_dict, mt_metrics_to_dict
+
+        rebuilt = mt_metrics_from_dict(mt_metrics_to_dict(mt_metrics))
+        assert [m.app_id for m in rebuilt.apps] == [0, 1]
+        assert [m.arrival_time for m in rebuilt.apps] == \
+            [m.arrival_time for m in mt_metrics.apps]
+        assert rebuilt.arbitration == "global-mrd"
+        assert rebuilt.arrival_process == "poisson"
+        assert rebuilt.makespan == mt_metrics.makespan
+
+    def test_aggregates_recomputed_not_stored(self, mt_metrics):
+        from repro.tenancy import mt_metrics_from_dict, mt_metrics_to_dict
+
+        d = mt_metrics_to_dict(mt_metrics)
+        assert "jct_p50" not in d and "aggregate_hit_ratio" not in d
+        rebuilt = mt_metrics_from_dict(d)
+        assert rebuilt.jct_p50 == mt_metrics.jct_p50
+        assert rebuilt.jct_p99 == mt_metrics.jct_p99
+        assert rebuilt.aggregate_hit_ratio == mt_metrics.aggregate_hit_ratio
+        assert rebuilt.total_evictions == mt_metrics.total_evictions
+
 
 class TestFiles:
     def test_json_roundtrip(self, metrics, tmp_path):

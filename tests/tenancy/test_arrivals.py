@@ -1,0 +1,108 @@
+"""Arrival processes: determinism, monotonicity, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tenancy.arrivals import (
+    ARRIVAL_KINDS,
+    EmpiricalArrivals,
+    FixedArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    build_arrivals,
+)
+
+ALL_PROCESSES = [
+    FixedArrivals(interval=5.0, start=2.0),
+    PoissonArrivals(rate=0.2, seed=11),
+    TraceArrivals([1.0, 3.0, 0.5]),
+    EmpiricalArrivals([1.0, 3.0, 0.5], seed=4),
+]
+
+
+@pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: p.name)
+class TestContract:
+    def test_same_call_twice_is_identical(self, process):
+        assert process.times(20) == process.times(20)
+
+    def test_prefix_stable(self, process):
+        # Drawing more arrivals never changes the earlier ones.
+        assert process.times(20)[:7] == process.times(7)
+
+    def test_non_decreasing_and_non_negative(self, process):
+        times = process.times(50)
+        assert all(t >= 0 for t in times)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_zero_and_negative_n(self, process):
+        assert process.times(0) == []
+        with pytest.raises(ValueError):
+            process.times(-1)
+
+
+class TestFixed:
+    def test_default_is_all_at_once(self):
+        assert FixedArrivals().times(3) == [0.0, 0.0, 0.0]
+
+    def test_spacing(self):
+        assert FixedArrivals(interval=2.0, start=1.0).times(3) == [1.0, 3.0, 5.0]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedArrivals(interval=-1.0)
+        with pytest.raises(ValueError):
+            FixedArrivals(start=-1.0)
+
+
+class TestPoisson:
+    def test_seed_changes_times(self):
+        a = PoissonArrivals(rate=0.5, seed=0).times(10)
+        b = PoissonArrivals(rate=0.5, seed=1).times(10)
+        assert a != b
+
+    def test_rate_scales_mean_gap(self):
+        slow = PoissonArrivals(rate=0.1, seed=0).times(200)
+        fast = PoissonArrivals(rate=1.0, seed=0).times(200)
+        assert slow[-1] == pytest.approx(fast[-1] * 10)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=0.0)
+
+
+class TestTrace:
+    def test_cycles_when_short(self):
+        times = TraceArrivals([1.0, 2.0]).times(5)
+        assert times == [1.0, 3.0, 4.0, 6.0, 7.0]
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            TraceArrivals([])
+        with pytest.raises(ValueError):
+            TraceArrivals([1.0, -0.5])
+
+
+class TestEmpirical:
+    def test_gaps_drawn_from_trace(self):
+        gaps = [1.0, 3.0]
+        times = EmpiricalArrivals(gaps, seed=2).times(30)
+        drawn = [b - a for a, b in zip([0.0] + times, times)]
+        assert set(round(g, 9) for g in drawn) <= {1.0, 3.0}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EmpiricalArrivals([])
+
+
+class TestBuilder:
+    def test_builds_every_kind(self):
+        assert build_arrivals("fixed", interval=1.0).name == "fixed"
+        assert build_arrivals("poisson", rate=0.5).name == "poisson"
+        assert build_arrivals("trace", interarrivals=[1.0]).name == "trace"
+        assert build_arrivals("empirical", interarrivals=[1.0]).name == "empirical"
+        assert set(ARRIVAL_KINDS) == {"fixed", "poisson", "trace", "empirical"}
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown arrival kind"):
+            build_arrivals("weibull")

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.core",
     "repro.control",
     "repro.simulator",
+    "repro.tenancy",
     "repro.workloads",
     "repro.experiments",
 ]
