@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.cluster.cluster import ClusterConfig
+from repro.cluster.memory_store import store_mode
 from repro.core.policy import MrdScheme
 from repro.dag.dag_builder import ApplicationDAG, build_dag
 from repro.policies.scheme import CacheScheme, LruScheme
@@ -144,15 +145,22 @@ def _time_run(
     scheme_factory: Callable[[], CacheScheme],
     scheduler: str,
     repeats: int,
+    columnar: bool = True,
 ) -> tuple[float, RunMetrics]:
-    """Best-of-``repeats`` wall-clock seconds plus the run's metrics."""
+    """Best-of-``repeats`` wall-clock seconds plus the run's metrics.
+
+    ``columnar=False`` runs the same workload on object-based stores
+    (the per-object reference spec), so the payload also tracks what
+    the columnar hot path buys over it.
+    """
     best = float("inf")
     metrics: RunMetrics | None = None
     for _ in range(repeats):
-        sim = SparkSimulator(dag, cluster, scheme_factory(), scheduler=scheduler)
-        t0 = time.perf_counter()
-        metrics = sim.run()
-        best = min(best, time.perf_counter() - t0)
+        with store_mode(columnar):
+            sim = SparkSimulator(dag, cluster, scheme_factory(), scheduler=scheduler)
+            t0 = time.perf_counter()
+            metrics = sim.run()
+            best = min(best, time.perf_counter() - t0)
     assert metrics is not None
     return best, metrics
 
@@ -174,7 +182,7 @@ def run_engine_bench(
     cluster = config.cluster()
     payload: dict = {
         "bench": "engine",
-        "version": 1,
+        "version": 2,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "config": {
@@ -199,18 +207,26 @@ def run_engine_bench(
             cluster.with_cache(override) if override is not None else cluster
         )
         for scheme_name, factory in BENCH_SCHEMES.items():
-            seconds: dict[str, float] = {}
-            fingerprints: dict[str, tuple] = {}
-            for scheduler in schedulers:
+            seconds: dict[tuple[str, str], float] = {}
+            fingerprints: dict[tuple[str, str], tuple] = {}
+            # Columnar legs for every scheduling core, plus one
+            # object-store event leg so the payload also tracks what the
+            # columnar hot path buys over the per-object reference spec.
+            legs = [(scheduler, "columnar") for scheduler in schedulers]
+            if include_reference:
+                legs.append(("event", "object"))
+            for scheduler, store in legs:
                 secs, metrics = _time_run(
-                    dag, profile_cluster, factory, scheduler, config.repeats
+                    dag, profile_cluster, factory, scheduler, config.repeats,
+                    columnar=store == "columnar",
                 )
-                seconds[scheduler] = secs
-                fingerprints[scheduler] = _metrics_fingerprint(metrics)
+                seconds[(scheduler, store)] = secs
+                fingerprints[(scheduler, store)] = _metrics_fingerprint(metrics)
                 payload["runs"].append({
                     "profile": profile,
                     "scheme": scheme_name,
                     "scheduler": scheduler,
+                    "store": store,
                     "cache_mb_per_node": profile_cluster.cache_mb_per_node,
                     "tasks": tasks,
                     "stages": dag.num_active_stages,
@@ -222,11 +238,15 @@ def run_engine_bench(
                     "evictions": metrics.stats.evictions,
                     "prefetches_issued": metrics.stats.prefetches_issued,
                 })
-            if "reference" in seconds:
-                identical = fingerprints["event"] == fingerprints["reference"]
+            if include_reference:
+                # Every leg — both cores, both store modes — must agree.
+                identical = len(set(fingerprints.values())) == 1
                 payload["metrics_identical"] &= identical
                 payload["speedup"][f"{profile}/{scheme_name}"] = (
-                    seconds["reference"] / seconds["event"]
+                    seconds[("reference", "columnar")] / seconds[("event", "columnar")]
+                )
+                payload["speedup"][f"{profile}/{scheme_name}/columnar"] = (
+                    seconds[("event", "object")] / seconds[("event", "columnar")]
                 )
     return payload
 
@@ -239,16 +259,18 @@ def render_bench(payload: dict) -> str:
         f">={payload['config']['min_tasks']} tasks, "
         f"best of {payload['config']['repeats']} "
         f"(py{payload.get('python', '?')})",
-        f"{'profile':<8} {'scheme':<6} {'scheduler':<10} "
+        f"{'profile':<8} {'scheme':<6} {'scheduler':<10} {'store':<8} "
         f"{'tasks':>6} {'seconds':>9} {'tasks/s':>10}",
     ]
     for run in payload["runs"]:
         lines.append(
             f"{run['profile']:<8} {run['scheme']:<6} {run['scheduler']:<10} "
+            f"{run.get('store', 'columnar'):<8} "
             f"{run['tasks']:>6d} {run['seconds']:>9.4f} {run['tasks_per_s']:>10,.0f}"
         )
     for key, speedup in payload.get("speedup", {}).items():
-        lines.append(f"speedup {key}: {speedup:.2f}x (reference/event)")
+        what = "object/columnar" if key.endswith("/columnar") else "reference/event"
+        lines.append(f"speedup {key}: {speedup:.2f}x ({what})")
     if payload.get("speedup"):
         lines.append(
             "metrics identical across schedulers: "
@@ -284,6 +306,11 @@ def check_against_baseline(
     cur_speedups = payload.get("speedup") or {}
     if base_speedups and cur_speedups:
         for key, base in base_speedups.items():
+            # ``.../columnar`` keys compare the two *store modes* of the
+            # event core — a diagnostic hovering around 1x whose noise
+            # at smoke sizes says nothing about scheduler regressions.
+            if key.endswith("/columnar"):
+                continue
             current = cur_speedups.get(key)
             if current is None or base <= 0:
                 continue
@@ -297,9 +324,12 @@ def check_against_baseline(
             (run["profile"], run["scheme"]): run["tasks_per_s"]
             for run in baseline.get("runs", [])
             if run["scheduler"] == "event"
+            and run.get("store", "columnar") == "columnar"
         }
         for run in payload["runs"]:
             if run["scheduler"] != "event":
+                continue
+            if run.get("store", "columnar") != "columnar":
                 continue
             base = base_rates.get((run["profile"], run["scheme"]))
             if not base:

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.cluster.block import Block, BlockId
 from repro.cluster.node import WorkerNode
-from repro.trace.events import CacheHit, CacheMiss, Eviction
+from repro.trace.events import CacheHit, CacheMiss, Eviction, PrefetchCancel
 from repro.trace.recorder import NULL_RECORDER, TraceRecorder
 
 
@@ -76,6 +76,11 @@ class BlockManager:
         #: the *owner's* counters.  ``None`` (default) charges ``self``,
         #: as does a router returning ``None`` (unresolvable owner).
         self.eviction_router: Callable[[BlockId], "BlockManager | None"] | None = None
+        #: Resolves an rdd id to its reference distance for trace events
+        #: (installed by the engine per run; per-app under tenancy, so a
+        #: namespaced rdd id is looked up in its *owning* app's table).
+        #: ``None`` falls back to the recorder's run-global hook.
+        self.distance_source: Callable[[int], float | None] | None = None
 
     # ------------------------------------------------------------------
     # reads
@@ -83,8 +88,7 @@ class BlockManager:
     def access(self, block_id: BlockId) -> AccessOutcome:
         """Classify (and account) a cached-block read on this node."""
         rec = self.recorder
-        if block_id in self.node.memory:
-            self.node.memory.get(block_id)
+        if self.node.memory.get(block_id) is not None:
             self.stats.hits += 1
             if block_id in self._prefetched_unread:
                 self._prefetched_unread.discard(block_id)
@@ -140,7 +144,8 @@ class BlockManager:
             self.stats.insertions += 1
         else:
             self.stats.failed_insertions += 1
-        self._account_evictions(result.evicted, cause="insert")
+        if result.evicted:
+            self._account_evictions(result.evicted, cause="insert")
         return result.stored
 
     def promote_from_disk(self, block: Block, protect: frozenset[BlockId] = frozenset(), prefetch: bool = False) -> bool:
@@ -152,7 +157,10 @@ class BlockManager:
         if block.id not in self.node.disk:
             raise KeyError(f"{block.id} not on node {self.node.node_id} disk")
         result = self.node.memory.put(block, protect, prefetch=prefetch)
-        self._account_evictions(result.evicted, cause="prefetch" if prefetch else "promote")
+        if result.evicted:
+            self._account_evictions(
+                result.evicted, cause="prefetch" if prefetch else "promote"
+            )
         if result.stored and prefetch:
             self._prefetched_unread.add(block.id)
             self.stats.prefetched_mb += block.size_mb
@@ -161,8 +169,13 @@ class BlockManager:
     def purge_block(self, block_id: BlockId, drop_disk: bool = False) -> bool:
         """Remove a block (manager-ordered purge, not capacity pressure).
 
+        Also cancels a matching in-flight prefetch: a purged block must
+        not re-enter memory (and be counted as a used prefetch) when an
+        already-issued transfer completes after the purge.
+
         Returns True when a memory-resident copy was actually dropped.
         """
+        self.cancel_inflight(block_id, reason="purged")
         dropped = False
         if block_id in self.node.memory and not self.node.memory.is_pinned(block_id):
             removed = self.node.memory.remove(block_id)
@@ -174,10 +187,32 @@ class BlockManager:
             self.node.disk.remove(block_id)
         return dropped
 
+    def cancel_inflight(self, block_id: BlockId, reason: str = "cancelled") -> bool:
+        """Abandon an in-flight prefetch of ``block_id``, if any.
+
+        The engine's completion-heap entries invalidate lazily (both
+        cores re-check ``inflight_prefetch`` before completing), so
+        dropping the dict entry is sufficient to cancel.
+        """
+        if self.inflight_prefetch.pop(block_id, None) is None:
+            return False
+        rec = self.recorder
+        if rec.enabled:
+            rec.emit(PrefetchCancel(
+                t=rec.now, rdd_id=block_id.rdd_id, partition=block_id.partition,
+                node_id=self.node.node_id, reason=reason,
+            ))
+        return True
+
     def _account_evictions(self, evicted: list[Block], cause: str = "insert") -> None:
         rec = self.recorder
         router = self.eviction_router
         for block in evicted:
+            # The block was resident (and possibly prefetched-unread) on
+            # *this* manager: clear the local bookkeeping first so
+            # ``prefetches_used`` can never be claimed for a block that
+            # is no longer in memory, however the eviction is routed.
+            self._prefetched_unread.discard(block.id)
             owner = self
             if router is not None:
                 routed = router(block.id)
@@ -185,10 +220,19 @@ class BlockManager:
                     owner = routed
             owner.stats.evictions += 1
             owner.stats.evicted_mb += block.size_mb
-            owner._prefetched_unread.discard(block.id)
+            if owner is not self:
+                # Defensive: under per-app managers the owner's view of
+                # the shared node must agree that the block is gone.
+                owner._prefetched_unread.discard(block.id)
             if rec.enabled:
+                src = owner.distance_source
+                distance = (
+                    src(block.id.rdd_id)
+                    if src is not None
+                    else rec.lookup_distance(block.id.rdd_id)
+                )
                 rec.emit(Eviction(
                     t=rec.now, rdd_id=block.id.rdd_id, partition=block.id.partition,
                     node_id=self.node.node_id, size_mb=block.size_mb,
-                    distance=rec.lookup_distance(block.id.rdd_id), cause=cause,
+                    distance=distance, cause=cause,
                 ))

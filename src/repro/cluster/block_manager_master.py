@@ -70,11 +70,19 @@ class BlockManagerMaster:
         """
         mgr = self.managers[node_id]
         node_dropped = 0
-        for bid in [b for b in mgr.node.memory.block_ids() if b.rdd_id == rdd_id]:
-            if not mgr.node.memory.is_pinned(bid) and mgr.purge_block(
-                bid, drop_disk=drop_disk
-            ):
-                node_dropped += 1
+        # Cancel in-flight prefetches of the purged RDD first: a block
+        # only in flight (not yet memory-resident) must not re-enter
+        # memory after the purge.  The memory scan below covers resident
+        # blocks via purge_block's own cancellation.
+        if mgr.inflight_prefetch:
+            for bid in [b for b in mgr.inflight_prefetch if b.rdd_id == rdd_id]:
+                mgr.cancel_inflight(bid, reason="purged")
+        if mgr.node.memory.holds_rdd(rdd_id):
+            for bid in [b for b in mgr.node.memory.block_ids() if b.rdd_id == rdd_id]:
+                if not mgr.node.memory.is_pinned(bid) and mgr.purge_block(
+                    bid, drop_disk=drop_disk
+                ):
+                    node_dropped += 1
         if drop_disk:
             for bid in [b for b in list(mgr.node.disk.block_ids()) if b.rdd_id == rdd_id]:
                 mgr.node.disk.remove(bid)
@@ -98,10 +106,11 @@ class BlockManagerMaster:
         dropped = 0
         for mgr in self.managers:
             memory, disk = mgr.node.memory, mgr.node.disk
-            for bid in [b for b in memory.block_ids() if lo <= b.rdd_id < hi]:
-                if not memory.is_pinned(bid):
-                    memory.remove(bid)
-                    dropped += 1
+            if any(lo <= r < hi for r in memory.resident_rdd_ids()):
+                for bid in [b for b in memory.block_ids() if lo <= b.rdd_id < hi]:
+                    if not memory.is_pinned(bid):
+                        memory.remove(bid)
+                        dropped += 1
             for bid in [b for b in list(disk.block_ids()) if lo <= b.rdd_id < hi]:
                 disk.remove(bid)
         return dropped

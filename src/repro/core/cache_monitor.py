@@ -19,6 +19,7 @@ has to live with.
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_left, insort
 from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -26,7 +27,8 @@ from typing import TYPE_CHECKING
 from repro.cluster.block import Block, BlockId
 from repro.core.manager import MrdManager
 from repro.core.mrd_table import INFINITE
-from repro.policies.base import EvictionPolicy
+from repro.policies.base import BATCH_UNSUPPORTED, BatchUnsupported, EvictionPolicy
+from repro.policies.vectorized import select_block_victims
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.memory_store import MemoryStore
@@ -113,6 +115,19 @@ class CacheMonitor(MrdTableView, EvictionPolicy):
         self._last_touch: dict[BlockId, int] = {}
         #: Block sizes observed at insertion (for the "size" rule).
         self._sizes: dict[BlockId, float] = {}
+        #: Key column lags the distance view until the first batch
+        #: selection (and again after each accepted broadcast) refreshes
+        #: it — per-insert key writes only resume once a refresh proved
+        #: the column is actually consulted.
+        self._keys_dirty = True
+        #: Incrementally maintained eviction order: ``(evict_key, id)``
+        #: tuples, sorted, covering exactly the blocks this monitor
+        #: manages.  ``_evict_key`` contains *no recency term*, so the
+        #: order only changes on insert/remove (maintained by binary
+        #: insertion/deletion) and on an accepted table broadcast (full
+        #: invalidation) — selections walk it in O(victims) instead of
+        #: re-sorting the store.  ``None`` = rebuild on next selection.
+        self._order: list[tuple[tuple[float, float, int, int], BlockId]] | None = None
 
     def _live_distance(self, rdd_id: int) -> float:
         return self.manager.distance(rdd_id)
@@ -120,11 +135,50 @@ class CacheMonitor(MrdTableView, EvictionPolicy):
     def on_insert(self, block: Block) -> None:
         self._last_touch[block.id] = next(self._touch)
         self._sizes[block.id] = block.size_mb
+        if self._store is not None and not self._keys_dirty:
+            self._store.set_key(block.id, -self.lookup_distance(block.id.rdd_id))
+        if self._order is not None:
+            insort(self._order, (self._evict_key(block.id), block.id))
 
     def on_access(self, block: Block) -> None:
         self._last_touch[block.id] = next(self._touch)
 
+    def on_table_update(self, seq: int, distances: Mapping[int, float]) -> bool:
+        applied = super().on_table_update(seq, distances)
+        if applied:
+            self._keys_dirty = True
+            self._order = None
+        return applied
+
+    def _refresh_keys(self) -> None:
+        """Rewrite this monitor's key-column entries from the held view.
+
+        Iterates only the blocks this monitor manages (``_sizes``), so
+        co-tenant rows on a shared columnar store are never touched.
+        """
+        store = self._store
+        assert store is not None
+        self._keys_dirty = False
+        keys: dict[int, float] = {}
+        for bid in self._sizes:
+            key = keys.get(bid.rdd_id)
+            if key is None:
+                key = -self.lookup_distance(bid.rdd_id)
+                keys[bid.rdd_id] = key
+            store.set_key(bid, key)
+
     def on_remove(self, block_id: BlockId) -> None:
+        order = self._order
+        if order is not None:
+            # Key recomputation is exact: the held view cannot have
+            # changed since the entry was inserted (an accepted update
+            # clears the order) and ``_sizes`` is popped only below.
+            entry = (self._evict_key(block_id), block_id)
+            i = bisect_left(order, entry)
+            if i < len(order) and order[i] == entry:
+                del order[i]
+            else:  # pragma: no cover - defensive: untracked removal
+                self._order = None
         self._last_touch.pop(block_id, None)
         self._sizes.pop(block_id, None)
 
@@ -156,6 +210,75 @@ class CacheMonitor(MrdTableView, EvictionPolicy):
         else:  # "partition"
             tie = 0.0
         return (-dist, tie, -bid.partition, -bid.rdd_id)
+
+    def select_victims(
+        self,
+        store: MemoryStore,
+        needed_mb: float,
+        protect: frozenset[BlockId] = frozenset(),
+        for_prefetch: bool = False,
+    ) -> list[BlockId] | None:
+        """Walk the incrementally maintained order instead of sorting.
+
+        Engages only with a bound columnar store *and* a delivered table
+        snapshot (live manager distances can drift without notice), and
+        only when the maintained order covers exactly the blocks of the
+        store being asked about — anything else falls back to the base
+        batch-then-reference path.  Prefetch selections share the demand
+        order (this policy defines no separate prefetch order).
+        """
+        if self._store is None or self._distances is None:
+            return super().select_victims(store, needed_mb, protect, for_prefetch)
+        order = self._order
+        if order is None:
+            order = self._order = sorted(
+                (self._evict_key(bid), bid) for bid in self._sizes
+            )
+        if len(order) != len(store):
+            return super().select_victims(store, needed_mb, protect, for_prefetch)
+        victims: list[BlockId] = []
+        freed = 0.0
+        is_pinned = store.is_pinned
+        block = store.block
+        for _, bid in order:
+            if freed >= needed_mb:
+                break
+            if bid in protect or is_pinned(bid):
+                continue
+            victims.append(bid)
+            freed += block(bid).size_mb
+        if freed >= needed_mb:
+            return victims
+        return None
+
+    def select_victims_batch(
+        self,
+        store: MemoryStore,
+        needed_mb: float,
+        protect: frozenset[BlockId] = frozenset(),
+        for_prefetch: bool = False,
+    ) -> list[BlockId] | None | BatchUnsupported:
+        st = self._store
+        if st is None or st is not store or self._distances is None:
+            # No delivered table snapshot: distances come live from the
+            # shared manager and can drift without a broadcast to dirty
+            # the key column, so only the object walk is safe.
+            return BATCH_UNSUPPORTED
+        st.ensure_columns()
+        if self._keys_dirty:
+            self._refresh_keys()
+        cols = st.columns()
+        # Primary: negated distance (largest distance first).  Tie
+        # columns mirror ``_evict_key``'s tail, ending in the id
+        # columns so the composite order is total.
+        ties: tuple
+        if self.tie_breaker == "size":
+            ties = (-cols.rdd, -cols.part, -cols.size)
+        elif self.tie_breaker == "creation":
+            ties = (-cols.part, -cols.rdd)
+        else:  # "partition"
+            ties = (-cols.rdd, -cols.part)
+        return select_block_victims(st, cols, needed_mb, protect, cols.key, ties)
 
     def report_cache_status(
         self, store: MemoryStore, hit_ratio: float | None

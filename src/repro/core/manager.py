@@ -262,22 +262,33 @@ class MrdManager:
             m.node.node_id: self._worst_cached_distance(m) for m in master.managers
         }
         orders: list[Block] = []
+        managers = master.managers
+        num_nodes = master.num_nodes
+        per_node_cap = cfg.max_prefetch_per_node
+        max_total = per_node_cap * num_nodes
+        issued_total = 0
         for dist, rdd_id in self.table.candidates_by_distance():
+            if issued_total >= max_total:
+                # Every node is at its per-node cap (the total only
+                # reaches num_nodes * cap when each node contributed
+                # exactly cap): no later candidate can be issued.
+                break
             if rdd_id not in self._materialized:
                 continue
             rdd = rdd_by_id(rdd_id)
+            size_mb = rdd.partition_size_mb
+            rdd_name = rdd.name
             for p in range(rdd.num_partitions):
-                bid = BlockId(rdd_id, p)
-                mgr = master.manager_for(bid)
-                node_id = mgr.node.node_id
-                if issued[node_id] >= cfg.max_prefetch_per_node:
+                node_id = p % num_nodes
+                if issued[node_id] >= per_node_cap:
                     continue
+                bid = BlockId(rdd_id, p)
+                mgr = managers[node_id]
                 if bid in mgr.node.memory or bid in mgr.inflight_prefetch:
                     continue
                 if bid not in mgr.node.disk:
                     continue
-                block = Block(id=bid, size_mb=rdd.partition_size_mb, rdd_name=rdd.name)
-                fits = block.size_mb <= free[node_id]
+                fits = size_mb <= free[node_id]
                 cap = capacity[node_id]
                 above_threshold = cap > 0 and free[node_id] / cap >= threshold
                 if not fits:
@@ -294,16 +305,16 @@ class MrdManager:
                         # CacheMonitor's local memory-pressure decision.
                         if worst_resident[node_id] <= dist:
                             continue
-                orders.append(block)
+                orders.append(Block(id=bid, size_mb=size_mb, rdd_name=rdd_name))
                 issued[node_id] += 1
-                free[node_id] = max(0.0, free[node_id] - block.size_mb)
+                issued_total += 1
+                free[node_id] = max(0.0, free[node_id] - size_mb)
         return orders
 
     def _worst_cached_distance(self, mgr) -> float:
+        known = self._known_rdds
         return self.table.worst_distance(
-            bid.rdd_id
-            for bid in mgr.node.memory.block_ids()
-            if bid.rdd_id in self._known_rdds
+            r for r in mgr.node.memory.resident_rdd_ids() if r in known
         )
 
     # ------------------------------------------------------------------

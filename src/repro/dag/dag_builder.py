@@ -22,7 +22,7 @@ The algorithm mirrors Spark's ``DAGScheduler``:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.dag.context import SparkApplication
 from repro.dag.rdd import NarrowDependency, RDD, ShuffleDependency
@@ -43,6 +43,11 @@ class ApplicationDAG:
     stages: list[Stage]
     active_stages: list[Stage]
     profiles: dict[int, RddReferenceProfile]
+    #: Engine-owned cache of compiled per-stage task plans, keyed by
+    #: ``(stage seq, num_nodes)``.  Derived data only — excluded from
+    #: equality and repr; reused across simulator instances so repeated
+    #: runs of one DAG (benchmarks, sweeps) skip replanning.
+    engine_plans: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def num_jobs(self) -> int:

@@ -23,11 +23,42 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.memory_store import MemoryStore
 
 
+class BatchUnsupported:
+    """Sentinel: the policy cannot answer this selection in batch.
+
+    Distinct from ``None`` (a *refusal*: the evictable blocks cannot
+    cover the request) — receiving this sentinel means the caller must
+    fall back to the per-object reference walk.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "BATCH_UNSUPPORTED"
+
+
+#: Shared sentinel returned by :meth:`EvictionPolicy.select_victims_batch`.
+BATCH_UNSUPPORTED = BatchUnsupported()
+
+
 class EvictionPolicy(abc.ABC):
     """Ranks cached blocks for eviction on a single node."""
 
     #: Human-readable policy name used in reports and figures.
     name: str = "base"
+
+    #: Columnar store this policy keeps key columns on (None = object path).
+    _store: MemoryStore | None = None
+
+    def bind_store(self, store: MemoryStore) -> None:
+        """The store this policy manages was constructed.
+
+        Vectorized policies remember columnar stores so their
+        ``on_insert``/``on_access`` hooks can maintain the store's key
+        columns; a non-columnar store leaves the policy on the
+        per-object reference path.
+        """
+        self._store = store if store.columnar else None
 
     @abc.abstractmethod
     def on_insert(self, block: Block) -> None:
@@ -106,6 +137,29 @@ class EvictionPolicy(abc.ABC):
         enough space is accumulated.  Returns ``None`` when the
         evictable blocks cannot cover the request (the caller then
         refuses the insertion, like Spark's ``MemoryStore``).
+
+        Policies that maintain key columns on a columnar store answer
+        via :meth:`select_victims_batch` first; this walk is the
+        executable reference spec the batch path must match
+        byte-for-byte, and the fallback whenever batching is
+        unsupported for the given store.
+        """
+        batched = self.select_victims_batch(store, needed_mb, protect, for_prefetch)
+        if not isinstance(batched, BatchUnsupported):
+            return batched
+        return self._select_victims_walk(store, needed_mb, protect, for_prefetch)
+
+    def _select_victims_walk(
+        self,
+        store: MemoryStore,
+        needed_mb: float,
+        protect: frozenset[BlockId] = frozenset(),
+        for_prefetch: bool = False,
+    ) -> list[BlockId] | None:
+        """The per-object reference walk, without the batch attempt.
+
+        Policies whose batch path loses to the object sort on small
+        stores call this directly below their engagement threshold.
         """
         order = (
             self.prefetch_eviction_order(store)
@@ -124,6 +178,24 @@ class EvictionPolicy(abc.ABC):
         if freed >= needed_mb:
             return victims
         return None
+
+    def select_victims_batch(
+        self,
+        store: MemoryStore,
+        needed_mb: float,
+        protect: frozenset[BlockId] = frozenset(),
+        for_prefetch: bool = False,
+    ) -> list[BlockId] | None | BatchUnsupported:
+        """Vectorized victim selection over the store's columns.
+
+        Policies with a key column override this to select victims via
+        :mod:`repro.policies.vectorized`; the result must be
+        byte-identical to :meth:`select_victims`'s reference walk.
+        Return :data:`BATCH_UNSUPPORTED` (the default) to fall back to
+        the per-object path — e.g. when ``store`` is not the bound
+        columnar store (a tenant view) or required keys are missing.
+        """
+        return BATCH_UNSUPPORTED
 
 
 PolicyFactory = Callable[[int], EvictionPolicy]

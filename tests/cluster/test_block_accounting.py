@@ -1,0 +1,168 @@
+"""Regression tests for block-accounting fixes.
+
+Three bugs in the manager's bookkeeping, each with the scenario that
+exposed it:
+
+* a purge left the purged block in ``inflight_prefetch``, so an
+  already-issued transfer could re-insert it after the purge;
+* ``_account_evictions`` cleared ``_prefetched_unread`` only on the
+  *routed owner* manager, so on shared clusters the evicting manager
+  could later claim ``prefetches_used`` for a block no longer resident;
+* eviction trace events resolved the victim's distance through the
+  recorder's run-global hook, which under multi-tenancy belongs to a
+  different application than the namespaced rdd id being evicted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.block import Block, BlockId
+from repro.cluster.block_manager import BlockManager
+from repro.cluster.block_manager_master import BlockManagerMaster
+from repro.cluster.network import DiskModel
+from repro.cluster.node import WorkerNode
+from repro.policies.lru import LruPolicy
+from repro.trace.recorder import TraceRecorder
+
+
+def blk(rdd, part, size=10.0):
+    return Block(id=BlockId(rdd, part), size_mb=size)
+
+
+def make_node(capacity=30.0):
+    return WorkerNode(
+        node_id=0, num_slots=2, cache_capacity_mb=capacity,
+        policy=LruPolicy(), disk_model=DiskModel(),
+    )
+
+
+@pytest.fixture
+def mgr():
+    return BlockManager(make_node())
+
+
+class TestPurgeCancelsInflight:
+    def test_purge_block_cancels_matching_inflight(self, mgr):
+        mgr.node.disk.put(blk(3, 0))
+        mgr.inflight_prefetch[BlockId(3, 0)] = 12.5
+        mgr.purge_block(BlockId(3, 0), drop_disk=True)
+        assert BlockId(3, 0) not in mgr.inflight_prefetch
+        assert BlockId(3, 0) not in mgr.node.disk
+
+    def test_purge_block_keeps_unrelated_inflight(self, mgr):
+        mgr.insert_cached(blk(3, 0))
+        mgr.inflight_prefetch[BlockId(4, 1)] = 9.0
+        assert mgr.purge_block(BlockId(3, 0))
+        assert mgr.inflight_prefetch == {BlockId(4, 1): 9.0}
+
+    def test_purge_emits_cancel_event(self, mgr):
+        mgr.recorder = TraceRecorder()
+        mgr.inflight_prefetch[BlockId(3, 0)] = 12.5
+        mgr.purge_block(BlockId(3, 0))
+        (cancel,) = mgr.recorder.of_kind("prefetch_cancel")
+        assert (cancel.rdd_id, cancel.partition) == (3, 0)
+        assert cancel.reason == "purged"
+
+    def test_rdd_purge_cancels_inflight_only_blocks(self):
+        """A block only in flight (not yet resident) must also cancel."""
+        master = BlockManagerMaster([make_node()])
+        mgr = master.managers[0]
+        mgr.node.disk.put(blk(5, 0))
+        mgr.inflight_prefetch[BlockId(5, 0)] = 3.0
+        mgr.inflight_prefetch[BlockId(6, 0)] = 3.0
+        master.purge_rdd(5, drop_disk=True)
+        assert BlockId(5, 0) not in mgr.inflight_prefetch
+        assert BlockId(6, 0) in mgr.inflight_prefetch
+
+    def test_cancel_inflight_reports_whether_cancelled(self, mgr):
+        mgr.inflight_prefetch[BlockId(1, 0)] = 1.0
+        assert mgr.cancel_inflight(BlockId(1, 0))
+        assert not mgr.cancel_inflight(BlockId(1, 0))
+
+
+class TestSharedClusterEvictionAccounting:
+    """Evictions routed to another app's manager on a shared node."""
+
+    def _pair(self):
+        """Two per-app managers over one shared node, router to owner."""
+        node = make_node(capacity=30.0)
+        evictor = BlockManager(node)
+        owner = BlockManager(node)
+        evictor.eviction_router = lambda bid: owner
+        return evictor, owner
+
+    def test_evicting_manager_forgets_prefetched_unread(self):
+        evictor, owner = self._pair()
+        evictor.node.disk.put(blk(0, 0))
+        assert evictor.promote_from_disk(blk(0, 0), prefetch=True)
+        assert BlockId(0, 0) in evictor._prefetched_unread
+        # Fill the store so the next insert evicts the prefetched block.
+        evictor.insert_cached(blk(1, 0))
+        evictor.insert_cached(blk(1, 1))
+        evictor.insert_cached(blk(1, 2))
+        assert BlockId(0, 0) not in evictor.node.memory
+        # Both managers' books are clean, however the eviction routed.
+        assert BlockId(0, 0) not in evictor._prefetched_unread
+        assert BlockId(0, 0) not in owner._prefetched_unread
+        assert evictor.stats.evictions == 0
+        assert owner.stats.evictions == 1
+        assert owner.stats.evicted_mb == pytest.approx(10.0)
+
+    def test_no_phantom_prefetch_use_after_routed_eviction(self):
+        """Re-reading a re-inserted block must not claim the old prefetch."""
+        evictor, owner = self._pair()
+        evictor.node.disk.put(blk(0, 0))
+        evictor.promote_from_disk(blk(0, 0), prefetch=True)
+        for p in range(3):
+            evictor.insert_cached(blk(1, p))
+        # The block comes back through the demand path and is read.
+        evictor.insert_cached(blk(0, 0))
+        evictor.access(BlockId(0, 0))
+        assert evictor.stats.prefetches_used == 0
+        assert owner.stats.prefetches_used == 0
+
+
+class TestEvictionEventDistance:
+    def test_distance_resolved_through_owner_source(self):
+        """The owner's table, not the run-global hook, prices a victim."""
+        node = make_node(capacity=30.0)
+        evictor = BlockManager(node)
+        owner = BlockManager(node)
+        evictor.eviction_router = lambda bid: owner
+        owner.distance_source = {0: 2.0, 1: 7.0}.get
+        rec = TraceRecorder()
+        rec.distance_of = lambda rdd_id: -99.0  # wrong app's table
+        evictor.recorder = rec
+        for p in range(3):
+            evictor.insert_cached(blk(0, p))
+        evictor.insert_cached(blk(1, 0))  # evicts (0, 0)
+        (ev,) = rec.of_kind("eviction")
+        assert (ev.rdd_id, ev.partition) == (0, 0)
+        assert ev.distance == 2.0
+
+    def test_unresolvable_distance_recorded_as_none(self):
+        node = make_node(capacity=30.0)
+        mgr = BlockManager(node)
+        mgr.distance_source = lambda rdd_id: None
+        rec = TraceRecorder()
+        rec.distance_of = lambda rdd_id: -99.0
+        mgr.recorder = rec
+        for p in range(3):
+            mgr.insert_cached(blk(0, p))
+        mgr.insert_cached(blk(1, 0))
+        (ev,) = rec.of_kind("eviction")
+        assert ev.distance is None
+
+    def test_recorder_fallback_without_source(self):
+        """No per-manager source installed: the run-global hook answers."""
+        node = make_node(capacity=30.0)
+        mgr = BlockManager(node)
+        rec = TraceRecorder()
+        rec.distance_of = lambda rdd_id: 4.5
+        mgr.recorder = rec
+        for p in range(3):
+            mgr.insert_cached(blk(0, p))
+        mgr.insert_cached(blk(1, 0))
+        (ev,) = rec.of_kind("eviction")
+        assert ev.distance == 4.5

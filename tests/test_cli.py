@@ -159,8 +159,13 @@ class TestCommands:
         assert main(args + ["-o", str(out_file)]) == 0
         out = capsys.readouterr().out
         assert "speedup" in out and "metrics identical across schedulers: yes" in out
-        # A payload always passes a check against itself.
-        assert main(args + ["--check-baseline", str(out_file)]) == 0
+        # A payload always passes a check against itself: -o writes the
+        # payload, then --check-baseline compares that same payload to
+        # the file just written.  (Re-running the bench against the
+        # first run's file would be a coin flip at this micro size —
+        # sub-millisecond legs make the speedup pure timer noise.)
+        assert main(args + ["-o", str(out_file),
+                            "--check-baseline", str(out_file)]) == 0
         assert "baseline check passed" in capsys.readouterr().out
 
     def test_bench_no_reference_skips_comparison(self, capsys):
