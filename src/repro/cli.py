@@ -24,6 +24,8 @@ import argparse
 import sys
 from collections.abc import Callable, Sequence
 
+from repro.cluster.placement import PLACEMENTS
+from repro.cluster.rebalance import REBALANCES
 from repro.control.plane import CONTROL_PLANES, RpcConfig
 from repro.core.policy import MrdScheme
 from repro.dag.analysis import distance_stats, workload_characteristics
@@ -38,6 +40,7 @@ from repro.experiments import (
     fig10,
     fig11_12,
     fig_control_latency,
+    fig_elastic,
     fig_load,
     table1,
     table3,
@@ -91,6 +94,7 @@ _EXPERIMENTS = {
     "fig10": (fig10.run, fig10.render),
     "fig11_12": (fig11_12.run, fig11_12.render),
     "fig_control_latency": (fig_control_latency.run, fig_control_latency.render),
+    "fig_elastic": (fig_elastic.run, fig_elastic.render),
     "fig_load": (fig_load.run, fig_load.render),
 }
 
@@ -181,11 +185,29 @@ def cmd_run(args: argparse.Namespace) -> int:
         if args.cache_mb is not None
         else cache_mb_for(dag, args.cache_fraction, cluster)
     )
-    metrics = simulate(
-        dag, cluster.with_cache(cache), _make_scheme(args), **_control_kwargs(args)
-    )
+    kwargs = _control_kwargs(args)
+    if args.placement != "stride":
+        kwargs["placement"] = args.placement
+    if args.churn_rate > 0:
+        from repro.simulator.failures import build_churn_plan
+
+        try:
+            kwargs["failure_plan"] = build_churn_plan(
+                len(dag.active_stages), args.churn_rate, args.churn_seed
+            )
+        except ValueError as exc:
+            raise SystemExit(f"bad churn config: {exc}") from exc
+        kwargs["rebalance"] = args.rebalance
+    metrics = simulate(dag, cluster.with_cache(cache), _make_scheme(args), **kwargs)
     print(f"cluster={cluster.name} cache={cache:.1f} MB/node")
     print(metrics.summary())
+    if metrics.nodes_joined or metrics.nodes_decommissioned:
+        print(
+            f"membership +{metrics.nodes_joined}/-{metrics.nodes_decommissioned} "
+            f"migrated={metrics.rebalanced_blocks} blocks "
+            f"({metrics.rebalanced_mb:.1f} MB) "
+            f"dropped={metrics.decommission_dropped_blocks}"
+        )
     if metrics.control_plane != "instant":
         print(f"control[{metrics.control_plane}] {metrics.control.summary()}")
     if args.verbose:
@@ -643,6 +665,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--partitions", type=int, default=None)
     run_p.add_argument("--mode", choices=("recurring", "adhoc"), default="recurring")
     run_p.add_argument("--metric", choices=("stage", "job"), default="stage")
+    run_p.add_argument("--placement", choices=PLACEMENTS, default="stride",
+                       help="partition placement: stride (legacy modulo) or "
+                            "rendezvous (sticky, join-stable)")
+    run_p.add_argument("--churn-rate", type=float, default=0.0,
+                       help="per-stage-boundary probability of a membership "
+                            "event (join/decommission, equal odds)")
+    run_p.add_argument("--churn-seed", type=int, default=0,
+                       help="RNG seed for the churn history")
+    run_p.add_argument("--rebalance", choices=REBALANCES, default="drop",
+                       help="a decommissioned node's cache: drop it, or "
+                            "migrate the lowest-reference-distance blocks")
     _add_control_args(run_p)
     run_p.add_argument("-v", "--verbose", action="store_true")
     run_p.set_defaults(func=cmd_run)

@@ -3,11 +3,25 @@
 from repro.cluster.block import Block, BlockId, block_of, blocks_of
 from repro.cluster.block_manager import AccessOutcome, BlockManager, BlockManagerStats
 from repro.cluster.block_manager_master import BlockManagerMaster
-from repro.cluster.cluster import Cluster, ClusterConfig, build_cluster
+from repro.cluster.cluster import Cluster, ClusterConfig, build_cluster, make_worker
 from repro.cluster.disk_store import DiskStore
 from repro.cluster.memory_store import MemoryStore, PutResult
 from repro.cluster.network import DiskModel, NetworkModel
 from repro.cluster.node import WorkerNode
+from repro.cluster.placement import (
+    PLACEMENTS,
+    PlacementPolicy,
+    RendezvousPlacement,
+    StridePlacement,
+    build_placement,
+)
+from repro.cluster.rebalance import (
+    REBALANCES,
+    DropRebalance,
+    MigrateLowestDistance,
+    RebalancePolicy,
+    build_rebalance,
+)
 
 __all__ = [
     "AccessOutcome",
@@ -20,11 +34,22 @@ __all__ = [
     "ClusterConfig",
     "DiskModel",
     "DiskStore",
+    "DropRebalance",
     "MemoryStore",
+    "MigrateLowestDistance",
     "NetworkModel",
+    "PLACEMENTS",
+    "PlacementPolicy",
     "PutResult",
+    "REBALANCES",
+    "RebalancePolicy",
+    "RendezvousPlacement",
+    "StridePlacement",
     "WorkerNode",
     "block_of",
     "blocks_of",
     "build_cluster",
+    "build_placement",
+    "build_rebalance",
+    "make_worker",
 ]

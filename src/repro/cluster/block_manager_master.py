@@ -1,10 +1,18 @@
-"""Cluster-level block routing and cluster-wide orders.
+"""Cluster-level block routing, membership, and cluster-wide orders.
 
 The master knows which node is *home* for every block (Spark places a
 cached partition on the executor that computed it; we derive placement
-deterministically from the partition index) and fans cluster-wide
-purge orders out to every node's block manager — the paper's
+deterministically from the partition index through a pluggable
+:mod:`~repro.cluster.placement` scheme) and fans cluster-wide purge
+orders out to every node's block manager — the paper's
 ``BlockManagerMaster`` / ``BlockManagerMasterEndpoint`` role.
+
+Membership is dynamic: :meth:`BlockManagerMaster.add_node` and
+:meth:`~BlockManagerMaster.decommission_node` grow and shrink the
+*live* set mid-run, bumping a membership ``epoch`` that plan caches
+key on.  Node ids are positional forever — a decommissioned node's
+slot in ``nodes``/``managers`` stays (its accumulated stats still
+count), it just stops being a placement target.
 """
 
 from __future__ import annotations
@@ -14,35 +22,110 @@ from collections.abc import Iterable
 from repro.cluster.block import Block, BlockId
 from repro.cluster.block_manager import BlockManager, BlockManagerStats
 from repro.cluster.node import WorkerNode
+from repro.cluster.placement import PlacementPolicy, build_placement
 from repro.trace.events import Purge
 
 
 class BlockManagerMaster:
     """Routes block operations to per-node managers."""
 
-    def __init__(self, nodes: list[WorkerNode]) -> None:
+    def __init__(self, nodes: list[WorkerNode], placement: str = "stride") -> None:
         if not nodes:
             raise ValueError("a cluster needs at least one node")
         self.nodes = nodes
         self.managers = [BlockManager(node) for node in nodes]
+        self._alive = [True] * len(nodes)
+        #: Bumped on every join/decommission; 0 = the initial membership.
+        self.epoch = 0
+        self.placement: PlacementPolicy = build_placement(
+            placement, [node.node_id for node in nodes]
+        )
 
     @property
     def num_nodes(self) -> int:
+        """Total node slots ever created (including decommissioned ones)."""
         return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    @property
+    def live_node_ids(self) -> list[int]:
+        """Sorted ids of nodes currently accepting placement."""
+        return self.placement.live_node_ids
+
+    def is_live(self, node_id: int) -> bool:
+        return 0 <= node_id < len(self._alive) and self._alive[node_id]
+
+    def live_nodes(self) -> list[WorkerNode]:
+        nodes = self.nodes
+        return [nodes[i] for i in self.placement.live_node_ids]
+
+    def live_managers(self) -> list[BlockManager]:
+        managers = self.managers
+        return [managers[i] for i in self.placement.live_node_ids]
+
+    @property
+    def static_members(self) -> bool:
+        """True while membership never changed and placement is the
+        legacy striding — the engine's fast-path (shared plan cache)
+        condition, byte-identical to the pre-elastic engine."""
+        return self.epoch == 0 and self.placement.name == "stride"
+
+    def add_node(self, node: WorkerNode) -> BlockManager:
+        """A node joined (fresh id) or re-joined (a decommissioned id).
+
+        The shared ``nodes`` list may already contain the node (under
+        tenancy every application's master wraps the same list and the
+        engine appends once); only this master's manager/liveness state
+        is created here.  Returns the node's block manager.
+        """
+        node_id = node.node_id
+        if node_id == len(self.nodes):
+            self.nodes.append(node)
+        elif node_id > len(self.nodes) or self.nodes[node_id] is not node:
+            raise ValueError(
+                f"join of node {node_id} does not extend the cluster "
+                f"(next free id is {len(self.nodes)})"
+            )
+        while len(self.managers) < len(self.nodes):
+            nid = len(self.managers)
+            self.managers.append(BlockManager(self.nodes[nid]))
+            self._alive.append(False)
+        if self._alive[node_id]:
+            raise ValueError(f"node {node_id} is already live")
+        self._alive[node_id] = True
+        self.placement.node_joined(node_id)
+        self.epoch += 1
+        return self.managers[node_id]
+
+    def decommission_node(self, node_id: int) -> BlockManager:
+        """Permanently remove a node from placement.
+
+        Only the membership flips here — draining/migrating the node's
+        cached blocks is the engine's job (it must price migrations and
+        count what was dropped).  Returns the node's block manager.
+        """
+        if not self.is_live(node_id):
+            raise ValueError(f"cannot decommission node {node_id}: not live")
+        self.placement.node_left(node_id)  # raises on the last live node
+        self._alive[node_id] = False
+        self.epoch += 1
+        return self.managers[node_id]
 
     # ------------------------------------------------------------------
     # placement
     # ------------------------------------------------------------------
     def home_node_id(self, block_id: BlockId) -> int:
-        """Home node for a block: partitions round-robin over nodes."""
-        return block_id.partition % self.num_nodes
+        """Home node for a block (partition → live node)."""
+        return self.placement.place(block_id.partition)
 
     def manager_for(self, block_id: BlockId) -> BlockManager:
-        return self.managers[self.home_node_id(block_id)]
+        return self.managers[self.placement.place(block_id.partition)]
 
     def task_node_id(self, partition: int) -> int:
         """Node executing task ``partition`` (locality-aligned with data)."""
-        return partition % self.num_nodes
+        return self.placement.place(partition)
 
     # ------------------------------------------------------------------
     # cluster-wide orders

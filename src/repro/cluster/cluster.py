@@ -65,7 +65,13 @@ class ClusterConfig:
 
 @dataclass
 class Cluster:
-    """Instantiated cluster: nodes plus the block-manager master."""
+    """Instantiated cluster: nodes plus the block-manager master.
+
+    ``nodes`` is the positional node-id index and is shared with the
+    master — it only ever grows (decommissioned nodes keep their slot,
+    they just leave the live set).  Use :attr:`live_nodes` when
+    iterating placement targets.
+    """
 
     config: ClusterConfig
     nodes: list[WorkerNode]
@@ -73,13 +79,45 @@ class Cluster:
 
     @property
     def num_nodes(self) -> int:
+        """Total node slots (including decommissioned nodes)."""
         return len(self.nodes)
+
+    @property
+    def live_nodes(self) -> list[WorkerNode]:
+        return self.master.live_nodes()
+
+
+def make_worker(
+    config: ClusterConfig, node_id: int, policy: PolicyFactory
+) -> WorkerNode:
+    """Build one worker node of ``config``'s shape.
+
+    Late joiners (elastic scale-up) use this too: their CPU factor is
+    drawn from a node-id-keyed seed, so a node joining at stage 7 of
+    one run is identical to the same node joining at stage 3 of
+    another — membership timing never perturbs hardware identity.
+    """
+    node = WorkerNode(
+        node_id=node_id,
+        num_slots=config.slots_per_node,
+        cache_capacity_mb=config.cache_mb_per_node,
+        policy=policy(node_id),
+        disk_model=config.disk,
+        disk_capacity_mb=config.disk_capacity_mb,
+    )
+    if config.heterogeneity > 0:
+        rng = random.Random((config.heterogeneity_seed + 1) * 1_000_003 + node_id)
+        node.cpu_factor = 1.0 + rng.uniform(
+            -config.heterogeneity, config.heterogeneity
+        )
+    return node
 
 
 def build_cluster(
     config: ClusterConfig,
     policy_factory: PolicyFactory,
     rng: random.Random | None = None,
+    placement: str = "stride",
 ) -> Cluster:
     """Create the worker nodes, one policy instance per node.
 
@@ -106,4 +144,8 @@ def build_cluster(
         )
         node.cpu_factor = factor
         nodes.append(node)
-    return Cluster(config=config, nodes=nodes, master=BlockManagerMaster(nodes))
+    return Cluster(
+        config=config,
+        nodes=nodes,
+        master=BlockManagerMaster(nodes, placement=placement),
+    )

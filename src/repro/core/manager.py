@@ -241,7 +241,8 @@ class MrdManager:
         threshold = self.current_threshold(cluster)
         master = cluster.master
         rdd_by_id = self.dag.app.rdd_by_id
-        capacity = {n.node_id: n.memory.capacity_mb for n in cluster.nodes}
+        live_nodes = master.live_nodes()
+        capacity = {n.node_id: n.memory.capacity_mb for n in live_nodes}
         # Free memory starts from each node's *reported* status when one
         # has been delivered (the paper's reportCacheStatus loop) and
         # falls back to live state for nodes that never reported.  Block
@@ -253,24 +254,25 @@ class MrdManager:
                 if n.node_id in self.status_view
                 else n.memory.free_mb
             )
-            for n in cluster.nodes
+            for n in live_nodes
         }
-        issued = {n.node_id: 0 for n in cluster.nodes}
+        issued = {n.node_id: 0 for n in live_nodes}
         # Worst (largest) resident distance per node, for the guarded
         # forced-prefetch path; computed once per stage boundary.
         worst_resident = {
-            m.node.node_id: self._worst_cached_distance(m) for m in master.managers
+            m.node.node_id: self._worst_cached_distance(m)
+            for m in master.live_managers()
         }
         orders: list[Block] = []
         managers = master.managers
-        num_nodes = master.num_nodes
+        place = master.placement.place
         per_node_cap = cfg.max_prefetch_per_node
-        max_total = per_node_cap * num_nodes
+        max_total = per_node_cap * len(live_nodes)
         issued_total = 0
         for dist, rdd_id in self.table.candidates_by_distance():
             if issued_total >= max_total:
-                # Every node is at its per-node cap (the total only
-                # reaches num_nodes * cap when each node contributed
+                # Every live node is at its per-node cap (the total only
+                # reaches live_count * cap when each node contributed
                 # exactly cap): no later candidate can be issued.
                 break
             if rdd_id not in self._materialized:
@@ -279,7 +281,7 @@ class MrdManager:
             size_mb = rdd.partition_size_mb
             rdd_name = rdd.name
             for p in range(rdd.num_partitions):
-                node_id = p % num_nodes
+                node_id = place(p)
                 if issued[node_id] >= per_node_cap:
                     continue
                 bid = BlockId(rdd_id, p)

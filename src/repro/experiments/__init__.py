@@ -17,6 +17,7 @@ from repro.experiments import (  # noqa: F401
     fig10,
     fig11_12,
     fig_control_latency,
+    fig_elastic,
     fig_load,
     table1,
     table3,
@@ -49,6 +50,7 @@ __all__ = [
     "fig8",
     "fig9",
     "fig_control_latency",
+    "fig_elastic",
     "fig_load",
     "format_table",
     "sweep_workload",

@@ -220,7 +220,7 @@ class MemTuneScheme(_OracleScheme):
         # and only when it fits in free memory (no forced eviction).
         stage = dag.active_stages[seq]
         master = cluster.master
-        free_by_node = {n.node_id: n.memory.free_mb for n in cluster.nodes}
+        free_by_node = {n.node_id: n.memory.free_mb for n in master.live_nodes()}
         for rdd in stage.cache_reads:
             for p in range(rdd.num_partitions):
                 block = Block(id=BlockId(rdd.id, p), size_mb=rdd.partition_size_mb, rdd_name=rdd.name)

@@ -10,10 +10,19 @@ from repro.simulator.config import (
 )
 from repro.simulator.costmodel import CostModel
 from repro.simulator.engine import SimulationError, SparkSimulator, simulate
-from repro.simulator.failures import ControlOutage, FailurePlan, NodeFailure
+from repro.simulator.failures import (
+    Autoscaler,
+    ControlOutage,
+    FailurePlan,
+    NodeDecommission,
+    NodeFailure,
+    NodeJoin,
+    build_churn_plan,
+)
 from repro.simulator.metrics import RunMetrics, StageRecord
 
 __all__ = [
+    "Autoscaler",
     "CLUSTERS",
     "ControlOutage",
     "CostModel",
@@ -22,11 +31,14 @@ __all__ = [
     "LRC_CLUSTER",
     "MAIN_CLUSTER",
     "MEMTUNE_CLUSTER",
+    "NodeDecommission",
     "NodeFailure",
+    "NodeJoin",
     "RunMetrics",
     "SimulationError",
     "SparkSimulator",
     "StageRecord",
     "TEST_CLUSTER",
+    "build_churn_plan",
     "simulate",
 ]

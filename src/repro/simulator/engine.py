@@ -48,7 +48,10 @@ from collections import deque
 
 from repro.cluster.block import Block, BlockId, block_of
 from repro.cluster.block_manager import AccessOutcome, BlockManager
-from repro.cluster.cluster import Cluster, ClusterConfig, build_cluster
+from repro.cluster.cluster import Cluster, ClusterConfig, build_cluster, make_worker
+from repro.cluster.node import WorkerNode
+from repro.cluster.placement import PLACEMENTS
+from repro.cluster.rebalance import RebalancePolicy, build_rebalance
 from repro.control.messages import (
     CacheStatusReport,
     ControlMessage,
@@ -69,15 +72,23 @@ from repro.dag.rdd import RDD, ShuffleDependency
 from repro.dag.structures import Stage
 from repro.policies.scheme import CacheScheme, StageOrders
 from repro.simulator.costmodel import CostModel
-from repro.simulator.failures import FailurePlan
+from repro.simulator.failures import (
+    FailurePlan,
+    MembershipEvent,
+    NodeDecommission,
+    NodeJoin,
+)
 from repro.simulator.metrics import RunMetrics, StageRecord
 from repro.trace.events import (
+    BlockMigrate,
     JobStart,
     PrefetchCancel,
     PrefetchComplete,
     PrefetchIssue,
     StageEnd,
     StageStart,
+    WorkerDeregisterEvent,
+    WorkerRegisterEvent,
 )
 from repro.trace.recorder import NULL_RECORDER, TraceRecorder
 
@@ -108,6 +119,8 @@ class SparkSimulator:
         scheduler: str = "event",
         control_plane: str | ControlPlane = "instant",
         control_config: RpcConfig | None = None,
+        placement: str = "stride",
+        rebalance: str | RebalancePolicy = "drop",
     ) -> None:
         if scheduler not in SCHEDULERS:
             raise ValueError(
@@ -116,6 +129,10 @@ class SparkSimulator:
         if isinstance(control_plane, str) and control_plane not in CONTROL_PLANES:
             raise ValueError(
                 f"control_plane must be one of {CONTROL_PLANES}, got {control_plane!r}"
+            )
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {placement!r}"
             )
         self.dag = dag
         self.cluster_config = cluster_config
@@ -131,6 +148,14 @@ class SparkSimulator:
         )
         self.promote_on_miss = promote_on_miss
         self.failure_plan = failure_plan
+        #: Partition → node scheme ("stride" legacy, "rendezvous" sticky).
+        self.placement = placement
+        #: What happens to a decommissioned node's cache (drop/migrate).
+        self.rebalance: RebalancePolicy = (
+            rebalance
+            if isinstance(rebalance, RebalancePolicy)
+            else build_rebalance(rebalance)
+        )
         self.cluster: Cluster | None = None
         #: The run's control-plane transport (reset at every run start).
         self.control_config = control_config
@@ -175,6 +200,20 @@ class SparkSimulator:
         self._current_job = -1
         self._last_seq = 0
         self._t_origin = 0.0
+        #: Per-run compiled plans for dynamic membership, keyed
+        #: ``(stage.seq, epoch)``.  Sticky placement is a function of
+        #: the run's membership *history*, so these plans must never be
+        #: shared across runs the way ``dag.engine_plans`` is.
+        self._plan_cache: dict[tuple[int, int], tuple[list, list, bool]] = {}
+        # Membership churn accounting (all zero for static runs).
+        self._membership_changed = False
+        self._nodes_joined = 0
+        self._nodes_decommissioned = 0
+        self._rebalanced_blocks = 0
+        self._rebalanced_mb = 0.0
+        self._decommission_dropped = 0
+        self._live_since: list[float] = []
+        self._live_time: list[float] = []
 
     # ------------------------------------------------------------------
     def run(self) -> RunMetrics:
@@ -211,6 +250,15 @@ class SparkSimulator:
         self._t_origin = now
         self._plan_stage = None
         self._plan = None
+        self._plan_cache = {}
+        self._membership_changed = False
+        self._nodes_joined = 0
+        self._nodes_decommissioned = 0
+        self._rebalanced_blocks = 0
+        self._rebalanced_mb = 0.0
+        self._decommission_dropped = 0
+        self._live_since = [now] * self.cluster.num_nodes
+        self._live_time = [0.0] * self.cluster.num_nodes
         for mgr in self.cluster.master.managers:
             # Eviction trace events resolve reference distances through
             # the scheme owning this manager's blocks (correct per-app
@@ -228,11 +276,20 @@ class SparkSimulator:
             if plan is not None and plan.outages
             else None
         )
+        if plan is not None and plan.autoscaler is not None:
+            plan.autoscaler.reset()
         self._register_workers(now)
 
     def _build_cluster(self) -> Cluster:
         """Cluster for this run (tenancy overrides with a shared view)."""
-        return build_cluster(self.cluster_config, self.scheme.policy_factory)
+        return build_cluster(
+            self.cluster_config, self.scheme.policy_factory,
+            placement=self.placement,
+        )
+
+    def _make_worker(self, node_id: int) -> WorkerNode:
+        """Node for an elastic join (tenancy overrides the policy)."""
+        return make_worker(self.cluster_config, node_id, self.scheme.policy_factory)
 
     def _register_workers(self, now: float) -> None:
         # Initial worker registration is synchronous on every plane:
@@ -260,6 +317,10 @@ class SparkSimulator:
                     rec.emit(JobStart(t=now, job_id=j))
             self._current_job = stage.job_id
         plan = self.failure_plan
+        if plan is not None and plan.elastic:
+            # Membership first: a failure scheduled against a node that
+            # just decommissioned is skipped by the plan's liveness guard.
+            self._apply_memberships(stage, now)
         if plan is not None:
             failed = plan.failures_at(stage.seq)
             self._lost_blocks += plan.apply(stage.seq, self.cluster)
@@ -324,6 +385,18 @@ class SparkSimulator:
         self._apply_unpersists(self._current_job)
         self.scheme.finalize()
         master = self.cluster.master
+        # Presence fractions stay empty for static runs, keeping their
+        # metrics byte-identical to the pre-elastic engine.
+        per_node_presence: list[float] = []
+        if self._membership_changed:
+            duration = now - self._t_origin
+            for i in master.live_node_ids:
+                self._live_time[i] += now - self._live_since[i]
+                self._live_since[i] = now
+            per_node_presence = [
+                min(t / duration, 1.0) if duration > 0 else 1.0
+                for t in self._live_time
+            ]
         return RunMetrics(
             scheme=self.scheme.name,
             workload=self.dag.app.signature,
@@ -337,6 +410,143 @@ class SparkSimulator:
             control=self.control.stats,
             app_id=self._metrics_app_id,
             arrival_time=self._t_origin,
+            nodes_joined=self._nodes_joined,
+            nodes_decommissioned=self._nodes_decommissioned,
+            rebalanced_blocks=self._rebalanced_blocks,
+            rebalanced_mb=self._rebalanced_mb,
+            decommission_dropped_blocks=self._decommission_dropped,
+            per_node_presence=per_node_presence,
+        )
+
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def _apply_memberships(self, stage: Stage, now: float) -> None:
+        """Scheduled joins/decommissions first, then the autoscaler.
+
+        The autoscaler sees the *post-event* live set and the upcoming
+        stage's slot pressure (runnable tasks / live slots), so a
+        scheduled decommission can immediately provoke a reactive join
+        at the next boundary — but never at the same one (cooldown
+        semantics belong to the scaler, ordering to the engine).
+        """
+        assert self.cluster is not None
+        plan = self.failure_plan
+        assert plan is not None
+        events: list[MembershipEvent] = list(plan.memberships_at(stage.seq))
+        scaler = plan.autoscaler
+        if scaler is not None:
+            master = self.cluster.master
+            nodes = self.cluster.nodes
+            slots = sum(nodes[i].num_slots for i in master.live_node_ids)
+            pressure = stage.num_tasks / slots if slots else math.inf
+            action = scaler.decide(stage.seq, pressure, len(master.live_node_ids))
+            if action == "join":
+                events.append(NodeJoin(at_seq=stage.seq))
+            elif action == "decommission":
+                events.append(NodeDecommission(at_seq=stage.seq))
+        for event in events:
+            if isinstance(event, NodeJoin):
+                self._join_node(event.node_id, now)
+            else:
+                self._decommission_node(event.node_id, now)
+        if events:
+            # Placement may have moved: drop the current-stage plan memo.
+            self._plan_stage = None
+            self._plan = None
+
+    def _join_node(self, node_id: int | None, now: float) -> None:
+        """Grow the live set; the node registers through the §4.4 path."""
+        assert self.cluster is not None
+        master = self.cluster.master
+        if node_id is None:
+            node_id = master.num_nodes
+        if node_id < master.num_nodes:
+            if master.is_live(node_id):
+                return  # pinned join of a live node: nothing to do
+            node = self.cluster.nodes[node_id]  # a decommissioned slot rejoins
+        else:
+            node = self._make_worker(node_id)
+        mgr = master.add_node(node)
+        mgr.distance_source = self.scheme.reference_distance
+        rec = self.recorder
+        if rec.enabled:
+            mgr.recorder = rec
+        while len(self._live_time) < master.num_nodes:
+            self._live_time.append(0.0)
+            self._live_since.append(now)
+        self._live_since[node_id] = now
+        self._membership_changed = True
+        self._nodes_joined += 1
+        # On (possibly delayed) delivery the driver re-issues the current
+        # distance table to the new worker, exactly like a replacement.
+        self.control.send(
+            WorkerRegister(
+                sent_at=now, node_id=node_id, reason="join", app_id=self.app_id
+            ),
+            self._deliver_register,
+        )
+
+    def _decommission_node(self, node_id: int | None, now: float) -> None:
+        """Shrink the live set, rebalancing the node's cache on the way
+        out: the run's :class:`RebalancePolicy` picks which resident
+        blocks are worth copying to their new homes (priced through the
+        destination's storage channel), the rest die with the node."""
+        assert self.cluster is not None
+        master = self.cluster.master
+        live = master.live_node_ids
+        if node_id is None:
+            node_id = live[-1]  # autoscaler shape: shed the newest node
+        if not master.is_live(node_id) or len(live) <= 1:
+            return  # already gone, or the last live node must stay
+        mgr = master.managers[node_id]
+        node = mgr.node
+        rec = self.recorder
+        if rec.enabled:
+            rec.now = now
+        # In-flight prefetches die with the node.
+        for bid in list(mgr.inflight_prefetch):
+            mgr.cancel_inflight(bid, reason="decommissioned")
+        resident = list(node.memory.blocks())
+        master.decommission_node(node_id)  # placement now excludes the node
+        selected = self.rebalance.select(
+            resident, lambda b: self.scheme.reference_distance(b.id.rdd_id)
+        )
+        network = self.cost.network
+        for block in selected:
+            dest_id = master.home_node_id(block.id)
+            dest = master.managers[dest_id]
+            # The copy crosses the network and lands through the
+            # destination's serialized storage channel, delaying that
+            # node's subsequent disk reads and prefetches — migration
+            # is priced, not free.
+            dest.node.io_free_at = (
+                max(dest.node.io_free_at, now) + network.transfer_time(block.size_mb)
+            )
+            dest.insert_cached(block, _EMPTY_FROZENSET)
+            self._rebalanced_blocks += 1
+            self._rebalanced_mb += block.size_mb
+            if rec.enabled:
+                rec.emit(BlockMigrate(
+                    t=now, rdd_id=block.id.rdd_id, partition=block.id.partition,
+                    from_node=node_id, to_node=dest_id, size_mb=block.size_mb,
+                ))
+        self._decommission_dropped += len(resident) - len(selected)
+        # The node's stores leave with it.
+        for bid in list(node.memory.block_ids()):
+            node.memory.remove(bid)
+        for bid in list(node.disk.block_ids()):
+            node.disk.remove(bid)
+        node.io_free_at = 0.0
+        self._live_time[node_id] += now - self._live_since[node_id]
+        self._membership_changed = True
+        self._nodes_decommissioned += 1
+        self.control.send(
+            WorkerDeregister(
+                sent_at=now, node_id=node_id,
+                reason="decommission", app_id=self.app_id,
+            ),
+            self._deliver_deregister,
         )
 
     # ------------------------------------------------------------------
@@ -482,33 +692,48 @@ class SparkSimulator:
         RDD, so a stage with fewer tasks than an input RDD has
         partitions still accesses (and accounts) the tail partitions.
         The plan resolves block ids, home-node indices and sizes once
-        per (stage, cluster size) — cached on the DAG, so repeated runs
-        (bench repeats, sweep cells) reuse it — instead of rebuilding
-        ``BlockId``/``Block`` objects inside every task.
+        per (stage, cluster size) — cached on the DAG while membership
+        is static, so repeated runs (bench repeats, sweep cells) reuse
+        it — instead of rebuilding ``BlockId``/``Block`` objects inside
+        every task.  Once membership changed (or under sticky
+        placement, which depends on this run's membership *history*),
+        plans move to a per-run cache keyed by membership epoch: they
+        would poison other runs on the shared DAG.
         """
-        num_nodes = self.cluster.master.num_nodes
-        key = (stage.seq, num_nodes)
-        plan = self.dag.engine_plans.get(key)
+        master = self.cluster.master
+        if master.static_members:
+            key = (stage.seq, master.num_nodes)
+            plan = self.dag.engine_plans.get(key)
+            if plan is None:
+                plan = self._compile_plan(stage)
+                self.dag.engine_plans[key] = plan
+            return plan
+        dyn_key = (stage.seq, master.epoch)
+        plan = self._plan_cache.get(dyn_key)
         if plan is None:
-            num_tasks = stage.num_tasks
-            reads: list[tuple] = []
-            writes: list[tuple] = []
-            for p in range(num_tasks):
-                task_reads = [
-                    (BlockId(rdd.id, q), q % num_nodes, rdd.partition_size_mb)
-                    for rdd in stage.cache_reads
-                    for q in range(p, rdd.num_partitions, num_tasks)
-                ]
-                task_writes = [
-                    (block_of(rdd, q), q % num_nodes)
-                    for rdd in stage.cache_writes
-                    for q in range(p, rdd.num_partitions, num_tasks)
-                ]
-                reads.append(tuple(task_reads))
-                writes.append(tuple(task_writes))
-            plan = (reads, writes, bool(stage.cache_writes))
-            self.dag.engine_plans[key] = plan
+            plan = self._compile_plan(stage)
+            self._plan_cache[dyn_key] = plan
         return plan
+
+    def _compile_plan(self, stage: Stage) -> tuple[list, list, bool]:
+        place = self.cluster.master.placement.place
+        num_tasks = stage.num_tasks
+        reads: list[tuple] = []
+        writes: list[tuple] = []
+        for p in range(num_tasks):
+            task_reads = [
+                (BlockId(rdd.id, q), place(q), rdd.partition_size_mb)
+                for rdd in stage.cache_reads
+                for q in range(p, rdd.num_partitions, num_tasks)
+            ]
+            task_writes = [
+                (block_of(rdd, q), place(q))
+                for rdd in stage.cache_writes
+                for q in range(p, rdd.num_partitions, num_tasks)
+            ]
+            reads.append(tuple(task_reads))
+            writes.append(tuple(task_writes))
+        return (reads, writes, bool(stage.cache_writes))
 
     def _run_task(
         self, stage: Stage, partition: int, node_id: int, t0: float, fixed: float
@@ -576,10 +801,12 @@ class SparkSimulator:
                 assert block is not None
                 mgr.promote_from_disk(block, frozenset(protect))
             return t
-        # Neither in memory nor on disk.  Without failure injection this
-        # is a DAG-contract violation; with lost disks it is Spark's
-        # lineage-recovery path: recompute the partition and re-persist.
-        if self.failure_plan is None:
+        # Neither in memory nor on disk.  Without failure injection or
+        # membership churn this is a DAG-contract violation; with lost
+        # disks or decommissioned nodes it is Spark's lineage-recovery
+        # path: recompute the partition and re-persist.  (Tenancy churn
+        # arrives outside any failure plan, hence the second gate.)
+        if self.failure_plan is None and not self._membership_changed:
             raise SimulationError(
                 f"block {bid} referenced but neither in memory nor on disk "
                 f"on node {mgr.node.node_id}"
@@ -650,7 +877,7 @@ class SparkSimulator:
         master = self.cluster.master
         snap = orders.table_snapshot
         if snap is not None:
-            for node in self.cluster.nodes:
+            for node in master.live_nodes():
                 control.send(
                     StageBoundary(
                         sent_at=now, node_id=node.node_id, seq=seq,
@@ -659,7 +886,7 @@ class SparkSimulator:
                     self._deliver_table,
                 )
         for rdd_id in orders.purge_rdds:
-            for node_id in range(master.num_nodes):
+            for node_id in master.live_node_ids:
                 control.send(
                     PurgeOrder(
                         sent_at=now, node_id=node_id, rdd_id=rdd_id,
@@ -690,7 +917,7 @@ class SparkSimulator:
         live free-memory values it used to read directly; under rpc the
         report lands a boundary late and the driver plans on stale data.
         """
-        for mgr in self.cluster.master.managers:
+        for mgr in self.cluster.master.live_managers():
             node = mgr.node
             self.control.send(
                 CacheStatusReport(
@@ -749,6 +976,12 @@ class SparkSimulator:
 
     def _deliver_register(self, msg: ControlMessage, t: float) -> bool:
         assert isinstance(msg, WorkerRegister)
+        rec = self.recorder
+        if rec.enabled and msg.reason != "startup":
+            # Startup registrations are not traced: they happen the same
+            # way in every run, before simulated time starts.
+            rec.now = t
+            rec.emit(WorkerRegisterEvent(t=t, node_id=msg.node_id, reason=msg.reason))
         # Fault-tolerance story (§4.4): the driver re-issues its current
         # distance table to the (re-)registered worker.
         snap = self.scheme.table_snapshot()
@@ -767,6 +1000,12 @@ class SparkSimulator:
 
     def _deliver_deregister(self, msg: ControlMessage, t: float) -> bool:
         assert isinstance(msg, WorkerDeregister)
+        rec = self.recorder
+        if rec.enabled:
+            rec.now = t
+            rec.emit(WorkerDeregisterEvent(
+                t=t, node_id=msg.node_id, reason=msg.reason,
+            ))
         self.scheme.on_worker_deregister(msg.node_id)
         return False
 

@@ -1,4 +1,4 @@
-"""Failure injection: worker-node cache loss during a run.
+"""Failure and membership injection: cache loss, churn, autoscaling.
 
 The paper's fault-tolerance story (§4.4): when a worker fails, its
 local reference-distance profile is lost and the MRDmanager re-issues
@@ -8,6 +8,15 @@ blocks); the replacement registers with the same block-manager identity
 so placement is unchanged, and the centralized manager state is
 re-delivered by construction (policies read the shared manager).
 
+Beyond in-place failures, a plan also schedules *membership* changes:
+:class:`NodeJoin` grows the live set (a fresh node registers through
+the §4.4 path and starts taking placement), :class:`NodeDecommission`
+permanently removes a node (its cache is rebalanced or dropped by the
+engine's :class:`~repro.cluster.rebalance.RebalancePolicy`).  An
+optional reactive :class:`Autoscaler` emits the same events from slot
+pressure observed *inside* the run — seeded and deterministic, so
+elastic runs replay byte-identically.
+
 Injected failures let the tests assert the two properties that matter:
 the run still completes with correct accounting, and the policy's
 *relative* advantage survives the hit-ratio dip.
@@ -15,6 +24,7 @@ the run still completes with correct accounting, and the policy's
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from repro.cluster.cluster import Cluster
@@ -73,12 +83,123 @@ class ControlOutage:
         return self.node_id is None or node_id is None or self.node_id == node_id
 
 
+@dataclass(frozen=True)
+class NodeJoin:
+    """Grow the live set before active stage ``at_seq``.
+
+    ``node_id`` pins the joining node's id; ``None`` lets the engine
+    assign the next free slot.  Joins flow through the control plane's
+    ``WorkerRegister`` path, so under MRD the new node receives the
+    current MRD_Table exactly like a §4.4 replacement does.
+    """
+
+    at_seq: int
+    node_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_seq < 0:
+            raise ValueError("at_seq must be non-negative")
+        if self.node_id is not None and self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+
+
+@dataclass(frozen=True)
+class NodeDecommission:
+    """Permanently remove a node before active stage ``at_seq``.
+
+    ``None`` lets the engine pick the highest live node id — the shape
+    an autoscaler produces, and robust to plans built before the run's
+    membership history is known.  Unlike :class:`NodeFailure` the node
+    does not come back: its cached blocks are handed to the engine's
+    rebalance policy (migrate the most-urgent, drop the rest) and it
+    stops being a placement target.
+    """
+
+    at_seq: int
+    node_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_seq < 0:
+            raise ValueError("at_seq must be non-negative")
+        if self.node_id is not None and self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+
+
+MembershipEvent = NodeJoin | NodeDecommission
+
+
+@dataclass
+class Autoscaler:
+    """Reactive membership policy: slot pressure in, churn events out.
+
+    At every stage boundary the engine reports the *slot pressure* of
+    the upcoming stage — runnable tasks divided by live slots — and the
+    autoscaler answers with ``"join"``, ``"decommission"`` or ``None``.
+    Pressure above ``scale_up_at`` adds a node (until ``max_nodes``),
+    below ``scale_down_at`` removes one (until ``min_nodes``), with a
+    ``cooldown`` of stage boundaries between actions so one burst does
+    not trigger a join cascade.
+
+    Optional ``jitter`` perturbs both thresholds per decision through a
+    seeded :class:`random.Random` — deterministic for a given ``seed``,
+    so autoscaled runs still replay byte-identically.
+    """
+
+    min_nodes: int = 1
+    max_nodes: int = 16
+    scale_up_at: float = 1.5
+    scale_down_at: float = 0.25
+    cooldown: int = 2
+    jitter: float = 0.0
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+    _last_action: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.min_nodes < 1:
+            raise ValueError("min_nodes must be at least 1")
+        if self.max_nodes < self.min_nodes:
+            raise ValueError("max_nodes must be >= min_nodes")
+        if self.scale_down_at >= self.scale_up_at:
+            raise ValueError("scale_down_at must be below scale_up_at")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.reset()
+
+    def reset(self) -> None:
+        """Rearm for a fresh run (the engine calls this at run start, so
+        one plan object drives identical decisions in every run)."""
+        self._rng = random.Random(self.seed)
+        self._last_action = -(10**9)
+
+    def decide(self, seq: int, pressure: float, live_count: int) -> str | None:
+        """``"join"``, ``"decommission"`` or ``None`` for this boundary."""
+        if seq - self._last_action <= self.cooldown:
+            return None
+        up, down = self.scale_up_at, self.scale_down_at
+        if self.jitter > 0:
+            up *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+            down *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        if pressure > up and live_count < self.max_nodes:
+            self._last_action = seq
+            return "join"
+        if pressure < down and live_count > self.min_nodes:
+            self._last_action = seq
+            return "decommission"
+        return None
+
+
 @dataclass
 class FailurePlan:
-    """A schedule of failures, applied at stage boundaries."""
+    """A schedule of failures and membership changes, applied at stage
+    boundaries."""
 
     failures: list[NodeFailure] = field(default_factory=list)
     outages: list[ControlOutage] = field(default_factory=list)
+    memberships: list[MembershipEvent] = field(default_factory=list)
+    autoscaler: Autoscaler | None = None
 
     def add(self, at_seq: int, node_id: int, lose_disk: bool = False) -> FailurePlan:
         self.failures.append(NodeFailure(at_seq=at_seq, node_id=node_id, lose_disk=lose_disk))
@@ -96,8 +217,25 @@ class FailurePlan:
         ))
         return self
 
+    def add_join(self, at_seq: int, node_id: int | None = None) -> FailurePlan:
+        self.memberships.append(NodeJoin(at_seq=at_seq, node_id=node_id))
+        return self
+
+    def add_decommission(self, at_seq: int, node_id: int | None = None) -> FailurePlan:
+        self.memberships.append(NodeDecommission(at_seq=at_seq, node_id=node_id))
+        return self
+
     def failures_at(self, seq: int) -> list[NodeFailure]:
         return [f for f in self.failures if f.at_seq == seq]
+
+    def memberships_at(self, seq: int) -> list[MembershipEvent]:
+        """Scheduled membership events for stage ``seq``, in plan order."""
+        return [m for m in self.memberships if m.at_seq == seq]
+
+    @property
+    def elastic(self) -> bool:
+        """True if this plan can change membership (events or autoscaler)."""
+        return bool(self.memberships) or self.autoscaler is not None
 
     def control_loss(self, seq: int, node_id: int | None) -> float:
         """Worst outage loss rate covering (``seq``, ``node_id``)."""
@@ -120,6 +258,10 @@ class FailurePlan:
                     f"failure targets node {failure.node_id} but the cluster "
                     f"has {cluster.num_nodes} nodes"
                 )
+            if not cluster.master.is_live(failure.node_id):
+                # The target was decommissioned before its failure came
+                # due (possible under autoscaled churn): nothing to lose.
+                continue
             mgr = cluster.master.managers[failure.node_id]
             node = mgr.node
             for bid in list(node.memory.block_ids()):
@@ -131,3 +273,29 @@ class FailurePlan:
                 for bid in list(node.disk.block_ids()):
                     node.disk.remove(bid)
         return lost
+
+
+def build_churn_plan(num_stages: int, rate: float, seed: int = 0) -> FailurePlan:
+    """Random membership churn for a ``num_stages``-stage workload.
+
+    Each interior stage boundary independently hosts a membership event
+    with probability ``rate`` — a join or a decommission with equal
+    odds, targets left to the engine (joins take the next free slot,
+    decommissions drop the highest live id).  All draws come from one
+    ``random.Random(seed)``, so a (num_stages, rate, seed) triple names
+    exactly one churn history — the sweep axis ``fig_elastic`` runs
+    over.
+    """
+    if num_stages < 0:
+        raise ValueError("num_stages must be non-negative")
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    plan = FailurePlan()
+    rng = random.Random(seed)
+    for seq in range(1, num_stages):
+        if rng.random() < rate:
+            if rng.random() < 0.5:
+                plan.add_join(seq)
+            else:
+                plan.add_decommission(seq)
+    return plan

@@ -55,6 +55,19 @@ class RunMetrics:
     #: tenancy ``jct`` is the sojourn (completion − arrival); stage
     #: records keep absolute simulation times.
     arrival_time: float = 0.0
+    #: Membership churn during the run (0 for static clusters).
+    nodes_joined: int = 0
+    nodes_decommissioned: int = 0
+    #: Scale-down rebalancing: blocks migrated to surviving nodes vs
+    #: dropped with their node.
+    rebalanced_blocks: int = 0
+    rebalanced_mb: float = 0.0
+    decommission_dropped_blocks: int = 0
+    #: Fraction of the run each node slot was live (parallel to
+    #: ``per_node_hit_ratio``).  Empty means "all nodes present the
+    #: whole run" — the static case, kept empty so static-membership
+    #: metrics stay byte-identical to the pre-elastic engine.
+    per_node_presence: list[float] = field(default_factory=list)
 
     @property
     def hit_ratio(self) -> float:
@@ -64,16 +77,29 @@ class RunMetrics:
 
     @property
     def mean_node_hit_ratio(self) -> float | None:
-        """Average per-node hit ratio over nodes that saw accesses.
+        """Presence-weighted average per-node hit ratio.
 
-        Idle nodes are excluded instead of counted as 0.0 hits, so the
-        cluster average reflects caching quality, not task placement;
-        ``None`` when every node was idle.
+        Idle nodes (``None`` ratio) are excluded instead of counted as
+        0.0 hits, so the cluster average reflects caching quality, not
+        task placement; ``None`` when every node was idle.  Under
+        elastic membership each node's ratio is weighted by the
+        fraction of the run it was live (``per_node_presence``) — a
+        node that joined for the last stage should not drag the mean
+        like a full-run node would.  Static runs leave the presence
+        list empty (all weights 1.0), reducing to the plain average.
         """
-        active = [r for r in self.per_node_hit_ratio if r is not None]
-        if not active:
+        presence = self.per_node_presence
+        total = 0.0
+        weight = 0.0
+        for i, ratio in enumerate(self.per_node_hit_ratio):
+            if ratio is None:
+                continue
+            w = presence[i] if i < len(presence) else 1.0
+            total += w * ratio
+            weight += w
+        if weight <= 0.0:
             return None
-        return sum(active) / len(active)
+        return total / weight
 
     @property
     def num_stages_executed(self) -> int:

@@ -51,6 +51,13 @@ def metrics_to_dict(metrics: RunMetrics) -> dict:
         # Multi-tenant identity (None / 0.0 for standalone runs).
         "app_id": metrics.app_id,
         "arrival_time": metrics.arrival_time,
+        # Elastic membership (all zero / empty for static clusters).
+        "nodes_joined": metrics.nodes_joined,
+        "nodes_decommissioned": metrics.nodes_decommissioned,
+        "rebalanced_blocks": metrics.rebalanced_blocks,
+        "rebalanced_mb": metrics.rebalanced_mb,
+        "decommission_dropped_blocks": metrics.decommission_dropped_blocks,
+        "per_node_presence": list(metrics.per_node_presence),
         "control": {
             "sent": metrics.control.sent,
             "delivered": metrics.control.delivered,
@@ -116,6 +123,12 @@ def metrics_from_dict(data: dict) -> RunMetrics:
         control=control,
         app_id=data.get("app_id"),
         arrival_time=data.get("arrival_time", 0.0),
+        nodes_joined=data.get("nodes_joined", 0),
+        nodes_decommissioned=data.get("nodes_decommissioned", 0),
+        rebalanced_blocks=data.get("rebalanced_blocks", 0),
+        rebalanced_mb=data.get("rebalanced_mb", 0.0),
+        decommission_dropped_blocks=data.get("decommission_dropped_blocks", 0),
+        per_node_presence=list(data.get("per_node_presence", [])),
     )
 
 

@@ -85,6 +85,15 @@ def _execute_cell(cell: CellSpec, profile_path: str | None) -> RunMetrics:
     store = ProfileStore(path=Path(profile_path)) if profile_path else None
     scheme = cell.scheme_spec.build(profile_store=store)
     kwargs: dict = {"scheduler": cell.scheduler}
+    if cell.placement != "stride":
+        kwargs["placement"] = cell.placement
+    if cell.churn_rate > 0:
+        from repro.simulator.failures import build_churn_plan
+
+        kwargs["failure_plan"] = build_churn_plan(
+            len(dag.active_stages), cell.churn_rate, cell.derived_churn_seed()
+        )
+        kwargs["rebalance"] = cell.rebalance
     if cell.control_plane == "rpc":
         kwargs["control_plane"] = "rpc"
         kwargs["control_config"] = RpcConfig(

@@ -40,6 +40,8 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.cluster.placement import PLACEMENTS
+from repro.cluster.rebalance import REBALANCES
 from repro.simulator.config import CLUSTERS
 from repro.simulator.engine import SCHEDULERS
 from repro.sweep.schemes import SCHEME_SPECS, SchemeLike, SchemeSpec, resolve_scheme
@@ -51,7 +53,9 @@ except ImportError:  # pragma: no cover - py3.10 fallback
 
 #: Bump when the semantics of an existing CellSpec field change, so
 #: stale result stores are invalidated wholesale.
-FINGERPRINT_VERSION = 1
+#: v2: elastic-membership fields (placement/churn_rate/churn_seed/
+#: rebalance) joined the canonical form.
+FINGERPRINT_VERSION = 2
 
 #: Cluster-shape fields a spec may override per cell.
 CLUSTER_OVERRIDE_FIELDS = (
@@ -89,6 +93,16 @@ class CellSpec:
     control_loss: float = 0.0
     #: ``None`` → derived from the fingerprint (deterministic per cell).
     control_seed: int | None = None
+    #: Partition-placement scheme ("stride" = legacy modulo striding,
+    #: "rendezvous" = sticky join-stable hashing).
+    placement: str = "stride"
+    #: Per-stage-boundary probability of a membership event (join or
+    #: decommission, equal odds); 0 = static membership.
+    churn_rate: float = 0.0
+    #: ``None`` → derived from the fingerprint (deterministic per cell).
+    churn_seed: int | None = None
+    #: What happens to a decommissioned node's cache ("drop"/"migrate").
+    rebalance: str = "drop"
     #: Give this cell a file-backed, per-cell ProfileStore (requires a
     #: result store); cells NEVER share profile directories — a stored
     #: profile from one configuration silently changes another's MRD
@@ -110,6 +124,16 @@ class CellSpec:
             )
         if self.cache_mb is None and self.cache_fraction is None:
             raise ValueError("cell needs cache_fraction or cache_mb")
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {self.placement!r}"
+            )
+        if not 0.0 <= self.churn_rate <= 1.0:
+            raise ValueError(f"churn_rate must be in [0, 1], got {self.churn_rate!r}")
+        if self.rebalance not in REBALANCES:
+            raise ValueError(
+                f"rebalance must be one of {REBALANCES}, got {self.rebalance!r}"
+            )
         bad = [k for k, _ in self.cluster_overrides if k not in CLUSTER_OVERRIDE_FIELDS]
         if bad:
             raise ValueError(
@@ -141,6 +165,13 @@ class CellSpec:
             "control_jitter": self.control_jitter if self.control_plane == "rpc" else 0.0,
             "control_loss": self.control_loss if self.control_plane == "rpc" else 0.0,
             "control_seed": self.control_seed if self.control_plane == "rpc" else None,
+            # Churn-only fields normalize to inert values for static
+            # cells: a churn seed or rebalance choice that cannot affect
+            # the run must not split its fingerprint.
+            "placement": self.placement,
+            "churn_rate": self.churn_rate,
+            "churn_seed": self.churn_seed if self.churn_rate > 0 else None,
+            "rebalance": self.rebalance if self.churn_rate > 0 else "drop",
             "profile_store": self.profile_store,
         }
 
@@ -171,6 +202,16 @@ class CellSpec:
             return self.control_seed
         return int(self.fingerprint()[:8], 16)
 
+    def derived_churn_seed(self) -> int:
+        """Churn-history seed: explicit ``churn_seed`` or fingerprint-derived.
+
+        Uses a different fingerprint slice than the control seed so the
+        two RNG streams never coincide on the same cell.
+        """
+        if self.churn_seed is not None:
+            return self.churn_seed
+        return int(self.fingerprint()[8:16], 16)
+
     def label(self) -> str:
         """Short human-readable identifier for progress lines."""
         cache = (
@@ -182,6 +223,10 @@ class CellSpec:
             extra += f" [{self.scheduler}]"
         if self.control_plane == "rpc":
             extra += f" rpc={self.control_latency or 0:g}s"
+        if self.placement != "stride":
+            extra += f" {self.placement}"
+        if self.churn_rate > 0:
+            extra += f" churn={self.churn_rate:g}/{self.rebalance}"
         return f"{self.workload}/{self.scheme}{cache}{extra}"
 
 
@@ -235,6 +280,10 @@ class GridSpec:
     control_jitter: float = 0.0
     control_loss: float = 0.0
     control_seed: int | None = None
+    placements: list[str] = field(default_factory=lambda: ["stride"])
+    churn_rates: list[float] = field(default_factory=lambda: [0.0])
+    churn_seed: int | None = None
+    rebalances: list[str] = field(default_factory=lambda: ["drop"])
     profile_store: bool = False
     name: str = "sweep"
 
@@ -272,26 +321,33 @@ class GridSpec:
                         for seed in self.seeds:
                             for scheduler in self.schedulers:
                                 for latency in self.control_latencies:
-                                    out.append(CellSpec(
-                                        workload=workload,
-                                        scheme=label,
-                                        scheme_spec=spec,
-                                        cluster=cluster,
-                                        cluster_overrides=overrides,
-                                        cache_fraction=fraction,
-                                        cache_mb=self.cache_mb,
-                                        scale=self.scale,
-                                        iterations=self.iterations,
-                                        partitions=self.partitions,
-                                        seed=seed,
-                                        scheduler=scheduler,
-                                        control_plane=self.control_plane,
-                                        control_latency=latency,
-                                        control_jitter=self.control_jitter,
-                                        control_loss=self.control_loss,
-                                        control_seed=self.control_seed,
-                                        profile_store=self.profile_store,
-                                    ))
+                                    for placement in self.placements:
+                                        for churn in self.churn_rates:
+                                            for rebalance in self.rebalances:
+                                                out.append(CellSpec(
+                                                    workload=workload,
+                                                    scheme=label,
+                                                    scheme_spec=spec,
+                                                    cluster=cluster,
+                                                    cluster_overrides=overrides,
+                                                    cache_fraction=fraction,
+                                                    cache_mb=self.cache_mb,
+                                                    scale=self.scale,
+                                                    iterations=self.iterations,
+                                                    partitions=self.partitions,
+                                                    seed=seed,
+                                                    scheduler=scheduler,
+                                                    control_plane=self.control_plane,
+                                                    control_latency=latency,
+                                                    control_jitter=self.control_jitter,
+                                                    control_loss=self.control_loss,
+                                                    control_seed=self.control_seed,
+                                                    placement=placement,
+                                                    churn_rate=churn,
+                                                    churn_seed=self.churn_seed,
+                                                    rebalance=rebalance,
+                                                    profile_store=self.profile_store,
+                                                ))
         return out
 
     # ------------------------------------------------------------------
@@ -307,7 +363,8 @@ class GridSpec:
         if extra:
             raise ValueError(f"unknown grid spec key(s): {sorted(extra)}")
         for list_key in ("workloads", "schemes", "cache_fractions", "clusters",
-                         "seeds", "schedulers", "control_latencies"):
+                         "seeds", "schedulers", "control_latencies",
+                         "placements", "churn_rates", "rebalances"):
             if list_key in data and not isinstance(data[list_key], list):
                 data[list_key] = [data[list_key]]
         grid = cls(**data)

@@ -33,6 +33,8 @@ from repro.tenancy.arrivals import (
 from repro.tenancy.engine import (
     AppSpec,
     MultiTenantSimulator,
+    TimedNodeDecommission,
+    TimedNodeJoin,
     simulate_multi_tenant,
 )
 from repro.tenancy.metrics import (
@@ -59,6 +61,8 @@ __all__ = [
     "RDD_NAMESPACE_STRIDE",
     "StaticShares",
     "TenantStoreView",
+    "TimedNodeDecommission",
+    "TimedNodeJoin",
     "TraceArrivals",
     "VictimCandidate",
     "build_arbitration",

@@ -18,10 +18,11 @@ runs *N* applications against one shared set of worker nodes:
 
 Global event loop
 -----------------
-One heap orders three event kinds: stage **barriers** (an application's
+One heap orders four event kinds: cluster **membership** changes
+(timed joins and decommissions), stage **barriers** (an application's
 active stage completed), application **arrivals**, and executor **slot**
-frees.  Ties resolve barrier < arrival < slot, then by application
-index / node id, so the interleaving is fully deterministic.  Executor
+frees.  Ties resolve membership < barrier < arrival < slot, then by
+application index / node id, so the interleaving is fully deterministic.  Executor
 slots are continuous shared resources: tasks from all applications
 queue FIFO per node and any free slot runs the head task; a slot that
 finds no work parks and is woken by the next enqueue.  Before a task
@@ -37,6 +38,20 @@ Teardown: when an application finishes, its metrics are collected
 first, then every block in its RDD namespace is dropped from the shared
 stores and its tenant policies are deregistered — a finished tenant
 neither holds cache nor participates in arbitration.
+
+Elastic membership
+------------------
+Unlike the single-application engine's stage-boundary churn, a shared
+cluster changes size at wall-clock *times*: :class:`TimedNodeJoin` and
+:class:`TimedNodeDecommission` fire from the global heap, mid-stage if
+need be.  A join appends one shared worker node and registers it with
+every active application (each driver sends its own §4.4
+``WorkerRegister``, receiving the current distance table); a
+decommission hands each active application's resident blocks on that
+node to its :class:`~repro.cluster.rebalance.RebalancePolicy`,
+re-homes the node's queued tasks through each owner's placement, and
+retires the slot permanently.  Applications arriving later build their
+block-manager masters over the then-current live set.
 """
 
 from __future__ import annotations
@@ -47,8 +62,15 @@ from dataclasses import dataclass, field
 
 from repro.cluster.block_manager import BlockManager
 from repro.cluster.block_manager_master import BlockManagerMaster
-from repro.cluster.cluster import Cluster, ClusterConfig, build_cluster
-from repro.control.messages import ControlMessage, StageBoundary
+from repro.cluster.cluster import Cluster, ClusterConfig, build_cluster, make_worker
+from repro.cluster.placement import PLACEMENTS
+from repro.cluster.rebalance import REBALANCES
+from repro.control.messages import (
+    ControlMessage,
+    StageBoundary,
+    WorkerDeregister,
+    WorkerRegister,
+)
 from repro.control.plane import RpcConfig
 from repro.dag.dag_builder import ApplicationDAG, build_dag
 from repro.dag.structures import Stage
@@ -66,12 +88,52 @@ from repro.tenancy.arbitration import (
 )
 from repro.tenancy.arrivals import ArrivalProcess, FixedArrivals
 from repro.tenancy.metrics import MultiTenantMetrics
+from repro.trace.events import BlockMigrate
 from repro.workloads.base import WorkloadParams
 from repro.workloads.registry import build_workload
 
-#: Event-kind priorities at equal times: finish/advance stages first,
-#: then admit new applications, then dispatch tasks.
-_BARRIER, _ARRIVAL, _SLOT = 0, 1, 2
+#: Event-kind priorities at equal times: change the cluster first, then
+#: finish/advance stages, then admit new applications, then dispatch
+#: tasks.
+_MEMBER, _BARRIER, _ARRIVAL, _SLOT = 0, 1, 2, 3
+
+
+@dataclass(frozen=True)
+class TimedNodeJoin:
+    """Grow the shared cluster at simulated time ``at``.
+
+    ``node_id`` pins the joining node's id (a decommissioned slot may
+    rejoin); ``None`` opens the next fresh slot.
+    """
+
+    at: float
+    node_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("at must be non-negative")
+        if self.node_id is not None and self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+
+
+@dataclass(frozen=True)
+class TimedNodeDecommission:
+    """Permanently remove a shared node at simulated time ``at``.
+
+    ``None`` sheds the highest live node id (the autoscaler shape).
+    """
+
+    at: float
+    node_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("at must be non-negative")
+        if self.node_id is not None and self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+
+
+TimedMembershipEvent = TimedNodeJoin | TimedNodeDecommission
 
 
 @dataclass(frozen=True)
@@ -172,6 +234,8 @@ class _RunState:
     #: Free times of idle (parked) executor slots, per node.
     parked: list[list[float]] = field(default_factory=list)
     active: list[_AppState] = field(default_factory=list)
+    #: Node ids decommissioned so far (slots persist; liveness does not).
+    dead: set[int] = field(default_factory=set)
 
 
 class MultiTenantSimulator:
@@ -186,9 +250,22 @@ class MultiTenantSimulator:
         control_plane: str = "instant",
         control_config: RpcConfig | None = None,
         promote_on_miss: bool = True,
+        placement: str = "stride",
+        memberships: list[TimedMembershipEvent] | tuple[TimedMembershipEvent, ...] = (),
+        rebalance: str = "drop",
     ) -> None:
         if not apps:
             raise ValueError("a multi-tenant run needs at least one application")
+        if placement not in PLACEMENTS:
+            raise ValueError(f"unknown placement {placement!r} (choose from {PLACEMENTS})")
+        if rebalance not in REBALANCES:
+            raise ValueError(f"unknown rebalance {rebalance!r} (choose from {REBALANCES})")
+        for event in memberships:
+            if not isinstance(event, (TimedNodeJoin, TimedNodeDecommission)):
+                raise TypeError(
+                    "memberships must be TimedNodeJoin/TimedNodeDecommission, "
+                    f"got {event!r}"
+                )
         self.apps = tuple(apps)
         self.cluster_config = cluster_config
         self.arrivals = arrivals if arrivals is not None else FixedArrivals()
@@ -196,6 +273,9 @@ class MultiTenantSimulator:
         self.control_plane = control_plane
         self.control_config = control_config
         self.promote_on_miss = promote_on_miss
+        self.placement = placement
+        self.memberships = tuple(memberships)
+        self.rebalance = rebalance
         self._state: _RunState | None = None
 
     # ------------------------------------------------------------------
@@ -210,9 +290,13 @@ class MultiTenantSimulator:
             if t < 0:
                 raise ValueError("arrival times must be non-negative")
             heapq.heappush(heap, (t, _ARRIVAL, app.index))
+        for i, event in enumerate(self.memberships):
+            heapq.heappush(heap, (event.at, _MEMBER, i))
         while heap:
             t, kind, key = heapq.heappop(heap)
-            if kind == _BARRIER:
+            if kind == _MEMBER:
+                self._on_membership(key, t)
+            elif kind == _BARRIER:
                 self._on_barrier(key, t)
             elif kind == _ARRIVAL:
                 self._on_arrival(key, t)
@@ -259,6 +343,8 @@ class MultiTenantSimulator:
                 promote_on_miss=self.promote_on_miss,
                 control_plane=self.control_plane,
                 control_config=self.control_config,
+                placement=self.placement,
+                rebalance=self.rebalance,
             )
             apps.append(
                 _AppState(
@@ -294,7 +380,12 @@ class MultiTenantSimulator:
                 share=app.spec.share,
                 distance_of=driver.scheme.reference_distance,
             )
-        master = BlockManagerMaster(state.nodes)
+        master = BlockManagerMaster(state.nodes, placement=self.placement)
+        # A late arrival joins the cluster as it is *now*: nodes already
+        # decommissioned are dead slots from this application's first
+        # breath (they never take placement, never run its tasks).
+        for node_id in sorted(state.dead):
+            master.decommission_node(node_id)
         for mgr in master.managers:
             mgr.eviction_router = self._router_for(mgr.node.node_id)
         app.master = master
@@ -326,6 +417,11 @@ class MultiTenantSimulator:
         app.arrival = t
         state.active.append(app)
         app.driver._start_run(t)
+        if state.dead:
+            # _start_run resets the churn flags after _build_cluster, so
+            # the presence weighting must be re-armed here: dead slots
+            # contribute zero presence to this app's mean hit ratio.
+            app.driver._membership_changed = True
         if not app.stages:
             self._finish_app(app, t)
             return
@@ -382,6 +478,169 @@ class MultiTenantSimulator:
         app.remaining -= 1
         if app.remaining == 0:
             heapq.heappush(state.heap, (app.stage_end, _BARRIER, app.index))
+
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def _on_membership(self, index: int, t: float) -> None:
+        event = self.memberships[index]
+        if isinstance(event, TimedNodeJoin):
+            self._join_shared_node(event.node_id, t)
+        else:
+            self._decommission_shared_node(event.node_id, t)
+
+    def _join_shared_node(self, node_id: int | None, t: float) -> None:
+        """Grow the shared node set; every active application registers
+        the newcomer as a tenant target (its own §4.4 path)."""
+        state = self._state
+        assert state is not None
+        if node_id is None:
+            node_id = len(state.nodes)
+        if node_id < len(state.nodes):
+            if node_id not in state.dead:
+                return  # pinned join of a live node: nothing to do
+            node = state.nodes[node_id]  # a decommissioned slot rejoins
+            state.dead.discard(node_id)
+        elif node_id == len(state.nodes):
+            node = make_worker(
+                self.cluster_config,
+                node_id,
+                lambda nid: ArbitratedNodePolicy(self.arbitration),
+            )
+            state.nodes.append(node)
+            state.queues.append(deque())
+            state.parked.append([t] * node.num_slots)
+        else:
+            raise ValueError(
+                f"join of node {node_id} does not extend the cluster "
+                f"(next free id is {len(state.nodes)})"
+            )
+        for app in state.active:
+            driver = app.driver
+            master = app.master
+            assert master is not None
+            # A fresh slot needs this application's tenant policy on the
+            # node's composite; a rejoining slot keeps the (emptied) one
+            # it had, exactly like the standalone engine reuses a
+            # decommissioned node's policy.
+            while len(driver._tenant_policies) <= node_id:
+                nid = len(driver._tenant_policies)
+                policy = driver.scheme.policy_factory(nid)
+                driver._tenant_policies.append(policy)
+                composite = state.nodes[nid].policy
+                assert isinstance(composite, ArbitratedNodePolicy)
+                composite.register_tenant(
+                    app.index,
+                    policy,
+                    share=app.spec.share,
+                    distance_of=driver.scheme.reference_distance,
+                )
+            mgr = master.add_node(node)
+            mgr.eviction_router = self._router_for(node_id)
+            mgr.distance_source = driver.scheme.reference_distance
+            rec = driver.recorder
+            if rec.enabled:
+                mgr.recorder = rec
+            while len(driver._live_time) < master.num_nodes:
+                driver._live_time.append(0.0)
+                driver._live_since.append(t)
+            driver._live_since[node_id] = t
+            driver._membership_changed = True
+            driver._nodes_joined += 1
+            driver._plan_stage = None
+            driver._plan = None
+            driver.control.send(
+                WorkerRegister(
+                    sent_at=t, node_id=node_id, reason="join", app_id=driver.app_id
+                ),
+                driver._deliver_register,
+            )
+
+    def _decommission_shared_node(self, node_id: int | None, t: float) -> None:
+        """Retire a shared node: rebalance each active application's
+        resident blocks through its own policy and placement, re-home
+        the node's queued tasks, then drop the slot from liveness."""
+        state = self._state
+        assert state is not None
+        live = [i for i in range(len(state.nodes)) if i not in state.dead]
+        if node_id is None:
+            node_id = live[-1]  # autoscaler shape: shed the newest node
+        if node_id in state.dead or node_id >= len(state.nodes) or len(live) <= 1:
+            return  # already gone, unknown, or the last node must stay
+        node = state.nodes[node_id]
+        for app in state.active:
+            driver = app.driver
+            master = app.master
+            assert master is not None
+            mgr = master.managers[node_id]
+            rec = driver.recorder
+            if rec.enabled:
+                rec.now = t
+            for bid in list(mgr.inflight_prefetch):
+                mgr.cancel_inflight(bid, reason="decommissioned")
+            lo, hi = namespace_of(app.index)
+            resident = [b for b in node.memory.blocks() if lo <= b.id.rdd_id < hi]
+            master.decommission_node(node_id)
+            selected = driver.rebalance.select(
+                resident, lambda b: driver.scheme.reference_distance(b.id.rdd_id)
+            )
+            network = driver.cost.network
+            for block in selected:
+                dest_id = master.home_node_id(block.id)
+                dest = master.managers[dest_id]
+                dest.node.io_free_at = (
+                    max(dest.node.io_free_at, t)
+                    + network.transfer_time(block.size_mb)
+                )
+                dest.insert_cached(block)
+                driver._rebalanced_blocks += 1
+                driver._rebalanced_mb += block.size_mb
+                if rec.enabled:
+                    rec.emit(BlockMigrate(
+                        t=t, rdd_id=block.id.rdd_id, partition=block.id.partition,
+                        from_node=node_id, to_node=dest_id, size_mb=block.size_mb,
+                    ))
+            driver._decommission_dropped += len(resident) - len(selected)
+            driver._live_time[node_id] += t - driver._live_since[node_id]
+            driver._membership_changed = True
+            driver._nodes_decommissioned += 1
+            driver._plan_stage = None
+            driver._plan = None
+            driver.control.send(
+                WorkerDeregister(
+                    sent_at=t, node_id=node_id,
+                    reason="decommission", app_id=driver.app_id,
+                ),
+                driver._deliver_deregister,
+            )
+        # The node's stores leave with it (unmigrated blocks die here).
+        for bid in list(node.memory.block_ids()):
+            node.memory.remove(bid)
+        for bid in list(node.disk.block_ids()):
+            node.disk.remove(bid)
+        node.io_free_at = 0.0
+        state.dead.add(node_id)
+        # Re-home the dead node's queued tasks through each owner's new
+        # placement, FIFO order preserved per destination.  Slots busy on
+        # this node finish their current task, then park forever (nothing
+        # enqueues to a dead node) — unless the slot rejoins later.
+        queue = state.queues[node_id]
+        fixed_cache: dict[tuple[int, int], list[float]] = {}
+        while queue:
+            not_before, app_index, stage, partition, _ = queue.popleft()
+            app = state.apps[app_index]
+            master = app.master
+            assert master is not None
+            new_node = master.task_node_id(partition)
+            key = (app_index, stage.seq)
+            if key not in fixed_cache:
+                fixed_cache[key] = app.driver._stage_costs(stage)
+            state.queues[new_node].append(
+                (not_before, app_index, stage, partition, fixed_cache[key][new_node])
+            )
+            self._wake_node(new_node, t)
+        # Idle slots stay parked (never woken: nothing enqueues to a dead
+        # node), so a later rejoin of this slot finds them intact.
 
     # ------------------------------------------------------------------
     # stage and application lifecycle

@@ -12,6 +12,7 @@ Three capabilities around one event vocabulary (:mod:`~repro.trace.events`):
 """
 
 from repro.trace.events import (
+    BlockMigrate,
     CacheHit,
     CacheMiss,
     Eviction,
@@ -24,6 +25,8 @@ from repro.trace.events import (
     StageStart,
     TraceEvent,
     TraceFormatError,
+    WorkerDeregisterEvent,
+    WorkerRegisterEvent,
     event_from_dict,
     read_jsonl,
     to_chrome_trace,
@@ -65,6 +68,7 @@ def __getattr__(name: str):
     return getattr(importlib.import_module(module_name), name)
 
 __all__ = [
+    "BlockMigrate",
     "CacheHit",
     "CacheMiss",
     "Eviction",
@@ -87,6 +91,8 @@ __all__ = [
     "TraceRecorder",
     "TraceWorkloadSpec",
     "UnsupportedEventError",
+    "WorkerDeregisterEvent",
+    "WorkerRegisterEvent",
     "build_scheme",
     "detect_format",
     "diff_trace_files",

@@ -181,6 +181,47 @@ class PrefetchCancel(TraceEvent):
 
 
 # ----------------------------------------------------------------------
+# membership events (elastic clusters and §4.4 replacements)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerRegisterEvent(TraceEvent):
+    """A worker (re-)registered with the driver.
+
+    ``reason`` distinguishes a §4.4 ``"replacement"`` after a failure
+    from an elastic ``"join"``.  Startup registrations are not traced —
+    they happen identically in every run before time starts.
+    """
+
+    kind = "worker_register"
+
+    node_id: int
+    reason: str = "join"
+
+
+@dataclass(frozen=True)
+class WorkerDeregisterEvent(TraceEvent):
+    """A worker left the driver's view (failure or decommission)."""
+
+    kind = "worker_deregister"
+
+    node_id: int
+    reason: str = "failure"
+
+
+@dataclass(frozen=True)
+class BlockMigrate(TraceEvent):
+    """A decommissioned node's block was migrated to its new home."""
+
+    kind = "block_migrate"
+
+    rdd_id: int
+    partition: int
+    from_node: int
+    to_node: int
+    size_mb: float
+
+
+# ----------------------------------------------------------------------
 # control-plane events (rpc transport only; instant mode emits none —
 # direct calls have no messages)
 # ----------------------------------------------------------------------
@@ -234,6 +275,7 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         JobStart, StageStart, StageEnd,
         CacheHit, CacheMiss, Eviction, Purge,
         PrefetchIssue, PrefetchComplete, PrefetchCancel,
+        WorkerRegisterEvent, WorkerDeregisterEvent, BlockMigrate,
         MessageSend, MessageDeliver, MessageDrop,
     )
 }
@@ -317,6 +359,9 @@ _CHROME_CATEGORIES = {
     "prefetch_issue": "prefetch",
     "prefetch_complete": "prefetch",
     "prefetch_cancel": "prefetch",
+    "worker_register": "membership",
+    "worker_deregister": "membership",
+    "block_migrate": "membership",
     "msg_send": "control",
     "msg_deliver": "control",
     "msg_drop": "control",

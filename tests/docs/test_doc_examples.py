@@ -17,7 +17,12 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 #: Documents whose ```python blocks are executable end-to-end.
-EXECUTABLE_DOCS = ("docs/policies.md", "docs/sweeping.md", "docs/multitenancy.md")
+EXECUTABLE_DOCS = (
+    "docs/policies.md",
+    "docs/sweeping.md",
+    "docs/multitenancy.md",
+    "docs/elasticity.md",
+)
 
 _PYTHON_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 

@@ -15,6 +15,7 @@ from repro.experiments import (
     fig10,
     fig11_12,
     fig_control_latency,
+    fig_elastic,
     fig_load,
     table1,
     table3,
@@ -247,6 +248,55 @@ class TestFigLoad:
     def test_render(self, rows):
         text = fig_load.render(rows)
         assert "Offered load" in text and "global-mrd" in text
+
+
+class TestFigElastic:
+    KWARGS = dict(
+        workloads=("KM",), churn_rates=(0.0, 0.4),
+        rebalances=("drop", "migrate"),
+    )
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig_elastic.run(**self.KWARGS)
+
+    def test_grid_shape(self, rows):
+        # Per scheme: one static row + one row per (churn, rebalance).
+        assert {(r.scheme, r.churn_rate, r.rebalance) for r in rows} == {
+            ("LRU", 0.0, "-"), ("LRU", 0.4, "drop"), ("LRU", 0.4, "migrate"),
+            ("MRD", 0.0, "-"), ("MRD", 0.4, "drop"), ("MRD", 0.4, "migrate"),
+        }
+
+    def test_static_rows_are_their_own_baseline(self, rows):
+        for r in rows:
+            if r.churn_rate == 0.0:
+                assert r.norm_jct == pytest.approx(1.0)
+                assert r.nodes_joined == r.nodes_decommissioned == 0
+                assert r.rebalanced_blocks == r.dropped_blocks == 0
+
+    def test_churn_rows_actually_churn(self, rows):
+        """The pinned seed gives every cell at one rate the same
+        membership history — and at rate 0.4 on KM it is non-empty."""
+        churned = [r for r in rows if r.churn_rate > 0]
+        histories = {(r.nodes_joined, r.nodes_decommissioned) for r in churned}
+        assert len(histories) == 1  # identical across schemes/rebalances
+        joined, decommissioned = histories.pop()
+        assert joined + decommissioned > 0
+
+    def test_rebalance_accounting(self, rows):
+        for r in rows:
+            if r.rebalance == "drop":
+                assert r.rebalanced_blocks == 0
+                assert r.rebalanced_mb == 0.0
+        assert sum(r.rebalanced_blocks
+                   for r in rows if r.rebalance == "migrate") > 0
+
+    def test_deterministic_rerun(self, rows):
+        assert fig_elastic.run(**self.KWARGS) == rows
+
+    def test_render(self, rows):
+        text = fig_elastic.render(rows)
+        assert "Elastic membership" in text and "vs static" in text
 
 
 class TestCorrelations:

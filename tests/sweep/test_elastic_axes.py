@@ -1,0 +1,134 @@
+"""Elastic sweep axes: placement, churn rate/seed, rebalance.
+
+Fingerprint hygiene is the load-bearing property: churn-only fields
+must normalize to inert values on static cells (so a seed or rebalance
+choice that cannot affect the run never splits a result-store key), and
+a churn cell's derived seed must be a deterministic function of the
+cell alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sweep.runner import run_cells
+from repro.sweep.spec import CellSpec, GridSpec
+
+BASE = CellSpec(workload="KM", scheme="MRD", cache_fraction=0.4, partitions=8)
+
+
+# ----------------------------------------------------------------------
+# CellSpec validation and fingerprints
+# ----------------------------------------------------------------------
+def test_cell_validates_elastic_fields():
+    with pytest.raises(ValueError, match="placement must be one of"):
+        replace(BASE, placement="consistent")
+    with pytest.raises(ValueError, match="churn_rate must be in"):
+        replace(BASE, churn_rate=1.5)
+    with pytest.raises(ValueError, match="rebalance must be one of"):
+        replace(BASE, rebalance="replicate")
+
+
+def test_inert_churn_fields_do_not_split_static_fingerprints():
+    """On a static cell (churn_rate == 0) the churn seed and rebalance
+    policy cannot affect the run, so they must not change the content
+    address either — stored results stay shared."""
+    base = BASE.fingerprint()
+    assert replace(BASE, churn_seed=123).fingerprint() == base
+    assert replace(BASE, rebalance="migrate").fingerprint() == base
+    # Placement is NOT inert (it changes static routing) and must split.
+    assert replace(BASE, placement="rendezvous").fingerprint() != base
+
+
+def test_live_churn_fields_do_split_fingerprints():
+    churned = replace(BASE, churn_rate=0.4, churn_seed=0)
+    assert churned.fingerprint() != BASE.fingerprint()
+    assert replace(churned, churn_seed=1).fingerprint() != churned.fingerprint()
+    assert (replace(churned, rebalance="migrate").fingerprint()
+            != churned.fingerprint())
+
+
+def test_cell_round_trips_elastic_fields():
+    cell = replace(BASE, placement="rendezvous", churn_rate=0.4,
+                   churn_seed=7, rebalance="migrate")
+    back = CellSpec.from_dict(cell.to_dict())
+    assert back == cell
+    assert back.fingerprint() == cell.fingerprint()
+
+
+def test_derived_churn_seed():
+    explicit = replace(BASE, churn_rate=0.4, churn_seed=99)
+    assert explicit.derived_churn_seed() == 99
+    derived = replace(BASE, churn_rate=0.4)
+    assert derived.derived_churn_seed() == derived.derived_churn_seed()
+    # Distinct fingerprint slices: churn and control streams never share
+    # a seed on the same cell.
+    assert derived.derived_churn_seed() != derived.derived_control_seed()
+
+
+def test_label_shows_elastic_axes():
+    assert "rendezvous" in replace(BASE, placement="rendezvous").label()
+    churned = replace(BASE, churn_rate=0.4, rebalance="migrate")
+    assert "churn=0.4/migrate" in churned.label()
+    assert "churn" not in BASE.label()
+
+
+# ----------------------------------------------------------------------
+# GridSpec expansion
+# ----------------------------------------------------------------------
+def test_grid_expands_elastic_axes():
+    grid = GridSpec(
+        workloads=["KM"],
+        schemes=["MRD"],
+        placements=["stride", "rendezvous"],
+        churn_rates=[0.0, 0.4],
+        rebalances=["drop", "migrate"],
+    )
+    cells = grid.cells()
+    assert len(cells) == 2 * 2 * 2
+    assert {c.placement for c in cells} == {"stride", "rendezvous"}
+    assert {c.churn_rate for c in cells} == {0.0, 0.4}
+    assert {c.rebalance for c in cells} == {"drop", "migrate"}
+
+
+def test_grid_from_dict_coerces_scalar_axes():
+    grid = GridSpec.from_dict({
+        "workloads": "KM",
+        "placements": "rendezvous",
+        "churn_rates": 0.4,
+        "rebalances": "migrate",
+        "churn_seed": 3,
+    })
+    cells = grid.cells()
+    assert all(c.placement == "rendezvous" for c in cells)
+    assert all(c.churn_rate == 0.4 for c in cells)
+    assert all(c.rebalance == "migrate" for c in cells)
+    assert all(c.churn_seed == 3 for c in cells)
+
+
+# ----------------------------------------------------------------------
+# runner execution
+# ----------------------------------------------------------------------
+def test_runner_executes_churn_cell():
+    """A churned cell actually churns (KM at rate 0.4, seed 0 has
+    membership events — the fig_elastic configuration) and records the
+    elastic counters in its stored metrics."""
+    cell = replace(BASE, placement="rendezvous", churn_rate=0.4,
+                   churn_seed=0, rebalance="migrate")
+    outcome = run_cells([cell, BASE])
+    outcome.raise_on_error()
+    churned = outcome.metrics_for(cell)
+    static = outcome.metrics_for(BASE)
+    assert churned.nodes_joined + churned.nodes_decommissioned > 0
+    assert static.nodes_joined == static.nodes_decommissioned == 0
+    assert churned.jct != static.jct
+
+
+def test_runner_churn_cell_deterministic_across_invocations():
+    cell = replace(BASE, churn_rate=0.4, churn_seed=0)
+    a = run_cells([cell]).results[0]
+    b = run_cells([cell]).results[0]
+    assert a.ok and b.ok
+    assert a.metrics == b.metrics

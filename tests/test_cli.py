@@ -22,6 +22,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "PR", "--control-plane", "telepathy"])
 
+    def test_elastic_defaults(self):
+        args = build_parser().parse_args(["run", "PR"])
+        assert args.placement == "stride"
+        assert args.churn_rate == 0.0
+        assert args.churn_seed == 0
+        assert args.rebalance == "drop"
+
+    def test_elastic_choices_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "PR", "--placement", "consistent"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "PR", "--rebalance", "replicate"])
+
 
 class TestCommands:
     def test_workloads_lists_all(self, capsys):
@@ -214,6 +227,23 @@ class TestCommands:
         with pytest.raises(SystemExit, match="bad control-plane config"):
             main(["run", "SP", "--control-plane", "rpc",
                   "--control-loss", "1.5"])
+
+    def test_run_with_churn_prints_membership_line(self, capsys):
+        assert main([
+            "run", "KM", "--partitions", "8",
+            "--placement", "rendezvous",
+            "--churn-rate", "0.4", "--rebalance", "migrate",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "membership" in out and "migrated=" in out
+
+    def test_run_static_hides_membership_line(self, capsys):
+        assert main(["run", "SP", "--partitions", "16"]) == 0
+        assert "membership" not in capsys.readouterr().out
+
+    def test_run_bad_churn_config_exits(self):
+        with pytest.raises(SystemExit, match="bad churn config"):
+            main(["run", "SP", "--churn-rate", "1.5"])
 
     def test_experiment_control_latency_registered(self, capsys):
         assert main(["experiment", "fig_control_latency"]) == 0

@@ -7,6 +7,7 @@ import pytest
 
 from repro.trace.events import (
     EVENT_TYPES,
+    BlockMigrate,
     CacheHit,
     CacheMiss,
     Eviction,
@@ -21,6 +22,8 @@ from repro.trace.events import (
     StageEnd,
     StageStart,
     TraceFormatError,
+    WorkerDeregisterEvent,
+    WorkerRegisterEvent,
     event_from_dict,
     read_jsonl,
     to_chrome_trace,
@@ -45,6 +48,9 @@ SAMPLE_EVENTS = [
     MessageSend(t=2.6, msg="purge_order", node_id=1, deliver_at=2.7),
     MessageDeliver(t=2.7, msg="purge_order", node_id=1, sent_at=2.6, stale=True),
     MessageDrop(t=2.8, msg="cache_status", node_id=2, reason="outage"),
+    WorkerRegisterEvent(t=2.85, node_id=4, reason="join"),
+    BlockMigrate(t=2.9, rdd_id=6, partition=1, from_node=3, to_node=0, size_mb=24.0),
+    WorkerDeregisterEvent(t=2.95, node_id=3, reason="decommission"),
     StageEnd(t=3.0, seq=0, stage_id=0, job_id=0),
 ]
 
