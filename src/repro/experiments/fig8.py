@@ -34,6 +34,7 @@ def run(
     cache_fractions=FIG8_FRACTIONS,
     jobs: int = 1,
     store=None,
+    external: bool = False,
 ) -> list[Fig8Row]:
     schemes = {
         "LRU": SchemeSpec("LRU"),
@@ -44,7 +45,7 @@ def run(
     for name in workloads:
         sweep = sweep_workload(
             name, schemes=schemes, cluster=MAIN_CLUSTER,
-            cache_fractions=cache_fractions, jobs=jobs, store=store,
+            cache_fractions=cache_fractions, jobs=jobs, store=store, external=external,
         )
         best = min(
             sweep.fractions(), key=lambda f: sweep.normalized_jct("MRD-stage", f)

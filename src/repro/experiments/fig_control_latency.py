@@ -52,6 +52,7 @@ def run(
     cache_fraction: float = CACHE_FRACTION,
     jobs: int = 1,
     store=None,
+    external: bool = False,
 ) -> list[ControlLatencyRow]:
     plan: list[tuple[CellSpec, CellSpec]] = []  # (instant baseline, rpc cell)
     for name in workloads:
@@ -69,7 +70,7 @@ def run(
                 )
                 plan.append((baseline, rpc))
     cells = [cell for pair in plan for cell in pair]  # dedup is run_cells' job
-    outcome = run_cells(cells, jobs=jobs, store=store)
+    outcome = run_cells(cells, jobs=jobs, store=store, external=external)
     outcome.raise_on_error()
 
     rows: list[ControlLatencyRow] = []

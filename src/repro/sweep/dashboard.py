@@ -1,0 +1,413 @@
+"""Live sweep dashboard: JSON + HTML regenerated from a ResultStore.
+
+Zero dependencies beyond the standard library.  Everything is derived
+from the shared store directory the workers drain — the manifest
+(``grid.json``), the result files, the lease files and the worker
+registry — so the dashboard needs nothing but ``--store`` and can run
+on any machine that mounts it:
+
+* :func:`dashboard_payload` — one JSON-serialisable dict: grid
+  progress, per-cell status (``ok``/``error``/``running``/``pending``)
+  with the claiming worker and error summaries, worker liveness from
+  registry heartbeat ages, a clamped ETA, a results table, and per-axis
+  pivots (mean JCT / hit ratio grouped by every axis the grid actually
+  varies).
+* :func:`render_html` — a self-contained page (inline CSS, optional
+  ``<meta refresh>``) rendering that payload.
+* :func:`write_dashboard` — write ``dashboard.json`` + ``dashboard.html``
+  once (the ``repro sweep --serve --once`` path used by CI).
+* :func:`serve_dashboard` — a stdlib ``http.server`` loop serving both,
+  regenerated per request (the ``repro sweep --serve`` path).
+
+The payload is deterministic given the store's contents, modulo the
+fields that are genuinely clocks (lease/worker ages, ETA) — the schema
+round-trip test pins the shape (``tests/sweep/test_dashboard.py``).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.sweep.service import (
+    DEFAULT_LEASE_TTL_S,
+    LeaseManager,
+    load_manifest,
+    read_workers,
+)
+from repro.sweep.spec import CellSpec
+from repro.sweep.store import ResultStore
+
+#: Bump when the payload shape changes (consumers pin on this).
+DASHBOARD_SCHEMA_VERSION = 1
+
+#: Cell states the dashboard reports.
+CELL_STATES = ("ok", "error", "running", "pending")
+
+#: Axes pivot tables may group by, in display order.
+PIVOT_AXES = (
+    "workload", "scheme", "cluster", "cache", "seed",
+    "scheduler", "placement", "churn_rate", "control_latency",
+)
+
+
+def _axis_value(cell: CellSpec, axis: str) -> str:
+    if axis == "cache":
+        return (
+            f"{cell.cache_mb:g}MB" if cell.cache_mb is not None
+            else f"{cell.cache_fraction:g}"
+        )
+    return str(getattr(cell, axis))
+
+
+def _mean(values: list[float]) -> float | None:
+    finite = [v for v in values if v is not None and math.isfinite(v)]
+    if not finite:
+        return None
+    return sum(finite) / len(finite)
+
+
+def dashboard_payload(
+    store: ResultStore | str | Path,
+    cells: list[CellSpec] | None = None,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+) -> dict:
+    """Everything the dashboard shows, as one JSON-serialisable dict.
+
+    ``cells=None`` reads the store's published manifest; cells that
+    have results but fell out of the manifest are still listed (their
+    spec rides inside the stored result).
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    grid = list(cells) if cells is not None else load_manifest(store)
+    by_fingerprint = {cell.fingerprint(): cell for cell in grid}
+    # Results for cells outside the manifest still carry their spec.
+    for result in store:
+        if result.fingerprint not in by_fingerprint:
+            by_fingerprint[result.fingerprint] = CellSpec.from_dict(result.spec)
+    leases = {
+        info.fingerprint: info
+        for info in LeaseManager(store, "dashboard", ttl_s=lease_ttl_s).live_leases()
+    }
+
+    cell_rows = []
+    counts = dict.fromkeys(CELL_STATES, 0)
+    elapsed_ok: list[float] = []
+    for fingerprint in sorted(by_fingerprint):
+        cell = by_fingerprint[fingerprint]
+        result = store.get(fingerprint)
+        lease = leases.get(fingerprint)
+        if result is not None:
+            state = "ok" if result.ok else "error"
+        elif lease is not None and not lease.stale(lease_ttl_s):
+            state = "running"
+        else:
+            state = "pending"
+        counts[state] += 1
+        jct = hit = None
+        error = None
+        if result is not None and result.ok:
+            jct = result.metrics.get("jct") if result.metrics else None
+            hit = result.metrics.get("hit_ratio") if result.metrics else None
+            elapsed_ok.append(result.elapsed_s)
+        elif result is not None:
+            error = result.describe_error()
+        cell_rows.append({
+            "fingerprint": fingerprint,
+            "label": cell.label(),
+            "status": state,
+            "worker": lease.worker if lease is not None else None,
+            "elapsed_s": result.elapsed_s if result is not None else None,
+            "jct": jct,
+            "hit_ratio": hit,
+            "error": error,
+        })
+
+    workers = []
+    live_workers = 0
+    for entry in read_workers(store):
+        live = entry.get("age_s", math.inf) <= lease_ttl_s
+        live_workers += bool(live)
+        workers.append({
+            "worker": entry.get("worker", "?"),
+            "executed": entry.get("executed", 0),
+            "errors": entry.get("errors", 0),
+            "current": entry.get("current"),
+            "age_s": round(entry.get("age_s", 0.0), 1),
+            "live": live,
+        })
+
+    total = len(cell_rows)
+    done = counts["ok"] + counts["error"]
+    remaining = counts["running"] + counts["pending"]
+    mean_elapsed = _mean(elapsed_ok)
+    eta_s: float | None = None
+    if remaining and mean_elapsed is not None:
+        eta_s = remaining * mean_elapsed / max(live_workers, 1)
+        if not math.isfinite(eta_s) or eta_s < 0:
+            eta_s = None
+
+    pivots: dict[str, list[dict]] = {}
+    for axis in PIVOT_AXES:
+        values: dict[str, list[dict]] = {}
+        for row, fingerprint in zip(cell_rows, sorted(by_fingerprint)):
+            values.setdefault(
+                _axis_value(by_fingerprint[fingerprint], axis), []
+            ).append(row)
+        if len(values) < 2:
+            continue  # an axis the grid does not vary is noise, not a pivot
+        pivots[axis] = [
+            {
+                "value": value,
+                "cells": len(rows),
+                "ok": sum(1 for r in rows if r["status"] == "ok"),
+                "errors": sum(1 for r in rows if r["status"] == "error"),
+                "mean_jct": _mean([r["jct"] for r in rows]),
+                "mean_hit_ratio": _mean([r["hit_ratio"] for r in rows]),
+            }
+            for value, rows in sorted(values.items())
+        ]
+
+    return {
+        "schema": DASHBOARD_SCHEMA_VERSION,
+        "store": str(store.root),
+        "digest": store.content_digest(),
+        "progress": {
+            "total": total,
+            "done": done,
+            **counts,
+            "done_fraction": (done / total) if total else 0.0,
+        },
+        "eta_s": None if eta_s is None else round(eta_s, 1),
+        "workers": workers,
+        "cells": cell_rows,
+        "pivots": pivots,
+    }
+
+
+# ----------------------------------------------------------------------
+# HTML rendering
+# ----------------------------------------------------------------------
+_CSS = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace; margin: 2rem;
+       background: #fafafa; color: #1a1a1a; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+table { border-collapse: collapse; margin: 0.5rem 0; }
+th, td { border: 1px solid #ccc; padding: 0.25rem 0.6rem; text-align: left; }
+th { background: #eee; }
+.ok { color: #0a7d38; } .error { color: #b3261e; font-weight: bold; }
+.running { color: #0b57d0; } .pending { color: #777; }
+.dead { color: #b3261e; } .live { color: #0a7d38; }
+.bar { background: #ddd; width: 24rem; height: 0.9rem; }
+.bar > div { background: #0a7d38; height: 100%; }
+""".strip()
+
+
+def _esc(value: object) -> str:
+    return html.escape("-" if value is None else str(value))
+
+
+def _num(value: object, digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}" if isinstance(value, float) else str(value)
+
+
+def render_html(payload: dict, refresh_s: float | None = None) -> str:
+    """Render one payload as a self-contained page (no JS, inline CSS)."""
+    progress = payload["progress"]
+    fraction = progress["done_fraction"]
+    lines = [
+        "<!doctype html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>sweep dashboard — {_esc(payload['store'])}</title>",
+    ]
+    if refresh_s is not None:
+        lines.append(f"<meta http-equiv='refresh' content='{refresh_s:g}'>")
+    lines += [
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>Sweep dashboard — <code>{_esc(payload['store'])}</code></h1>",
+        f"<div class='bar'><div style='width:{fraction * 100:.1f}%'></div></div>",
+        "<p>"
+        f"{progress['done']}/{progress['total']} done "
+        f"({progress['ok']} ok, {progress['error']} error, "
+        f"{progress['running']} running, {progress['pending']} pending)"
+        + (
+            f" — ETA ~{payload['eta_s']:g}s"
+            if payload["eta_s"] is not None else ""
+        )
+        + f" — store digest <code>{_esc(payload['digest'][:16])}</code>"
+        "</p>",
+    ]
+
+    lines.append("<h2>Workers</h2>")
+    if payload["workers"]:
+        lines.append(
+            "<table><tr><th>worker</th><th>liveness</th><th>executed</th>"
+            "<th>errors</th><th>current cell</th><th>heartbeat age</th></tr>"
+        )
+        for w in payload["workers"]:
+            state = "live" if w["live"] else "dead"
+            lines.append(
+                f"<tr><td>{_esc(w['worker'])}</td>"
+                f"<td class='{state}'>{state}</td>"
+                f"<td>{w['executed']}</td><td>{w['errors']}</td>"
+                f"<td>{_esc(w['current'])}</td><td>{w['age_s']}s</td></tr>"
+            )
+        lines.append("</table>")
+    else:
+        lines.append("<p>No workers have registered against this store.</p>")
+
+    for axis, rows in payload["pivots"].items():
+        lines.append(f"<h2>By {_esc(axis)}</h2>")
+        lines.append(
+            "<table><tr><th>value</th><th>cells</th><th>ok</th>"
+            "<th>errors</th><th>mean JCT</th><th>mean hit</th></tr>"
+        )
+        for row in rows:
+            hit = row["mean_hit_ratio"]
+            lines.append(
+                f"<tr><td>{_esc(row['value'])}</td><td>{row['cells']}</td>"
+                f"<td>{row['ok']}</td><td>{row['errors']}</td>"
+                f"<td>{_num(row['mean_jct'])}</td>"
+                f"<td>{'-' if hit is None else f'{hit * 100:.0f}%'}</td></tr>"
+            )
+        lines.append("</table>")
+
+    lines.append("<h2>Cells</h2>")
+    lines.append(
+        "<table><tr><th>cell</th><th>status</th><th>worker</th>"
+        "<th>JCT</th><th>hit</th><th>elapsed</th><th>error</th></tr>"
+    )
+    for row in payload["cells"]:
+        hit = row["hit_ratio"]
+        lines.append(
+            f"<tr><td>{_esc(row['label'])}</td>"
+            f"<td class='{row['status']}'>{row['status']}</td>"
+            f"<td>{_esc(row['worker'])}</td>"
+            f"<td>{_num(row['jct'])}</td>"
+            f"<td>{'-' if hit is None else f'{hit * 100:.0f}%'}</td>"
+            f"<td>{_num(row['elapsed_s'], 2)}s</td>"
+            f"<td>{_esc(row['error'])}</td></tr>"
+        )
+    lines.append("</table></body></html>")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# writing and serving
+# ----------------------------------------------------------------------
+def write_dashboard(
+    store: ResultStore | str | Path,
+    cells: list[CellSpec] | None = None,
+    out_dir: str | Path | None = None,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    refresh_s: float | None = None,
+) -> tuple[Path, Path]:
+    """Write ``dashboard.json`` + ``dashboard.html``; returns both paths."""
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    out = Path(out_dir) if out_dir is not None else store.root
+    out.mkdir(parents=True, exist_ok=True)
+    payload = dashboard_payload(store, cells, lease_ttl_s=lease_ttl_s)
+    json_path = out / "dashboard.json"
+    html_path = out / "dashboard.html"
+    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    html_path.write_text(render_html(payload, refresh_s=refresh_s))
+    return json_path, html_path
+
+
+class _DashboardHandler(BaseHTTPRequestHandler):
+    """Regenerates the payload on every request (the store is the state)."""
+
+    server: DashboardServer  # narrowed for mypy
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            payload = dashboard_payload(
+                self.server.store, self.server.cells,
+                lease_ttl_s=self.server.lease_ttl_s,
+            )
+            if self.path.rstrip("/").endswith("dashboard.json"):
+                body = json.dumps(payload, indent=2, sort_keys=True).encode()
+                content_type = "application/json"
+            else:
+                body = render_html(
+                    payload, refresh_s=self.server.refresh_s
+                ).encode()
+                content_type = "text/html; charset=utf-8"
+        except Exception as exc:  # noqa: BLE001 - a broken store must not kill serving
+            body = f"dashboard error: {exc}".encode()
+            self.send_response(500)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass  # request logging is noise on a progress dashboard
+
+
+class DashboardServer(ThreadingHTTPServer):
+    """`http.server` bound to one store; used by ``repro sweep --serve``."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        store: ResultStore,
+        cells: list[CellSpec] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 8731,
+        refresh_s: float = 5.0,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    ) -> None:
+        super().__init__((host, port), _DashboardHandler)
+        self.store = store
+        self.cells = cells
+        self.refresh_s = refresh_s
+        self.lease_ttl_s = lease_ttl_s
+
+
+def serve_dashboard(
+    store: ResultStore | str | Path,
+    cells: list[CellSpec] | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8731,
+    refresh_s: float = 5.0,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+) -> None:  # pragma: no cover - blocking loop; DashboardServer is tested
+    """Serve the dashboard until interrupted (Ctrl-C)."""
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    server = DashboardServer(
+        store, cells, host=host, port=port,
+        refresh_s=refresh_s, lease_ttl_s=lease_ttl_s,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+
+
+__all__ = [
+    "CELL_STATES",
+    "DASHBOARD_SCHEMA_VERSION",
+    "PIVOT_AXES",
+    "DashboardServer",
+    "dashboard_payload",
+    "render_html",
+    "serve_dashboard",
+    "write_dashboard",
+]

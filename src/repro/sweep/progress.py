@@ -1,0 +1,86 @@
+"""Stderr progress lines for sweeps, with a clamped, honest ETA.
+
+The old inline progress callback estimated ETA as
+``elapsed / done * (total - done)``: when the first cells settled in
+under one clock tick (cached results, sub-millisecond cells) it
+printed ``~0s left`` for an hours-long grid — and the obvious
+rate-based rewrite divides by a zero elapsed and prints ``inf``.
+:class:`SweepProgress` forecloses both failure modes:
+
+* only *computed* cells feed the rate — cached cells settle in
+  microseconds and say nothing about how long the remaining work takes;
+* no estimate is shown (``~?s left``) until at least one computed cell
+  and one measurable clock tick exist;
+* whatever the arithmetic yields is clamped to a finite, non-negative
+  number before formatting — ``inf``/``nan`` never reach the terminal
+  (regression-tested in ``tests/sweep/test_progress.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from collections.abc import Callable
+from typing import IO
+
+from repro.sweep.spec import CellSpec
+from repro.sweep.store import CellResult
+
+#: Below this many seconds of observed compute, a rate is noise.
+MIN_MEASURABLE_S = 1e-3
+
+
+def format_eta(eta_s: float | None) -> str:
+    """``~12s left`` / ``~?s left``; never ``inf``, ``nan`` or negative."""
+    if eta_s is None or not math.isfinite(eta_s):
+        return "~?s left"
+    return f"~{max(eta_s, 0.0):.0f}s left"
+
+
+class SweepProgress:
+    """A ``progress(done, total, result)`` callback printing to stderr.
+
+    Drop-in for :data:`repro.sweep.runner.ProgressFn`; one instance per
+    sweep (it accumulates the computed-cell rate).
+    """
+
+    def __init__(
+        self,
+        stream: IO[str] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._stream = stream
+        self._clock = clock
+        self._start = clock()
+        self._computed = 0
+
+    # ------------------------------------------------------------------
+    def eta_s(self, done: int, total: int) -> float | None:
+        """Seconds left, or ``None`` while there is nothing to extrapolate."""
+        remaining = total - done
+        if remaining <= 0:
+            return 0.0
+        elapsed = self._clock() - self._start
+        if self._computed < 1 or elapsed < MIN_MEASURABLE_S:
+            return None
+        eta = elapsed / self._computed * remaining
+        if not math.isfinite(eta):
+            return None
+        return max(eta, 0.0)
+
+    def __call__(self, done: int, total: int, result: CellResult) -> None:
+        if not result.cached:
+            self._computed += 1
+        elapsed = self._clock() - self._start
+        state = "cached" if result.cached else ("ok" if result.ok else "ERROR")
+        label = CellSpec.from_dict(result.spec).label()
+        stream = self._stream if self._stream is not None else sys.stderr
+        print(
+            f"[{done}/{total}] {label}: {state} "
+            f"({elapsed:.1f}s elapsed, {format_eta(self.eta_s(done, total))})",
+            file=stream, flush=True,
+        )
+
+
+__all__ = ["MIN_MEASURABLE_S", "SweepProgress", "format_eta"]

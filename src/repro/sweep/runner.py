@@ -229,18 +229,37 @@ def run_cells(
     store: ResultStore | str | Path | None = None,
     resume: bool = True,
     progress: ProgressFn | None = None,
+    external: bool = False,
+    poll_s: float = 0.5,
+    timeout_s: float | None = None,
 ) -> SweepOutcome:
     """Run every cell; return results in cell order.
 
     ``jobs`` bounds worker processes (1 = in-process, no pool).  With a
     ``store``, completed cells persist immediately and — when ``resume``
     is true — previously stored *successful* results are served without
-    recomputation; stored error results always retry.
+    recomputation; stored error results always retry (their stale
+    profile directory is purged first, so the retry starts cold).
+
+    With ``external=True`` nothing computes locally: the grid manifest
+    is published into the ``store`` (which becomes mandatory) and this
+    call blocks, polling every ``poll_s`` seconds, until external
+    ``repro sweep --worker`` processes have settled every cell — the
+    coordinator half of the distributed sweep service
+    (:mod:`repro.sweep.service`).  ``timeout_s`` bounds the wait.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if store is not None and not isinstance(store, ResultStore):
         store = ResultStore(store)
+    if external:
+        if store is None:
+            raise ValueError("external workers need a shared --store directory")
+        if not resume:
+            raise ValueError(
+                "external workers cannot run with resume disabled; "
+                "reset the store instead"
+            )
     cells = list(cells)
     start = time.perf_counter()
 
@@ -261,12 +280,16 @@ def run_cells(
             cached += 1
             continue
         profile_path: str | None = None
-        if cell.profile_store:
+        if cell.profile_store and not external:
             if store is None:
                 raise ValueError(
                     f"cell {cell.label()} wants a file-backed profile store, "
                     "but the sweep has no result store directory"
                 )
+            # The cell is about to recompute: purge any profile a prior
+            # run of this fingerprint left behind (cross-run MRD profile
+            # leakage — the result must be a pure function of the spec).
+            store.reset_profiles(fingerprint)
             profile_path = str(store.profile_path(fingerprint))
         seen_pending.add(fingerprint)
         pending.append((cell, profile_path))
@@ -286,7 +309,35 @@ def run_cells(
         if progress is not None:
             progress(done, total, result)
 
-    if pending:
+    if pending and external:
+        from repro.sweep.service import publish_manifest
+
+        assert isinstance(store, ResultStore)
+        publish_manifest(store, cells)
+        waiting = [cell for cell, _ in pending]
+        deadline = None if timeout_s is None else start + timeout_s
+        while waiting:
+            still_waiting = []
+            for cell in waiting:
+                result = store.get(cell.fingerprint())
+                if result is None:
+                    still_waiting.append(cell)
+                    continue
+                results[result.fingerprint] = result
+                done += 1
+                if progress is not None:
+                    progress(done, total, result)
+            waiting = still_waiting
+            if not waiting:
+                break
+            if deadline is not None and time.perf_counter() > deadline:
+                raise TimeoutError(
+                    f"gave up waiting for external workers after {timeout_s:g}s "
+                    f"({len(waiting)} cell(s) unsettled; is a worker running "
+                    f"against {store.root}?)"
+                )
+            time.sleep(poll_s)
+    elif pending:
         if jobs == 1:
             for task in pending:
                 _record(_pool_entry(task))

@@ -27,9 +27,11 @@ demonstrates it).
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import json
 import logging
 import os
+import shutil
 import tempfile
 from collections.abc import Iterator
 from dataclasses import dataclass, field
@@ -122,6 +124,30 @@ class ResultStore:
         return cell_dir / "profiles.json"
 
     # ------------------------------------------------------------------
+    def reset_profiles(self, fingerprint: str) -> bool:
+        """Purge a cell's ``profiles/<fingerprint>/`` directory.
+
+        Called whenever a cell is about to *recompute* (``--no-resume``,
+        a stored error retrying, a reclaimed lease): a cell result must
+        be a pure function of its spec, but MRD's recurring mode reads
+        whatever profile the per-cell store already holds — so a profile
+        left behind by an earlier run of the same fingerprint would leak
+        into the fresh run and change its metrics.  Returns ``True``
+        when something was removed.
+        """
+        cell_dir = self.profiles_dir / fingerprint
+        if not cell_dir.exists():
+            return False
+        shutil.rmtree(cell_dir, ignore_errors=True)
+        return True
+
+    def reset_cell(self, fingerprint: str) -> None:
+        """Forget one cell entirely: its result file and its profiles."""
+        with contextlib.suppress(FileNotFoundError):
+            self.cell_path(fingerprint).unlink()
+        self.reset_profiles(fingerprint)
+
+    # ------------------------------------------------------------------
     def get(self, fingerprint: str) -> CellResult | None:
         """Stored result, or ``None`` when absent/unreadable."""
         path = self.cell_path(fingerprint)
@@ -174,6 +200,24 @@ class ResultStore:
         if not self.cells_dir.is_dir():
             return []
         return sorted(p.stem for p in self.cells_dir.glob("*.json"))
+
+    def content_digest(self) -> str:
+        """SHA-256 over every stored result's *identity-bearing* content.
+
+        Two stores holding the same results have the same digest no
+        matter which machines computed the cells, in what order, or how
+        long each took: ``elapsed_s`` is wall-clock and explicitly
+        excluded from identity (see :class:`CellResult`).  This is the
+        equality the distributed-sweep guardrail asserts — N workers
+        over a shared store must digest identically to ``--jobs 1``.
+        """
+        h = hashlib.sha256()
+        for result in self:
+            payload = result.to_json()
+            payload.pop("elapsed_s", None)
+            h.update(result.fingerprint.encode())
+            h.update(json.dumps(payload, sort_keys=True).encode())
+        return h.hexdigest()
 
     def __len__(self) -> int:
         return len(self.fingerprints())

@@ -1,0 +1,189 @@
+"""Dashboard payload schema, statuses, pivots, HTML, and the HTTP server."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.sweep.dashboard import (
+    CELL_STATES,
+    DASHBOARD_SCHEMA_VERSION,
+    DashboardServer,
+    dashboard_payload,
+    render_html,
+    write_dashboard,
+)
+from repro.sweep.runner import run_cells
+from repro.sweep.service import LeaseManager, publish_manifest
+from repro.sweep.spec import CellSpec, GridSpec
+from repro.sweep.store import STATUS_ERROR, CellResult, ResultStore
+
+
+def _cells(fractions=(0.3, 0.6), schemes=("LRU", "MRD")) -> list[CellSpec]:
+    return GridSpec(
+        workloads=["SP"], schemes=list(schemes),
+        cache_fractions=list(fractions), clusters=["test"], partitions=8,
+    ).cells()
+
+
+@pytest.fixture()
+def drained_store(tmp_path) -> ResultStore:
+    store = ResultStore(tmp_path / "store")
+    cells = _cells()
+    publish_manifest(store, cells)
+    run_cells(cells, jobs=1, store=store).raise_on_error()
+    return store
+
+
+class TestPayload:
+    def test_schema_and_top_level_keys(self, drained_store):
+        payload = dashboard_payload(drained_store)
+        assert payload["schema"] == DASHBOARD_SCHEMA_VERSION
+        assert set(payload) == {
+            "schema", "store", "digest", "progress", "eta_s",
+            "workers", "cells", "pivots",
+        }
+        assert payload["digest"] == drained_store.content_digest()
+
+    def test_payload_round_trips_through_json(self, drained_store):
+        payload = dashboard_payload(drained_store)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_progress_counts_a_drained_grid(self, drained_store):
+        progress = dashboard_payload(drained_store)["progress"]
+        assert progress["total"] == 4
+        assert progress["done"] == 4 and progress["ok"] == 4
+        assert progress["error"] == progress["running"] == progress["pending"] == 0
+        assert progress["done_fraction"] == 1.0
+
+    def test_cell_rows_carry_metrics(self, drained_store):
+        rows = dashboard_payload(drained_store)["cells"]
+        assert len(rows) == 4
+        assert [r["fingerprint"] for r in rows] == sorted(
+            r["fingerprint"] for r in rows
+        )
+        for row in rows:
+            assert row["status"] in CELL_STATES
+            assert row["status"] == "ok"
+            assert row["jct"] > 0
+            assert 0.0 <= row["hit_ratio"] <= 1.0
+            assert row["error"] is None
+
+    def test_statuses_cover_all_four_states(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cells = _cells(fractions=(0.2, 0.3, 0.5, 0.7), schemes=("LRU",))
+        publish_manifest(store, cells)
+        ok, bad, leased, idle = cells
+        run_cells([ok], jobs=1, store=store).raise_on_error()
+        store.put(CellResult(
+            fingerprint=bad.fingerprint(), spec=bad.to_dict(),
+            status=STATUS_ERROR,
+            error={"type": "RuntimeError", "message": "boom", "traceback": ""},
+        ))
+        assert LeaseManager(store, "w7", ttl_s=3600.0).acquire(leased.fingerprint())
+
+        payload = dashboard_payload(store, lease_ttl_s=3600.0)
+        by_fingerprint = {r["fingerprint"]: r for r in payload["cells"]}
+        assert by_fingerprint[ok.fingerprint()]["status"] == "ok"
+        assert by_fingerprint[bad.fingerprint()]["status"] == "error"
+        assert "RuntimeError: boom" in by_fingerprint[bad.fingerprint()]["error"]
+        assert by_fingerprint[leased.fingerprint()]["status"] == "running"
+        assert by_fingerprint[leased.fingerprint()]["worker"] == "w7"
+        assert by_fingerprint[idle.fingerprint()]["status"] == "pending"
+        assert payload["progress"]["running"] == 1
+        assert payload["progress"]["pending"] == 1
+
+    def test_eta_is_none_when_drained_and_finite_when_not(self, drained_store):
+        assert dashboard_payload(drained_store)["eta_s"] is None
+        # Add pending work: the mean elapsed of done cells gives an ETA.
+        extra = _cells(fractions=(0.9,))
+        publish_manifest(drained_store, extra)
+        eta = dashboard_payload(drained_store)["eta_s"]
+        assert eta is not None and eta >= 0
+
+    def test_pivots_only_for_varied_axes(self, drained_store):
+        pivots = dashboard_payload(drained_store)["pivots"]
+        # The grid varies scheme and cache fraction; nothing else.
+        assert set(pivots) == {"scheme", "cache"}
+        schemes = {row["value"] for row in pivots["scheme"]}
+        assert schemes == {"LRU", "MRD"}
+        for row in pivots["scheme"]:
+            assert row["cells"] == 2 and row["ok"] == 2
+            assert row["mean_jct"] > 0
+
+    def test_results_outside_the_manifest_still_listed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cells = _cells(fractions=(0.4,), schemes=("LRU",))
+        run_cells(cells, jobs=1, store=store).raise_on_error()  # no manifest
+        payload = dashboard_payload(store)
+        assert payload["progress"]["total"] == 1
+        assert payload["cells"][0]["status"] == "ok"
+
+    def test_workers_liveness_split(self, tmp_path, monkeypatch):
+        import repro.sweep.service as service
+
+        store = ResultStore(tmp_path)
+        service.write_worker_heartbeat(store, "fresh", executed=2)
+        service.write_worker_heartbeat(store, "crashed", executed=1)
+        import os, time  # noqa: E401
+
+        dead = service.workers_dir(store) / "crashed.json"
+        old = time.time() - 9999
+        os.utime(dead, (old, old))
+        workers = dashboard_payload(store, lease_ttl_s=60.0)["workers"]
+        by_id = {w["worker"]: w for w in workers}
+        assert by_id["fresh"]["live"] is True
+        assert by_id["crashed"]["live"] is False
+
+
+class TestHtmlAndFiles:
+    def test_render_html_is_self_contained(self, drained_store):
+        page = render_html(dashboard_payload(drained_store))
+        assert page.startswith("<!doctype html>")
+        assert "<style>" in page  # inline CSS, no external assets
+        assert "http-equiv='refresh'" not in page
+        assert "SP/LRU@0.3" in page
+        assert "Workers" in page and "Cells" in page
+
+    def test_render_html_meta_refresh(self, drained_store):
+        page = render_html(dashboard_payload(drained_store), refresh_s=5)
+        assert "<meta http-equiv='refresh' content='5'>" in page
+
+    def test_write_dashboard_emits_json_and_html(self, drained_store, tmp_path):
+        out = tmp_path / "out"
+        json_path, html_path = write_dashboard(drained_store, out_dir=out)
+        payload = json.loads(json_path.read_text())
+        assert payload["schema"] == DASHBOARD_SCHEMA_VERSION
+        assert html_path.read_text().startswith("<!doctype html>")
+
+    def test_write_dashboard_defaults_into_the_store(self, drained_store):
+        json_path, html_path = write_dashboard(drained_store)
+        assert json_path == drained_store.root / "dashboard.json"
+        assert html_path == drained_store.root / "dashboard.html"
+
+
+class TestServer:
+    def test_serves_html_and_json(self, drained_store):
+        server = DashboardServer(drained_store, host="127.0.0.1", port=0)
+        import threading
+
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            with urllib.request.urlopen(f"http://{host}:{port}/") as resp:
+                assert resp.status == 200
+                assert "text/html" in resp.headers["Content-Type"]
+                assert b"Sweep dashboard" in resp.read()
+            url = f"http://{host}:{port}/dashboard.json"
+            with urllib.request.urlopen(url) as resp:
+                assert resp.status == 200
+                payload = json.loads(resp.read())
+                assert payload["schema"] == DASHBOARD_SCHEMA_VERSION
+                assert payload["progress"]["done"] == 4
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)

@@ -1,0 +1,121 @@
+"""ETA regression tests: the progress line never prints inf/nan/negative.
+
+The bug being pinned: cells finishing in under one clock tick made the
+rate-based ETA divide by ~zero and print ``inf`` (or ``~0s left`` for an
+hours-long grid).  A fake clock reproduces the degenerate timings
+deterministically.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+
+from repro.sweep.progress import MIN_MEASURABLE_S, SweepProgress, format_eta
+from repro.sweep.spec import CellSpec
+from repro.sweep.store import STATUS_OK, CellResult
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _result(cached: bool = False) -> CellResult:
+    cell = CellSpec(workload="SP", cluster="test", cache_fraction=0.4)
+    result = CellResult(
+        fingerprint=cell.fingerprint(),
+        spec=cell.to_dict(),
+        status=STATUS_OK,
+        metrics={},
+    )
+    result.cached = cached
+    return result
+
+
+class TestFormatEta:
+    def test_formats_seconds(self):
+        assert format_eta(12.4) == "~12s left"
+
+    def test_none_and_nonfinite_are_unknown(self):
+        assert format_eta(None) == "~?s left"
+        assert format_eta(math.inf) == "~?s left"
+        assert format_eta(math.nan) == "~?s left"
+
+    def test_negative_clamps_to_zero(self):
+        assert format_eta(-3.0) == "~0s left"
+
+
+class TestSweepProgressEta:
+    def test_zero_elapsed_first_cell_shows_unknown_not_inf(self):
+        """The regression: a cell completing in <1 tick must not emit inf."""
+        clock = FakeClock()
+        stream = io.StringIO()
+        progress = SweepProgress(stream=stream, clock=clock)
+        progress(1, 100, _result())  # clock has not advanced at all
+        line = stream.getvalue()
+        assert "~?s left" in line
+        assert "inf" not in line and "nan" not in line
+
+    def test_sub_millisecond_elapsed_still_unknown(self):
+        clock = FakeClock()
+        progress = SweepProgress(stream=io.StringIO(), clock=clock)
+        clock.now += MIN_MEASURABLE_S / 10
+        progress(1, 100, _result())
+        assert progress.eta_s(1, 100) is None
+
+    def test_cached_cells_do_not_feed_the_rate(self):
+        """A burst of instant cached cells says nothing about compute."""
+        clock = FakeClock()
+        stream = io.StringIO()
+        progress = SweepProgress(stream=stream, clock=clock)
+        for done in range(1, 51):
+            progress(done, 100, _result(cached=True))
+        clock.now += 10.0  # time passes, still zero *computed* cells
+        assert progress.eta_s(50, 100) is None
+        assert "inf" not in stream.getvalue()
+
+    def test_rate_uses_computed_cells_only(self):
+        clock = FakeClock()
+        progress = SweepProgress(stream=io.StringIO(), clock=clock)
+        progress(1, 10, _result(cached=True))  # instant, excluded
+        clock.now += 8.0
+        progress(2, 10, _result())
+        # One computed cell over 8s elapsed → 8s/cell × 8 remaining = 64s.
+        eta = progress.eta_s(2, 10)
+        assert eta == 64.0
+
+    def test_eta_is_zero_when_done(self):
+        progress = SweepProgress(stream=io.StringIO(), clock=FakeClock())
+        assert progress.eta_s(10, 10) == 0.0
+
+    def test_eta_never_negative_or_nonfinite(self):
+        clock = FakeClock()
+        progress = SweepProgress(stream=io.StringIO(), clock=clock)
+        for done in range(1, 6):
+            clock.now += 0.5
+            progress(done, 5, _result())
+            eta = progress.eta_s(done, 5)
+            assert eta is not None
+            assert math.isfinite(eta) and eta >= 0
+
+    def test_progress_line_shape(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        progress = SweepProgress(stream=stream, clock=clock)
+        clock.now += 2.0
+        progress(1, 4, _result())
+        line = stream.getvalue()
+        assert line.startswith("[1/4] SP/LRU@0.4: ok ")
+        assert "(2.0s elapsed, ~6s left)" in line
+
+    def test_error_cells_are_labelled(self):
+        stream = io.StringIO()
+        progress = SweepProgress(stream=stream, clock=FakeClock())
+        bad = _result()
+        bad.status = "error"
+        progress(1, 2, bad)
+        assert "ERROR" in stream.getvalue()

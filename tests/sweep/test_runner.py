@@ -196,3 +196,48 @@ class TestSchedulerEquivalence:
         # Forge a divergence to prove the check has teeth.
         outcome.results[1].metrics = dict(outcome.results[1].metrics, jct=999.0)
         assert len(scheduler_mismatches(outcome)) == 1
+
+
+class TestProfilePurgeOnRecompute:
+    """Recompute = reset: no profile state may leak across runs."""
+
+    def _profile_cell(self) -> CellSpec:
+        return CellSpec(workload="SP", cluster="test", cache_fraction=0.4,
+                        partitions=8, profile_store=True)
+
+    def test_no_resume_purges_stale_profile_directory(self, tmp_path):
+        cell = self._profile_cell()
+        store = ResultStore(tmp_path)
+        run_cells([cell], store=store).raise_on_error()
+        sentinel = store.profiles_dir / cell.fingerprint() / "stale-marker"
+        sentinel.write_text("from an earlier run")
+        outcome = run_cells([cell], store=store, resume=False)
+        assert outcome.computed == 1
+        assert not sentinel.exists()  # purged before the cell recomputed
+
+    def test_stored_error_retry_purges_profile_directory(self, tmp_path):
+        from repro.sweep.store import STATUS_ERROR, CellResult
+
+        cell = self._profile_cell()
+        store = ResultStore(tmp_path)
+        fingerprint = cell.fingerprint()
+        sentinel = store.profiles_dir / fingerprint / "stale-marker"
+        sentinel.parent.mkdir(parents=True)
+        sentinel.write_text("left behind by a crashed run")
+        store.put(CellResult(
+            fingerprint=fingerprint, spec=cell.to_dict(), status=STATUS_ERROR,
+            error={"type": "RuntimeError", "message": "crash", "traceback": ""},
+        ))
+        outcome = run_cells([cell], store=store)
+        assert outcome.computed == 1 and outcome.errors == 0
+        assert not sentinel.exists()
+
+    def test_cached_cells_keep_their_profiles(self, tmp_path):
+        cell = self._profile_cell()
+        store = ResultStore(tmp_path)
+        run_cells([cell], store=store).raise_on_error()
+        marker = store.profiles_dir / cell.fingerprint() / "kept"
+        marker.write_text("cached cells must not be reset")
+        outcome = run_cells([cell], store=store)  # served from the store
+        assert outcome.cached == 1
+        assert marker.exists()

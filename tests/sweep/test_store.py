@@ -119,3 +119,66 @@ class TestCellResult:
     def test_json_round_trip(self):
         result = _ok_result()
         assert CellResult.from_json(result.to_json()) == result
+
+
+class TestReset:
+    def test_reset_profiles_purges_the_cell_directory(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.profile_path("aaaa")
+        path.write_text("{}")
+        assert store.reset_profiles("aaaa") is True
+        assert not path.parent.exists()
+        # Other cells' profiles are untouched.
+        other = store.profile_path("bbbb")
+        other.write_text("{}")
+        store.reset_profiles("aaaa")
+        assert other.exists()
+
+    def test_reset_profiles_without_directory_is_noop(self, tmp_path):
+        assert ResultStore(tmp_path).reset_profiles("nope") is False
+
+    def test_reset_cell_forgets_result_and_profiles(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_ok_result("aaaa"))
+        store.profile_path("aaaa").write_text("{}")
+        store.reset_cell("aaaa")
+        assert store.get("aaaa") is None
+        assert not (store.profiles_dir / "aaaa").exists()
+        store.reset_cell("aaaa")  # idempotent
+
+
+class TestContentDigest:
+    def test_equal_stores_digest_equal(self, tmp_path):
+        a, b = ResultStore(tmp_path / "a"), ResultStore(tmp_path / "b")
+        for store in (a, b):
+            store.put(_ok_result("aaaa"))
+            store.put(_ok_result("bbbb"))
+        assert a.content_digest() == b.content_digest()
+
+    def test_digest_ignores_wall_clock_elapsed(self, tmp_path):
+        """elapsed_s varies per machine; it must not split identity."""
+        a, b = ResultStore(tmp_path / "a"), ResultStore(tmp_path / "b")
+        fast, slow = _ok_result("aaaa"), _ok_result("aaaa")
+        fast.elapsed_s, slow.elapsed_s = 0.01, 99.9
+        a.put(fast)
+        b.put(slow)
+        assert a.content_digest() == b.content_digest()
+
+    def test_digest_sees_metric_changes(self, tmp_path):
+        a, b = ResultStore(tmp_path / "a"), ResultStore(tmp_path / "b")
+        a.put(_ok_result("aaaa"))
+        changed = _ok_result("aaaa")
+        changed.metrics = {"jct": 2.0}
+        b.put(changed)
+        assert a.content_digest() != b.content_digest()
+
+    def test_digest_independent_of_write_order(self, tmp_path):
+        a, b = ResultStore(tmp_path / "a"), ResultStore(tmp_path / "b")
+        a.put(_ok_result("aaaa"))
+        a.put(_ok_result("bbbb"))
+        b.put(_ok_result("bbbb"))
+        b.put(_ok_result("aaaa"))
+        assert a.content_digest() == b.content_digest()
+
+    def test_empty_store_has_a_digest(self, tmp_path):
+        assert len(ResultStore(tmp_path).content_digest()) == 64
