@@ -1,26 +1,40 @@
-"""Determinism-contract static analysis (``repro lint``).
+"""Whole-program contract static analysis (``repro lint``).
 
-The reproduction's headline guarantees are determinism invariants:
-parallel sweeps are bit-identical to serial runs, an rpc control plane
-at zero latency is equivalent to the instant one, and every RNG draw is
-accounted for.  Nothing in the type system stops a future change from
-breaking them with a global ``random.random()`` call, a wall-clock read
-inside the simulator, or an unordered ``set`` iteration feeding a heap
-push — those bugs only surface (sometimes) as flaky equivalence-suite
-failures.
+The reproduction's headline guarantees are determinism and
+crash-consistency invariants: parallel sweeps are bit-identical to
+serial runs, an rpc control plane at zero latency is equivalent to the
+instant one, distributed workers settle results atomically over a
+shared store, and every RNG draw is accounted for.  Nothing in the type
+system stops a future change from breaking them with a global
+``random.random()`` call, a wall-clock read inside the simulator, a
+manifest rewritten without its lock, or an event kind nobody's pivot
+table handles — those bugs only surface (sometimes) as flaky
+equivalence-suite failures.
 
-This package encodes the contract as an AST-based lint pass:
+This package encodes the contracts as a two-pass AST lint: a per-module
+pass, then a *whole-program* pass over a
+:class:`~repro.analysis.project.ProjectContext` (symbol tables, import
+graph, conservative call graph, class hierarchy) that cross-module
+rules consume:
 
 * :mod:`repro.analysis.base` — the rule framework (:class:`Rule`,
-  registry, :class:`ModuleContext` with parent/import maps);
-* :mod:`repro.analysis.determinism` — the shipped rule set
+  :class:`ProjectRule`, registry, :class:`ModuleContext`);
+* :mod:`repro.analysis.project` — the first pass: whole-program context
+  construction and the ``--changed`` import-closure computation;
+* :mod:`repro.analysis.determinism` — per-module rules
   (DET001–DET004, MUT001);
+* :mod:`repro.analysis.rng_rules` — RNG provenance (RNG101–RNG103);
+* :mod:`repro.analysis.io_rules` — crash-consistent IO over the shared
+  store (IO201–IO203);
+* :mod:`repro.analysis.event_rules` — trace-event schema drift (EVT301);
 * :mod:`repro.analysis.suppressions` — ``# repro: noqa[RULE]`` line and
   ``# repro: noqa-file[RULE]`` file suppressions;
-* :mod:`repro.analysis.baseline` — grandfathered-finding baselines so
-  the gate can be adopted incrementally;
+* :mod:`repro.analysis.baseline` — grandfathered-finding baselines
+  (path- and content-hash-keyed) so the gate can be adopted
+  incrementally;
+* :mod:`repro.analysis.changed` — git-diff-scoped runs for pre-commit;
 * :mod:`repro.analysis.runner` / :mod:`repro.analysis.reporters` — file
-  collection, rule execution and text/JSON output;
+  collection, rule execution and text/JSON/GitHub-annotation output;
 * :mod:`repro.analysis.cli` — the ``repro lint`` subcommand, also
   runnable dependency-free as ``python -m repro.analysis``.
 
@@ -29,9 +43,16 @@ See ``docs/static-analysis.md`` for the rule catalog and workflow.
 
 from __future__ import annotations
 
-from repro.analysis.base import Rule, all_rules, get_rule, register_rule
+from repro.analysis.base import (
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    register_rule,
+)
 from repro.analysis.baseline import Baseline
 from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectContext
 from repro.analysis.runner import LintConfig, LintResult, lint_paths
 
 __all__ = [
@@ -39,6 +60,8 @@ __all__ = [
     "Finding",
     "LintConfig",
     "LintResult",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "get_rule",

@@ -18,8 +18,12 @@ import ast
 from collections.abc import Iterator
 from functools import cached_property
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.analysis.project import ProjectContext
 
 
 class ModuleContext:
@@ -132,6 +136,34 @@ class Rule:
         return any(f"/{fragment}/" in probe for fragment in self.applies_to)
 
 
+class ProjectRule(Rule):
+    """A rule that needs the whole program, not one module.
+
+    Subclasses implement :meth:`check_project` against a built
+    :class:`~repro.analysis.project.ProjectContext`; the runner calls it
+    once per lint run (after the per-module pass) and applies the same
+    path scoping and suppression filtering to the findings it yields —
+    scoping keys on each *finding's* path, so a cross-module rule sees
+    every analyzed module as context but only reports inside its
+    patrolled packages.
+    """
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Project rules run in the project pass; the module pass skips them."""
+        return iter(())
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        """Yield findings over the whole analyzed module set."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def finding_at(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Alias of :meth:`Rule.finding` (explicit name for project rules)."""
+        return self.finding(module, node, message)
+
+
 #: Registry: rule id → rule instance (populated by :func:`register_rule`).
 _REGISTRY: dict[str, Rule] = {}
 
@@ -147,16 +179,23 @@ def register_rule(cls: type[Rule]) -> type[Rule]:
     return cls
 
 
+def _load_shipped_rules() -> None:
+    """Import every shipped rule module (registration side effect)."""
+    import repro.analysis.determinism  # noqa: F401
+    import repro.analysis.event_rules  # noqa: F401
+    import repro.analysis.io_rules  # noqa: F401
+    import repro.analysis.rng_rules  # noqa: F401
+
+
 def all_rules() -> list[Rule]:
     """Every registered rule, sorted by id."""
-    import repro.analysis.determinism  # noqa: F401  (registers the shipped rules)
-
+    _load_shipped_rules()
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
 
 
 def get_rule(rule_id: str) -> Rule:
     """Look up one registered rule (KeyError with the known ids otherwise)."""
-    import repro.analysis.determinism  # noqa: F401
+    _load_shipped_rules()
 
     try:
         return _REGISTRY[rule_id]

@@ -7,6 +7,16 @@ runner subtracts the baseline from the current findings: a key's first
 ``count`` occurrences are *grandfathered* (reported separately, never
 failing), anything beyond is *new* and fails the gate.
 
+Version 2 baselines additionally key every count by the file's
+**content hash** (``sha256::rule::message``).  Path keys alone have a
+rename hole: move ``store.py`` to ``result_store.py`` and every
+grandfathered finding in it resurrects, failing the gate for a diff
+that changed nothing — so :meth:`Baseline.split` falls back to the
+content key when the path key misses.  The content fallback is bounded
+by the same counts (a finding is consumed from whichever key matched),
+so duplicating a file never doubles its grandfathered budget.
+Version-1 files (no content map) still load.
+
 Workflow::
 
     repro lint src/repro --baseline lint-baseline.json   # gate
@@ -22,28 +32,65 @@ from __future__ import annotations
 
 import json
 from collections import Counter
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 from pathlib import Path
 
 from repro.analysis.findings import Finding
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 
 
 class BaselineError(ValueError):
     """Raised for unreadable or structurally invalid baseline files."""
 
 
-class Baseline:
-    """Grandfathered finding counts, keyed by :attr:`Finding.key`."""
+def _content_key(finding: Finding, digest: str) -> str:
+    return f"{digest}::{finding.rule}::{finding.message}"
 
-    def __init__(self, counts: dict[str, int] | None = None) -> None:
+
+def _valid_counts(value: object) -> bool:
+    return isinstance(value, dict) and all(
+        isinstance(v, int) and v >= 0 for v in value.values()
+    )
+
+
+class Baseline:
+    """Grandfathered finding counts, keyed by :attr:`Finding.key`.
+
+    ``content_counts`` carries the rename-stable secondary keys
+    (``sha256-of-source::rule::message``); it is empty for version-1
+    baselines and when the writer had no source hashes.
+    """
+
+    def __init__(
+        self,
+        counts: dict[str, int] | None = None,
+        content_counts: dict[str, int] | None = None,
+    ) -> None:
         self.counts: Counter[str] = Counter(counts or {})
+        self.content_counts: Counter[str] = Counter(content_counts or {})
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_findings(cls, findings: Iterable[Finding]) -> Baseline:
-        return cls(Counter(finding.key for finding in findings))
+    def from_findings(
+        cls,
+        findings: Iterable[Finding],
+        content_hashes: Mapping[str, str] | None = None,
+    ) -> Baseline:
+        """Baseline grandfathering exactly ``findings``.
+
+        With ``content_hashes`` (reported path → sha256 of the source,
+        as produced by the runner) the baseline also records the
+        rename-stable content keys.
+        """
+        findings = list(findings)
+        counts = Counter(finding.key for finding in findings)
+        content: Counter[str] = Counter()
+        for finding in findings:
+            digest = (content_hashes or {}).get(finding.path)
+            if digest is not None:
+                content[_content_key(finding, digest)] += 1
+        return cls(counts, content)
 
     @classmethod
     def load(cls, path: str | Path) -> Baseline:
@@ -61,37 +108,60 @@ class Baseline:
                 "(expected an object with a 'findings' key)"
             )
         findings = payload["findings"]
-        if not isinstance(findings, dict) or not all(
-            isinstance(v, int) and v >= 0 for v in findings.values()
-        ):
+        if not _valid_counts(findings):
             raise BaselineError(f"baseline {path} has malformed finding counts")
-        return cls(findings)
+        content = payload.get("content_findings", {})
+        if not _valid_counts(content):
+            raise BaselineError(
+                f"baseline {path} has malformed content-keyed counts"
+            )
+        return cls(findings, content)
 
     def save(self, path: str | Path) -> None:
         payload = {
             "version": BASELINE_VERSION,
             "findings": dict(sorted(self.counts.items())),
+            "content_findings": dict(sorted(self.content_counts.items())),
         }
         Path(path).write_text(json.dumps(payload, indent=2) + "\n")
 
     # ------------------------------------------------------------------
     def split(
-        self, findings: Sequence[Finding]
+        self,
+        findings: Sequence[Finding],
+        content_hashes: Mapping[str, str] | None = None,
     ) -> tuple[list[Finding], list[Finding]]:
         """Partition into (new, grandfathered), preserving order.
 
         For each key, the first ``counts[key]`` occurrences (by report
-        order, i.e. location) are grandfathered; the rest are new.
+        order, i.e. location) are grandfathered; the rest are new.  A
+        finding whose path key misses is retried against its content
+        key, so renaming a file keeps its grandfathered budget.
         """
         remaining = Counter(self.counts)
+        remaining_content = Counter(self.content_counts)
         new: list[Finding] = []
         grandfathered: list[Finding] = []
         for finding in findings:
             if remaining[finding.key] > 0:
                 remaining[finding.key] -= 1
+                # Consume the paired content key so a path match and a
+                # later content match cannot double-spend one count.
+                digest = (content_hashes or {}).get(finding.path)
+                if digest is not None:
+                    content_key = _content_key(finding, digest)
+                    if remaining_content[content_key] > 0:
+                        remaining_content[content_key] -= 1
                 grandfathered.append(finding)
-            else:
-                new.append(finding)
+                continue
+            digest = (content_hashes or {}).get(finding.path)
+            if digest is not None:
+                content_key = _content_key(finding, digest)
+                if remaining_content[content_key] > 0:
+                    remaining_content[content_key] -= 1
+                    grandfathered.append(finding)
+                    continue
+            new.append(finding)
         return new, grandfathered
 
     def __len__(self) -> int:

@@ -13,7 +13,8 @@ from collections.abc import Sequence
 
 from repro.analysis.base import all_rules
 from repro.analysis.baseline import Baseline, BaselineError
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.changed import resolve_changed_paths
+from repro.analysis.reporters import render_github, render_json, render_text
 from repro.analysis.runner import LintConfig, lint_paths
 
 
@@ -24,8 +25,19 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="files or directories to lint (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
+        "--format", choices=("text", "json", "github"), default="text",
+        help="report format (default: text; 'github' emits workflow "
+             "error annotations)",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="lint only the git diff's import closure (merge-base aware; "
+             "falls back to the full tree when git is unavailable)",
+    )
+    parser.add_argument(
+        "--changed-base", default=None, metavar="REF",
+        help="comparison ref for --changed (default: the branch upstream, "
+             "then origin/main)",
     )
     parser.add_argument(
         "--baseline", default=None, metavar="PATH",
@@ -77,6 +89,14 @@ def run_lint(args: argparse.Namespace) -> int:
     except BaselineError as exc:
         raise SystemExit(f"lint failed: {exc}") from exc
 
+    paths: list = list(args.paths)
+    if getattr(args, "changed", False):
+        resolved = resolve_changed_paths(
+            paths, base=getattr(args, "changed_base", None)
+        )
+        if resolved is not None:
+            paths = resolved
+
     config = LintConfig(
         select=_split_rules(args.select),
         ignore=_split_rules(args.ignore) or (),
@@ -84,19 +104,23 @@ def run_lint(args: argparse.Namespace) -> int:
         baseline=Baseline() if args.write_baseline else baseline,
     )
     try:
-        result = lint_paths(args.paths, config)
+        result = lint_paths(paths, config)
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(f"lint failed: {exc}") from exc
 
     if args.write_baseline:
-        Baseline.from_findings(result.findings).save(args.baseline)
+        Baseline.from_findings(result.findings, result.content_hashes).save(
+            args.baseline
+        )
         print(
             f"baseline written to {args.baseline} "
             f"({len(result.findings)} finding(s) grandfathered)"
         )
         return 0
 
-    render = render_json if args.format == "json" else render_text
+    render = {
+        "json": render_json, "github": render_github
+    }.get(args.format, render_text)
     print(render(result))
     return 0 if result.ok else 1
 

@@ -1,0 +1,532 @@
+"""Whole-program analysis context: the analyzer's first pass.
+
+:class:`ProjectContext` turns the flat list of parsed modules a lint
+run collects into the structures cross-module rules need:
+
+* **module naming** — every file gets a dotted module name derived from
+  the package structure on disk (``src/repro/sweep/store.py`` →
+  ``repro.sweep.store``), so imports resolve by name no matter which
+  directory the lint was launched from;
+* **symbol tables** — per-module top-level functions, classes, methods,
+  module-level assignments, ``__all__`` and the import bindings that
+  re-export names from other modules;
+* **import graph** — project-internal edges only (imports of modules
+  outside the analyzed set are ignored), plus the reverse map, used by
+  ``repro lint --changed`` to compute the affected import closure;
+* **conservative call graph** — :meth:`resolve_call` maps a call site
+  to the project functions it *may* invoke: local functions, functions
+  reached through ``from m import f`` chains (re-exports included),
+  ``mod.f()`` through module aliases, ``self.m()`` through the class
+  hierarchy, and ``obj.m()`` through the classes visible in the calling
+  module.  Unresolvable calls resolve to nothing — the graph
+  under-approximates, it never invents edges;
+* **class hierarchy** — base-class references resolved through the
+  same import bindings, so ``is_subclass_of`` can climb across modules.
+
+The second pass — :class:`~repro.analysis.base.ProjectRule` subclasses
+— consumes this context; see :mod:`repro.analysis.rng_rules`,
+:mod:`repro.analysis.io_rules` and :mod:`repro.analysis.event_rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.base import ModuleContext
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name from package structure (``__init__.py`` walk)."""
+    path = Path(path).resolve()
+    parts = [] if path.name == "__init__.py" else [path.stem]
+    current = path.parent
+    while (current / "__init__.py").exists():
+        parts.insert(0, current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    return ".".join(parts) if parts else path.stem
+
+
+def walk_own(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested def/class scopes.
+
+    Name-based dataflow (the IO rules) must not conflate a nested
+    function's bindings with its enclosing function's; reachability
+    checks (the RNG rules) use the ordinary conservative ``ast.walk``.
+    """
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level function or method, addressable project-wide."""
+
+    module: str
+    #: ``"fn"`` for module functions, ``"Cls.fn"`` for methods.
+    qualname: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: Enclosing class name for methods, ``None`` for module functions.
+    cls: str | None = None
+
+    @property
+    def ref(self) -> tuple[str, str]:
+        return (self.module, self.qualname)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def param_names(self) -> list[str]:
+        args = self.node.args
+        return [
+            a.arg
+            for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        ]
+
+
+class ModuleInfo:
+    """Symbol tables for one analyzed module."""
+
+    def __init__(self, name: str, context: ModuleContext) -> None:
+        self.name = name
+        self.context = context
+        self.is_package = context.path.name == "__init__.py"
+        #: Top-level function name → info.
+        self.functions: dict[str, FunctionInfo] = {}
+        #: Top-level class name → node.
+        self.classes: dict[str, ast.ClassDef] = {}
+        #: Class name → method name → info.
+        self.methods: dict[str, dict[str, FunctionInfo]] = {}
+        #: Module-level simple-assignment name → value expression.
+        self.globals: dict[str, ast.expr] = {}
+        #: ``__all__`` entries (string constants only), or ``None``.
+        self.all_names: list[str] | None = None
+        #: Imported-name bindings: local name → (module, attr | None).
+        #: ``attr`` is ``None`` for whole-module imports.
+        self.bindings: dict[str, tuple[str, str | None]] = {}
+        #: Modules star-imported (``from m import *``).
+        self.star_imports: list[str] = []
+        self._collect()
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        for stmt in self.context.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[stmt.name] = FunctionInfo(
+                    self.name, stmt.name, stmt
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                self.classes[stmt.name] = stmt
+                table: dict[str, FunctionInfo] = {}
+                for member in stmt.body:
+                    if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        table[member.name] = FunctionInfo(
+                            self.name, f"{stmt.name}.{member.name}",
+                            member, cls=stmt.name,
+                        )
+                self.methods[stmt.name] = table
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.globals[target.id] = stmt.value
+                        if target.id == "__all__":
+                            self._collect_all(stmt.value)
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name) and stmt.value is not None:
+                    self.globals[stmt.target.id] = stmt.value
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    bound = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.bindings[local] = (bound, None)
+            elif isinstance(stmt, ast.ImportFrom):
+                target = self._resolve_from(stmt)
+                if target is None:
+                    continue
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        self.star_imports.append(target)
+                    else:
+                        self.bindings[alias.asname or alias.name] = (
+                            target, alias.name
+                        )
+
+    def _collect_all(self, value: ast.expr) -> None:
+        if isinstance(value, (ast.List, ast.Tuple)):
+            names = [
+                el.value for el in value.elts
+                if isinstance(el, ast.Constant) and isinstance(el.value, str)
+            ]
+            self.all_names = names
+
+    def _resolve_from(self, stmt: ast.ImportFrom) -> str | None:
+        """Absolute dotted module a ``from ... import`` targets."""
+        if stmt.level == 0:
+            return stmt.module
+        parts = self.name.split(".")
+        # ``from . import x`` inside pkg/__init__.py targets pkg itself;
+        # inside pkg/mod.py it targets pkg (drop the module segment).
+        keep = len(parts) - stmt.level + (1 if self.is_package else 0)
+        if keep < 0:
+            return None
+        base = parts[:keep]
+        if stmt.module:
+            base.append(stmt.module)
+        return ".".join(base) if base else None
+
+    # ------------------------------------------------------------------
+    def all_functions(self) -> Iterator[FunctionInfo]:
+        yield from self.functions.values()
+        for table in self.methods.values():
+            yield from table.values()
+
+    def public_names(self) -> set[str]:
+        """Exported surface: ``__all__`` when present, else non-underscore defs."""
+        if self.all_names is not None:
+            return set(self.all_names)
+        names = (
+            set(self.functions) | set(self.classes) | set(self.globals)
+            | set(self.bindings)
+        )
+        return {n for n in names if not n.startswith("_")}
+
+
+#: A resolved project symbol: ("function" | "class" | "global" | "module", ...).
+SymbolRef = tuple[str, "ModuleInfo", str]
+
+
+class ProjectContext:
+    """Cross-module lookup structures over one set of analyzed modules."""
+
+    def __init__(self, contexts: Iterable[ModuleContext]) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.by_relpath: dict[str, ModuleInfo] = {}
+        for context in contexts:
+            info = ModuleInfo(module_name_for(context.path), context)
+            # First file wins on a (pathological) duplicate module name.
+            self.modules.setdefault(info.name, info)
+            self.by_relpath[context.relpath] = info
+        self._edges_cache: dict[tuple[str, str], list[FunctionInfo]] = {}
+
+    # ------------------------------------------------------------------
+    # import graph
+    # ------------------------------------------------------------------
+    def _internal_module(self, dotted: str | None) -> str | None:
+        """Longest analyzed-module prefix of ``dotted`` (or ``None``)."""
+        if not dotted:
+            return None
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    def imports_of(self, info: ModuleInfo) -> set[str]:
+        """Project-internal modules ``info`` imports (direct edges)."""
+        out: set[str] = set()
+        for node in ast.walk(info.context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = self._internal_module(alias.name)
+                    if target is not None:
+                        out.add(target)
+            elif isinstance(node, ast.ImportFrom):
+                base = info._resolve_from(node)
+                target = self._internal_module(base)
+                if target is not None:
+                    out.add(target)
+                for alias in node.names:
+                    if base and alias.name != "*":
+                        sub = self._internal_module(f"{base}.{alias.name}")
+                        if sub is not None:
+                            out.add(sub)
+        out.discard(info.name)
+        return out
+
+    def import_graph(self) -> dict[str, set[str]]:
+        """Module → set of project-internal modules it imports."""
+        return {name: self.imports_of(info) for name, info in self.modules.items()}
+
+    def importer_graph(self) -> dict[str, set[str]]:
+        """Module → set of project-internal modules importing it."""
+        reverse: dict[str, set[str]] = {name: set() for name in self.modules}
+        for name, targets in self.import_graph().items():
+            for target in targets:
+                reverse[target].add(name)
+        return reverse
+
+    # ------------------------------------------------------------------
+    # symbol resolution (re-export chains)
+    # ------------------------------------------------------------------
+    def resolve_symbol(
+        self, module: str, name: str, _seen: set[tuple[str, str]] | None = None
+    ) -> SymbolRef | None:
+        """Defining module of ``module.name``, following re-export chains."""
+        seen = _seen if _seen is not None else set()
+        if (module, name) in seen:
+            return None  # import cycle
+        seen.add((module, name))
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        if name in info.functions:
+            return ("function", info, name)
+        if name in info.classes:
+            return ("class", info, name)
+        if name in info.globals:
+            return ("global", info, name)
+        binding = info.bindings.get(name)
+        if binding is not None:
+            target, attr = binding
+            if attr is None:
+                return ("module", info, target)
+            if f"{target}.{attr}" in self.modules:
+                return ("module", info, f"{target}.{attr}")
+            if target in self.modules:
+                return self.resolve_symbol(target, attr, seen)
+            return None
+        for starred in self.star_exports(info):
+            resolved = self.resolve_symbol(starred, name, seen)
+            if resolved is not None:
+                return resolved
+        return None
+
+    def star_exports(self, info: ModuleInfo) -> list[str]:
+        return [m for m in info.star_imports if m in self.modules]
+
+    def resolve_function(self, module: str, name: str) -> FunctionInfo | None:
+        resolved = self.resolve_symbol(module, name)
+        if resolved is None:
+            return None
+        kind, info, local = resolved
+        if kind == "function":
+            return info.functions[local]
+        if kind == "class":
+            # Calling a class invokes its __init__ (when it defines one).
+            return self.method_on(info, local, "__init__")
+        return None
+
+    def resolve_class(
+        self, module: str, name: str
+    ) -> tuple[ModuleInfo, ast.ClassDef] | None:
+        resolved = self.resolve_symbol(module, name)
+        if resolved is None or resolved[0] != "class":
+            return None
+        _, info, local = resolved
+        return (info, info.classes[local])
+
+    # ------------------------------------------------------------------
+    # class hierarchy
+    # ------------------------------------------------------------------
+    def base_classes(
+        self, info: ModuleInfo, cls: ast.ClassDef
+    ) -> list[tuple[ModuleInfo, ast.ClassDef]]:
+        """Direct bases of ``cls`` that resolve to project classes."""
+        out = []
+        for base in cls.bases:
+            if isinstance(base, ast.Name):
+                resolved = self.resolve_class(info.name, base.id)
+            elif isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+                mod = info.bindings.get(base.value.id)
+                if mod is not None and mod[1] is None and mod[0] in self.modules:
+                    resolved = self.resolve_class(mod[0], base.attr)
+                else:
+                    resolved = None
+            else:
+                resolved = None
+            if resolved is not None:
+                out.append(resolved)
+        return out
+
+    def ancestors(
+        self, info: ModuleInfo, cls: ast.ClassDef
+    ) -> list[tuple[ModuleInfo, ast.ClassDef]]:
+        """All project-resolvable ancestors, nearest first (cycle-safe)."""
+        out: list[tuple[ModuleInfo, ast.ClassDef]] = []
+        seen: set[tuple[str, str]] = {(info.name, cls.name)}
+        frontier = self.base_classes(info, cls)
+        while frontier:
+            base_info, base_cls = frontier.pop(0)
+            key = (base_info.name, base_cls.name)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append((base_info, base_cls))
+            frontier.extend(self.base_classes(base_info, base_cls))
+        return out
+
+    def is_subclass_of(
+        self, info: ModuleInfo, cls: ast.ClassDef, base_name: str
+    ) -> bool:
+        """Does ``cls`` (transitively) extend a class named ``base_name``?
+
+        Unresolvable bases still count by *name*, so a hierarchy rooted
+        outside the analyzed set (e.g. a stdlib base) remains checkable.
+        """
+        for base in cls.bases:
+            if isinstance(base, ast.Name) and base.id == base_name:
+                return True
+            if isinstance(base, ast.Attribute) and base.attr == base_name:
+                return True
+        return any(
+            base_cls.name == base_name or self.is_subclass_of(base_info, base_cls, base_name)
+            for base_info, base_cls in self.base_classes(info, cls)
+        )
+
+    def method_on(
+        self, info: ModuleInfo, cls_name: str, method: str
+    ) -> FunctionInfo | None:
+        """Resolve ``cls_name.method`` climbing the hierarchy."""
+        cls = info.classes.get(cls_name)
+        if cls is None:
+            return None
+        own = info.methods.get(cls_name, {}).get(method)
+        if own is not None:
+            return own
+        for base_info, base_cls in self.ancestors(info, cls):
+            candidate = base_info.methods.get(base_cls.name, {}).get(method)
+            if candidate is not None:
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # conservative call graph
+    # ------------------------------------------------------------------
+    def visible_classes(
+        self, info: ModuleInfo
+    ) -> dict[str, tuple[ModuleInfo, ast.ClassDef]]:
+        """Classes nameable in ``info``: local plus import-bound ones."""
+        out: dict[str, tuple[ModuleInfo, ast.ClassDef]] = {
+            name: (info, cls) for name, cls in info.classes.items()
+        }
+        for local, (target, attr) in info.bindings.items():
+            if attr is None or target not in self.modules:
+                continue
+            resolved = self.resolve_class(target, attr)
+            if resolved is not None:
+                out.setdefault(local, resolved)
+        return out
+
+    def resolve_call(
+        self, info: ModuleInfo, call: ast.Call, caller: FunctionInfo | None = None
+    ) -> list[FunctionInfo]:
+        """Project functions this call may invoke (possibly empty)."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            local = info.functions.get(func.id)
+            if local is not None:
+                return [local]
+            if func.id in info.classes:
+                ctor = self.method_on(info, func.id, "__init__")
+                return [ctor] if ctor is not None else []
+            resolved = self.resolve_function(info.name, func.id)
+            return [resolved] if resolved is not None else []
+        if not (isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name)):
+            return []
+        base, attr = func.value.id, func.attr
+        # mod.f() through a module binding.
+        binding = info.bindings.get(base)
+        if binding is not None and binding[1] is None:
+            target = self._internal_module(binding[0])
+            if target is not None:
+                resolved = self.resolve_function(target, attr)
+                return [resolved] if resolved is not None else []
+        # self.m() / cls.m() through the class hierarchy.
+        if base in ("self", "cls") and caller is not None and caller.cls is not None:
+            resolved = self.method_on(info, caller.cls, attr)
+            return [resolved] if resolved is not None else []
+        # Cls.m() on a visible class name.
+        visible = self.visible_classes(info)
+        if base in visible:
+            cls_info, cls_node = visible[base]
+            resolved = self.method_on(cls_info, cls_node.name, attr)
+            return [resolved] if resolved is not None else []
+        # obj.m(): candidates are visible classes defining the method.
+        candidates = []
+        for cls_info, cls_node in visible.values():
+            resolved = self.method_on(cls_info, cls_node.name, attr)
+            if resolved is not None:
+                candidates.append(resolved)
+        # De-duplicate by definition site.
+        unique: dict[tuple[str, str], FunctionInfo] = {
+            c.ref: c for c in candidates
+        }
+        return list(unique.values())
+
+    def callees(self, func: FunctionInfo) -> list[FunctionInfo]:
+        """Direct callees of ``func`` (cached; conservative resolution)."""
+        cached = self._edges_cache.get(func.ref)
+        if cached is not None:
+            return cached
+        info = self.modules[func.module]
+        out: dict[tuple[str, str], FunctionInfo] = {}
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Call):
+                for target in self.resolve_call(info, node, caller=func):
+                    out[target.ref] = target
+        edges = list(out.values())
+        self._edges_cache[func.ref] = edges
+        return edges
+
+    def transitive_callees(self, func: FunctionInfo) -> list[FunctionInfo]:
+        """Every project function reachable from ``func`` (excluding it)."""
+        seen: set[tuple[str, str]] = {func.ref}
+        order: list[FunctionInfo] = []
+        frontier = [func]
+        while frontier:
+            current = frontier.pop(0)
+            for callee in self.callees(current):
+                if callee.ref in seen:
+                    continue
+                seen.add(callee.ref)
+                order.append(callee)
+                frontier.append(callee)
+        return order
+
+    # ------------------------------------------------------------------
+    # import closures (``repro lint --changed``)
+    # ------------------------------------------------------------------
+    def import_closure(self, relpaths: Iterable[str]) -> set[str]:
+        """Relpaths whose analysis a change to ``relpaths`` can affect.
+
+        The closure is the changed modules, every transitive *importer*
+        (their findings may depend on the changed code), and the
+        transitive *imports* of that whole set (the context needed to
+        analyze them).  Unknown relpaths pass through unchanged.
+        """
+        changed_modules = {
+            self.by_relpath[rp].name for rp in relpaths if rp in self.by_relpath
+        }
+        importers = self.importer_graph()
+        affected = set(changed_modules)
+        frontier = list(changed_modules)
+        while frontier:
+            for importer in importers.get(frontier.pop(), ()):
+                if importer not in affected:
+                    affected.add(importer)
+                    frontier.append(importer)
+        imports = self.import_graph()
+        closure = set(affected)
+        frontier = list(affected)
+        while frontier:
+            for imported in imports.get(frontier.pop(), ()):
+                if imported not in closure:
+                    closure.add(imported)
+                    frontier.append(imported)
+        out = {rp for rp in relpaths if rp not in self.by_relpath}
+        for name in closure:
+            out.add(self.modules[name].context.relpath)
+        return out

@@ -24,6 +24,40 @@ def render_text(result: LintResult) -> str:
     return "\n".join(lines)
 
 
+def _annotation_escape(value: str) -> str:
+    """GitHub workflow-command data escaping (%, CR, LF)."""
+    return (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def render_github(result: LintResult) -> str:
+    """GitHub Actions error annotations: findings land on the PR diff.
+
+    One ``::error`` workflow command per gating finding; grandfathered
+    findings surface as ``::notice`` so they stay visible without
+    failing the job.  The trailing summary line is plain text.
+    """
+    lines = []
+    for finding in result.findings:
+        lines.append(
+            f"::error file={finding.path},line={finding.line},"
+            f"col={finding.col},title=repro-lint {finding.rule}::"
+            f"{_annotation_escape(finding.message)}"
+        )
+    for finding in result.grandfathered:
+        lines.append(
+            f"::notice file={finding.path},line={finding.line},"
+            f"col={finding.col},title=repro-lint {finding.rule} (baseline)::"
+            f"{_annotation_escape(finding.message)}"
+        )
+    noun = "file" if result.files_checked == 1 else "files"
+    lines.append(
+        f"{len(result.findings)} finding(s) in {result.files_checked} {noun}"
+    )
+    return "\n".join(lines)
+
+
 def render_json(result: LintResult) -> str:
     """Machine-oriented report (stable key order, one JSON object)."""
     payload = {

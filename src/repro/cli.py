@@ -639,6 +639,16 @@ def cmd_trace_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_event_summary(recorder) -> None:
+    """``recorded N events`` plus the per-group kind pivot."""
+    from repro.trace.replay import summarize_events
+
+    print(f"recorded {len(recorder)} events")
+    for group, kinds in summarize_events(recorder.events).items():
+        counts = " ".join(f"{kind}={count}" for kind, count in kinds.items())
+        print(f"  {group:<10} {counts}")
+
+
 def _write_trace_outputs(recorder, args: argparse.Namespace) -> None:
     if args.output:
         recorder.to_jsonl(args.output)
@@ -689,7 +699,7 @@ def cmd_trace_record(args: argparse.Namespace) -> int:
     print(metrics.summary())
     if metrics.control_plane != "instant":
         print(f"control[{metrics.control_plane}] {metrics.control.summary()}")
-    print(f"recorded {len(recorder)} events")
+    _print_event_summary(recorder)
     _write_trace_outputs(recorder, args)
     return 0
 
@@ -719,7 +729,7 @@ def cmd_trace_replay(args: argparse.Namespace) -> int:
     print(f"source={result.source} scheme={result.scheme} "
           f"cache={result.cache_mb_per_node:.1f} MB/node")
     print(result.metrics.summary())
-    print(f"recorded {len(result.recorder)} events")
+    _print_event_summary(result.recorder)
     _write_trace_outputs(result.recorder, args)
     return 0
 

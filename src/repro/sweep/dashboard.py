@@ -39,7 +39,7 @@ from repro.sweep.service import (
     read_workers,
 )
 from repro.sweep.spec import CellSpec
-from repro.sweep.store import ResultStore
+from repro.sweep.store import ResultStore, atomic_write_text
 
 #: Bump when the payload shape changes (consumers pin on this).
 DASHBOARD_SCHEMA_VERSION = 1
@@ -314,10 +314,16 @@ def write_dashboard(
     out = Path(out_dir) if out_dir is not None else store.root
     out.mkdir(parents=True, exist_ok=True)
     payload = dashboard_payload(store, cells, lease_ttl_s=lease_ttl_s)
-    json_path = out / "dashboard.json"
-    html_path = out / "dashboard.html"
-    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    html_path.write_text(render_html(payload, refresh_s=refresh_s))
+    # Atomic (tmp + os.replace): the dashboard usually lands inside the
+    # shared store root, where workers and other dashboard processes
+    # read concurrently — a direct write_text can serve a torn file.
+    json_path = atomic_write_text(
+        out / "dashboard.json",
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+    )
+    html_path = atomic_write_text(
+        out / "dashboard.html", render_html(payload, refresh_s=refresh_s)
+    )
     return json_path, html_path
 
 

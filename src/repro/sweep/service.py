@@ -41,7 +41,6 @@ import json
 import logging
 import os
 import socket
-import tempfile
 import threading
 import time
 from collections.abc import Callable, Sequence
@@ -50,7 +49,7 @@ from pathlib import Path
 
 from repro.sweep.runner import run_cell
 from repro.sweep.spec import CellSpec
-from repro.sweep.store import CellResult, ResultStore
+from repro.sweep.store import CellResult, ResultStore, atomic_write_text
 
 logger = logging.getLogger(__name__)
 
@@ -76,18 +75,27 @@ def default_worker_id() -> str:
 
 def _atomic_write_json(path: Path, payload: dict) -> None:
     """Whole-file-or-nothing JSON write (same discipline as the store)."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as fh:
-            fh.write(json.dumps(payload, sort_keys=True))
-        os.replace(tmp_name, path)
-    except BaseException:
-        with contextlib.suppress(OSError):
-            os.unlink(tmp_name)
-        raise
+    atomic_write_text(path, json.dumps(payload, sort_keys=True))
+
+
+def _acquire_guard(guard: Path, ttl_s: float, poll_s: float = 0.05) -> None:
+    """Take an ``os.mkdir`` mutual-exclusion lock, expiring stale holders.
+
+    ``mkdir`` is atomic on POSIX filesystems (NFS included), so exactly
+    one contender wins each round; a guard directory older than
+    ``ttl_s`` belonged to a crashed process and is retired, same as a
+    stale lease.
+    """
+    while True:
+        try:
+            os.mkdir(guard)
+            return
+        except FileExistsError:
+            with contextlib.suppress(OSError):
+                if time.time() - guard.stat().st_mtime > ttl_s:
+                    os.rmdir(guard)
+                    continue
+            time.sleep(poll_s)
 
 
 # ----------------------------------------------------------------------
@@ -103,19 +111,29 @@ def publish_manifest(store: ResultStore, cells: Sequence[CellSpec]) -> Path:
     Merging (rather than overwriting) lets several coordinators point
     different grids at one store; cells are keyed and sorted by
     fingerprint so republishing an unchanged grid is a byte-identical
-    rewrite.
+    rewrite.  The read-merge-write runs under an ``os.mkdir`` guard
+    (IO203): two coordinators publishing different grids concurrently
+    would otherwise each read the old manifest and the second
+    ``os.replace`` would silently drop the first's cells.
     """
-    by_fingerprint: dict[str, dict] = {
-        cell.fingerprint(): cell.to_dict() for cell in load_manifest(store)
-    }
-    for cell in cells:
-        by_fingerprint[cell.fingerprint()] = cell.to_dict()
-    payload = {
-        "version": MANIFEST_VERSION,
-        "cells": [by_fingerprint[fp] for fp in sorted(by_fingerprint)],
-    }
     path = manifest_path(store)
-    _atomic_write_json(path, payload)
+    store.root.mkdir(parents=True, exist_ok=True)
+    guard = store.root / ".grid.lock"
+    _acquire_guard(guard, DEFAULT_LEASE_TTL_S)
+    try:
+        by_fingerprint: dict[str, dict] = {
+            cell.fingerprint(): cell.to_dict() for cell in load_manifest(store)
+        }
+        for cell in cells:
+            by_fingerprint[cell.fingerprint()] = cell.to_dict()
+        payload = {
+            "version": MANIFEST_VERSION,
+            "cells": [by_fingerprint[fp] for fp in sorted(by_fingerprint)],
+        }
+        _atomic_write_json(path, payload)
+    finally:
+        with contextlib.suppress(OSError):
+            os.rmdir(guard)
     return path
 
 

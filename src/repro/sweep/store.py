@@ -47,6 +47,31 @@ STATUS_OK = "ok"
 STATUS_ERROR = "error"
 
 
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Publish ``text`` to ``path`` whole-file-or-nothing.
+
+    The store's one write idiom, shared by every producer of files under
+    a (possibly NFS-shared) store root: write a ``mkstemp`` sibling in
+    the destination directory, then ``os.replace`` onto the final name —
+    readers observe the old bytes or the new bytes, never a torn file
+    (IO201).  The temp file is unlinked on any failure.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    return path
+
+
 @dataclass
 class CellResult:
     """Outcome of one sweep cell: metrics on success, error otherwise."""
@@ -173,21 +198,10 @@ class ResultStore:
 
     def put(self, result: CellResult) -> Path:
         """Atomically persist one result (whole file or nothing)."""
-        self.cells_dir.mkdir(parents=True, exist_ok=True)
-        path = self.cell_path(result.fingerprint)
-        payload = json.dumps(result.to_json(), sort_keys=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.cells_dir, prefix=f".{result.fingerprint}.", suffix=".tmp"
+        return atomic_write_text(
+            self.cell_path(result.fingerprint),
+            json.dumps(result.to_json(), sort_keys=True),
         )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(payload)
-            os.replace(tmp_name, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp_name)
-            raise
-        return path
 
     # ------------------------------------------------------------------
     def fingerprints(self) -> list[str]:

@@ -214,6 +214,63 @@ replay_trace = replay
 
 
 # ----------------------------------------------------------------------
+# event summaries
+# ----------------------------------------------------------------------
+#: Every declared event kind, pivoted into the display group the CLI
+#: summary reports under.  This table is a *complete* mirror of the
+#: ``TraceEvent`` hierarchy and the EVT301 lint rule keeps it that way:
+#: adding an event kind without extending this dict (or keeping a key
+#: whose class was removed) fails ``repro lint``.
+EVENT_GROUPS: dict[str, str] = {
+    "job_start": "lifecycle",
+    "stage_start": "lifecycle",
+    "stage_end": "lifecycle",
+    "cache_hit": "cache",
+    "cache_miss": "cache",
+    "eviction": "cache",
+    "purge": "cache",
+    "prefetch_issue": "prefetch",
+    "prefetch_complete": "prefetch",
+    "prefetch_cancel": "prefetch",
+    "worker_register": "cluster",
+    "worker_deregister": "cluster",
+    "block_migrate": "cluster",
+    "msg_send": "control",
+    "msg_deliver": "control",
+    "msg_drop": "control",
+}
+
+#: Group display order for :func:`summarize_events` consumers.
+GROUP_ORDER = ("lifecycle", "cache", "prefetch", "cluster", "control")
+
+
+def summarize_events(events: list[TraceEvent]) -> dict[str, dict[str, int]]:
+    """Per-group, per-kind event counts (only groups/kinds that occur).
+
+    The pivot the ``repro trace record/replay`` summary prints: group →
+    kind → count, groups in :data:`GROUP_ORDER`, kinds sorted within
+    each group.  An event whose kind is missing from
+    :data:`EVENT_GROUPS` raises — that is schema drift, and the lint
+    rule (EVT301) should have caught it before any trace got this far.
+    """
+    counts: dict[str, dict[str, int]] = {}
+    for event in events:
+        try:
+            group = EVENT_GROUPS[event.kind]
+        except KeyError:
+            raise TraceFormatError(
+                f"event kind {event.kind!r} is missing from "
+                "repro.trace.replay.EVENT_GROUPS (schema drift)"
+            ) from None
+        kinds = counts.setdefault(group, {})
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    return {
+        group: dict(sorted(counts[group].items()))
+        for group in GROUP_ORDER if group in counts
+    }
+
+
+# ----------------------------------------------------------------------
 # trace diffing
 # ----------------------------------------------------------------------
 @dataclass

@@ -1,0 +1,1 @@
+"""EVT301 positive: handler tables drifted from the event schema."""

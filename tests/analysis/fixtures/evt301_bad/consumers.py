@@ -1,0 +1,21 @@
+"""Two drifted tables: one misses a kind, one handles a ghost."""
+
+# EVT301: complete-looking pivot with a hole — 'evict' events silently
+# fall out of this consumer.
+GROUPS = {
+    "job_start": "lifecycle",
+    "job_end": "lifecycle",
+    "cache_hit": "cache",
+    "cache_miss": "cache",
+}
+
+# EVT301: handles 'purge', which no Event class declares (renamed or
+# removed without updating this table).
+STALE = {
+    "job_start": 1,
+    "job_end": 2,
+    "cache_hit": 3,
+    "cache_miss": 4,
+    "evict": 5,
+    "purge": 6,
+}

@@ -1,0 +1,25 @@
+"""Five concrete event kinds under one family root."""
+
+
+class Event:
+    kind = "event"  # abstract placeholder, not an emitted kind
+
+
+class JobStart(Event):
+    kind = "job_start"
+
+
+class JobEnd(Event):
+    kind = "job_end"
+
+
+class CacheHit(Event):
+    kind = "cache_hit"
+
+
+class CacheMiss(Event):
+    kind = "cache_miss"
+
+
+class Evict(Event):
+    kind = "evict"

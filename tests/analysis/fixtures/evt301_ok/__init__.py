@@ -1,0 +1,1 @@
+"""EVT301 negative: tables exactly mirroring the event schema."""

@@ -1,0 +1,16 @@
+"""A complete table, plus a deliberate subset below the threshold."""
+
+GROUPS = {
+    "job_start": "lifecycle",
+    "job_end": "lifecycle",
+    "cache_hit": "cache",
+    "cache_miss": "cache",
+    "evict": "cache",
+}
+
+# A two-key mapping is a deliberate subset, not a schema mirror — the
+# coverage threshold keeps EVT301 silent on it.
+CACHE_ONLY = {
+    "cache_hit": "hit",
+    "cache_miss": "miss",
+}

@@ -1,0 +1,25 @@
+"""Same five concrete kinds as the bad fixture."""
+
+
+class Event:
+    kind = "event"
+
+
+class JobStart(Event):
+    kind = "job_start"
+
+
+class JobEnd(Event):
+    kind = "job_end"
+
+
+class CacheHit(Event):
+    kind = "cache_hit"
+
+
+class CacheMiss(Event):
+    kind = "cache_miss"
+
+
+class Evict(Event):
+    kind = "evict"

@@ -1,0 +1,1 @@
+"""IO201 positive: truncating writes landing on final store paths."""

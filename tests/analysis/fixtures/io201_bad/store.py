@@ -1,0 +1,10 @@
+"""Minimal store shape: a root and a fingerprint-keyed path producer."""
+from pathlib import Path
+
+
+class Store:
+    def __init__(self, root):
+        self.root = Path(root)
+
+    def cell_path(self, fingerprint):
+        return self.root / f"{fingerprint}.json"

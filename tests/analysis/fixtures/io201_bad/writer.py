@@ -1,0 +1,14 @@
+"""Writers that clobber final paths readers may be mid-read on."""
+import json
+
+from .store import Store
+
+
+def save(store: Store, fingerprint, payload):
+    path = store.cell_path(fingerprint)
+    path.write_text(json.dumps(payload))  # IO201: torn-file window
+
+
+def save_index(store: Store, rows):
+    with open(store.root / "index.json", "w") as fh:  # IO201
+        json.dump(rows, fh)

@@ -1,0 +1,1 @@
+"""IO201 negative: every final path is published via tmp + os.replace."""

@@ -1,0 +1,21 @@
+"""The sanctioned idiom: mkstemp sibling, then an atomic rename."""
+import json
+import os
+import tempfile
+
+from .store import Store
+
+
+def atomic_write(path, text):
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent))
+    with os.fdopen(fd, "w") as fh:
+        fh.write(text)
+    os.replace(tmp_name, path)
+
+
+def save(store: Store, fingerprint, payload):
+    atomic_write(store.cell_path(fingerprint), json.dumps(payload))
+
+
+def save_index(store: Store, rows):
+    atomic_write(store.root / "index.json", json.dumps(rows))

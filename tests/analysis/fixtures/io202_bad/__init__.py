@@ -1,0 +1,1 @@
+"""IO202 positive: lease claimed with a clobbering write."""

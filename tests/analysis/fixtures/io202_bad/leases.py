@@ -1,0 +1,14 @@
+"""A 'claim' that silently steals a concurrent claimant's lease."""
+import json
+from pathlib import Path
+
+
+class Leases:
+    def __init__(self, root):
+        self.leases_dir = Path(root) / "leases"
+
+    def claim(self, fingerprint, worker):
+        path = self.leases_dir / f"{fingerprint}.json"
+        # IO202: plain write_text truncates whoever claimed first.
+        path.write_text(json.dumps({"worker": worker}))
+        return True

@@ -1,0 +1,1 @@
+"""IO202 negative: lease claimed with O_CREAT | O_EXCL."""

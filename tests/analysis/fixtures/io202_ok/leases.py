@@ -1,0 +1,19 @@
+"""Exactly-one-winner claim: the exclusive create loses races loudly."""
+import json
+import os
+from pathlib import Path
+
+
+class Leases:
+    def __init__(self, root):
+        self.leases_dir = Path(root) / "leases"
+
+    def claim(self, fingerprint, worker):
+        path = self.leases_dir / f"{fingerprint}.json"
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w") as fh:
+            fh.write(json.dumps({"worker": worker}))
+        return True

@@ -1,0 +1,1 @@
+"""IO203 positive: unguarded read-merge-write of a shared registry."""

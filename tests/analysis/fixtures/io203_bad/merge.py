@@ -1,0 +1,20 @@
+"""Two concurrent publishers each read, merge, replace: one merge lost."""
+import json
+
+from .atomicio import atomic_write
+from .paths import registry_path
+
+
+def read_registry(root):
+    path = registry_path(root)
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        return {}
+
+
+def publish(root, entry):
+    data = read_registry(root)          # read …
+    data[entry["id"]] = entry           # … modify …
+    # IO203: … write, with nothing serializing concurrent publishers.
+    atomic_write(registry_path(root), json.dumps(data))

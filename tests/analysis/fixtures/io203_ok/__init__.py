@@ -1,0 +1,1 @@
+"""IO203 negative: the same read-merge-write under an os.mkdir guard."""

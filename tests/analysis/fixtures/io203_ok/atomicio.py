@@ -1,0 +1,10 @@
+"""Atomic writer helper shared by the guarded publisher."""
+import os
+import tempfile
+
+
+def atomic_write(path, text):
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent))
+    with os.fdopen(fd, "w") as fh:
+        fh.write(text)
+    os.replace(tmp_name, path)

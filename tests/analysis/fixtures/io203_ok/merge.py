@@ -1,0 +1,25 @@
+"""Publishers serialized through a lock directory: no lost updates."""
+import json
+import os
+
+from .atomicio import atomic_write
+from .paths import registry_path
+
+
+def read_registry(root):
+    path = registry_path(root)
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        return {}
+
+
+def publish(root, entry):
+    lock = root / ".registry.lock"
+    os.mkdir(lock)  # mutual exclusion: losers raise FileExistsError
+    try:
+        data = read_registry(root)
+        data[entry["id"]] = entry
+        atomic_write(registry_path(root), json.dumps(data))
+    finally:
+        os.rmdir(lock)

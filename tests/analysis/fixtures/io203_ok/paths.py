@@ -1,0 +1,5 @@
+"""Path producer for the shared registry file."""
+
+
+def registry_path(root):
+    return root / "registry.json"

@@ -1,0 +1,1 @@
+"""RNG101 positive: RNGs constructed with no replayable seed."""

@@ -1,0 +1,1 @@
+"""RNG101 negative: every RNG seeded from config-derived values."""

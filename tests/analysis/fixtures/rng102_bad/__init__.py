@@ -1,0 +1,1 @@
+"""RNG102 positive: rng= functions leaking to the global random module."""

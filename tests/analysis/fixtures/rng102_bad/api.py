@@ -1,0 +1,14 @@
+"""Functions advertising rng= while their draws are unattributable."""
+import random
+
+from .noise import jitter
+
+
+def sample(values, rng):
+    # RNG102: the injected rng is ignored one call level down.
+    return [jitter(v) for v in values]
+
+
+def pick(items, rng):
+    # RNG102: draws the global module directly despite taking rng=.
+    return items[int(random.random() * len(items))]

@@ -1,0 +1,6 @@
+"""Helper drawing from the process-global RNG (the hidden leak)."""
+import random
+
+
+def jitter(value):
+    return value + random.random()

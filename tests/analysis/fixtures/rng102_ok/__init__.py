@@ -1,0 +1,1 @@
+"""RNG102 negative: the rng parameter is threaded through every call."""

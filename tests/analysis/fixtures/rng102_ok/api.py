@@ -1,0 +1,10 @@
+"""rng= functions whose whole call chain draws from the injected rng."""
+from .noise import jitter
+
+
+def sample(values, rng):
+    return [jitter(v, rng) for v in values]
+
+
+def pick(items, rng):
+    return items[int(rng.random() * len(items))]

@@ -1,0 +1,5 @@
+"""Helper drawing only from the rng it is handed."""
+
+
+def jitter(value, rng):
+    return value + rng.random()

@@ -1,0 +1,1 @@
+"""RNG103 positive: a module-level RNG captured into pool workers."""

@@ -1,0 +1,10 @@
+"""Dispatch site handing the capturing entry to a process pool."""
+from multiprocessing import Pool
+
+from .worker import run_cell
+
+
+def run_all(specs):
+    with Pool() as pool:
+        # RNG103: every forked worker replays GEN's inherited stream.
+        return list(pool.imap_unordered(run_cell, specs))

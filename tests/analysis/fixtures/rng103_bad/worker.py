@@ -1,0 +1,8 @@
+"""Worker entry reading a module-level RNG (forked state is shared)."""
+import random
+
+GEN = random.Random(7)
+
+
+def run_cell(spec):
+    return GEN.random() * spec

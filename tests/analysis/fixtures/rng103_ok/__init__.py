@@ -1,0 +1,1 @@
+"""RNG103 negative: each task derives a fresh RNG from its own seed."""

@@ -1,0 +1,9 @@
+"""Same dispatch shape as the bad fixture; nothing is captured."""
+from multiprocessing import Pool
+
+from .worker import run_cell
+
+
+def run_all(specs):
+    with Pool() as pool:
+        return list(pool.imap_unordered(run_cell, specs))

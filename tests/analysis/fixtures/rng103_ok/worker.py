@@ -1,0 +1,7 @@
+"""Worker entry building a per-task RNG instead of sharing state."""
+import random
+
+
+def run_cell(spec):
+    rng = random.Random(spec)
+    return rng.random() * spec

@@ -57,8 +57,52 @@ def test_saved_file_is_stable_json(tmp_path):
     path = tmp_path / "baseline.json"
     Baseline.from_findings([_finding(), _finding(line=2)]).save(path)
     payload = json.loads(path.read_text())
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["findings"] == {"a.py::DET001::m": 2}
+    assert payload["content_findings"] == {}  # no source hashes provided
+
+
+def test_version1_baseline_still_loads(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(
+        {"version": 1, "findings": {"a.py::DET001::m": 1}}
+    ))
+    loaded = Baseline.load(path)
+    assert len(loaded) == 1
+    new, grandfathered = loaded.split([_finding()])
+    assert new == [] and len(grandfathered) == 1
+
+
+def test_rename_keeps_grandfathered_findings(tmp_path):
+    """The v1 rename hole: path-keyed counts resurrect on ``git mv``."""
+    digest = "f" * 64
+    baseline = Baseline.from_findings(
+        [_finding(path="old.py")], content_hashes={"old.py": digest}
+    )
+    moved = [_finding(path="renamed.py")]
+    # Same content at the new path: the content key grandfathers it…
+    new, grandfathered = baseline.split(
+        moved, content_hashes={"renamed.py": digest}
+    )
+    assert new == [] and len(grandfathered) == 1
+    # …but changed content at the new path is a genuinely new finding.
+    new, grandfathered = baseline.split(
+        moved, content_hashes={"renamed.py": "0" * 64}
+    )
+    assert len(new) == 1 and grandfathered == []
+
+
+def test_duplicated_file_cannot_double_spend_content_budget():
+    digest = "f" * 64
+    baseline = Baseline.from_findings(
+        [_finding(path="a.py")], content_hashes={"a.py": digest}
+    )
+    findings = [_finding(path="a.py"), _finding(path="copy.py")]
+    hashes = {"a.py": digest, "copy.py": digest}
+    new, grandfathered = baseline.split(findings, content_hashes=hashes)
+    # The path match consumes the paired content key: the copy is new.
+    assert len(grandfathered) == 1 and len(new) == 1
+    assert new[0].path == "copy.py"
 
 
 @pytest.mark.parametrize("content", [

@@ -1,0 +1,191 @@
+"""ProjectContext unit tests: the whole-program first pass.
+
+Covers module naming, re-export chains (including ``__all__`` and star
+imports), import-cycle termination, call-graph resolution, and the
+import-closure computation ``--changed`` relies on.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.base import ModuleContext
+from repro.analysis.project import ProjectContext, module_name_for, walk_own
+
+
+def _write_tree(root: Path, files: dict[str, str]) -> list[ModuleContext]:
+    contexts = []
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    for rel in sorted(files):
+        path = root / rel
+        contexts.append(ModuleContext(path, rel, path.read_text()))
+    return contexts
+
+
+def _project(root: Path, files: dict[str, str]) -> ProjectContext:
+    return ProjectContext(_write_tree(root, files))
+
+
+# ------------------------------------------------------------- naming
+
+
+def test_module_name_walks_up_through_init_files(tmp_path):
+    (tmp_path / "pkg" / "sub").mkdir(parents=True)
+    (tmp_path / "pkg" / "__init__.py").write_text("")
+    (tmp_path / "pkg" / "sub" / "__init__.py").write_text("")
+    mod = tmp_path / "pkg" / "sub" / "leaf.py"
+    mod.write_text("X = 1\n")
+    assert module_name_for(mod) == "pkg.sub.leaf"
+    assert module_name_for(tmp_path / "pkg" / "__init__.py") == "pkg"
+
+
+def test_module_name_stops_at_non_package_dirs(tmp_path):
+    (tmp_path / "loose").mkdir()  # no __init__.py
+    mod = tmp_path / "loose" / "script.py"
+    mod.write_text("X = 1\n")
+    assert module_name_for(mod) == "script"
+
+
+# ----------------------------------------------------------- walk_own
+
+
+def test_walk_own_skips_nested_scopes():
+    import ast
+
+    tree = ast.parse(
+        "def outer():\n"
+        "    a = 1\n"
+        "    def inner():\n"
+        "        b = 2\n"
+        "    c = [x for x in range(3)]\n"
+    )
+    outer = tree.body[0]
+    names = {
+        n.id for n in walk_own(outer)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Store)
+    }
+    assert "a" in names and "c" in names
+    assert "b" not in names  # inside the nested def
+
+
+# ----------------------------------------------------- symbol lookup
+
+
+def test_resolve_symbol_follows_reexport_chains(tmp_path):
+    project = _project(tmp_path, {
+        "pkg/__init__.py": "from pkg.api import helper\n",
+        "pkg/api.py": "from pkg.impl import helper\n",
+        "pkg/impl.py": "def helper():\n    return 1\n",
+    })
+    kind, info, local = project.resolve_symbol("pkg", "helper")
+    assert kind == "function"
+    assert info.name == "pkg.impl" and local == "helper"
+
+
+def test_resolve_symbol_through_star_imports(tmp_path):
+    project = _project(tmp_path, {
+        "pkg/__init__.py": "from pkg.impl import *\n",
+        "pkg/impl.py": "__all__ = ['helper']\ndef helper():\n    return 1\n",
+    })
+    resolved = project.resolve_symbol("pkg", "helper")
+    assert resolved is not None and resolved[1].name == "pkg.impl"
+
+
+def test_all_declaration_shapes_public_names(tmp_path):
+    (ctx,) = _write_tree(tmp_path, {
+        "mod.py": (
+            "__all__ = ['yes']\n"
+            "def yes():\n    pass\n"
+            "def also_public_by_name():\n    pass\n"
+            "def _private():\n    pass\n"
+        ),
+    })
+    from repro.analysis.project import ModuleInfo
+
+    info = ModuleInfo("mod", ctx)
+    assert info.all_names == ["yes"]
+    assert info.public_names() == {"yes"}
+    assert "_private" not in info.public_names()
+
+
+def test_import_cycle_terminates(tmp_path):
+    project = _project(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "from pkg.b import thing\n",
+        "pkg/b.py": "from pkg.a import thing\n",
+    })
+    # Neither module defines `thing`: resolution must return None, not
+    # recurse forever.
+    assert project.resolve_symbol("pkg.a", "thing") is None
+    graph = project.import_graph()
+    assert graph["pkg.a"] == {"pkg.b"} and graph["pkg.b"] == {"pkg.a"}
+
+
+# --------------------------------------------------------- call graph
+
+
+def test_cross_module_callees_and_transitive_closure(tmp_path):
+    project = _project(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/low.py": "def base():\n    return 0\n",
+        "pkg/mid.py": (
+            "from pkg.low import base\n"
+            "def step():\n    return base() + 1\n"
+        ),
+        "pkg/top.py": (
+            "from pkg.mid import step\n"
+            "def run():\n    return step()\n"
+        ),
+    })
+    run = project.resolve_function("pkg.top", "run")
+    direct = {f.ref for f in project.callees(run)}
+    assert direct == {("pkg.mid", "step")}
+    transitive = {f.ref for f in project.transitive_callees(run)}
+    assert transitive == {("pkg.mid", "step"), ("pkg.low", "base")}
+
+
+def test_calling_a_class_resolves_to_init(tmp_path):
+    project = _project(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/model.py": (
+            "class Thing:\n"
+            "    def __init__(self):\n        self.x = 1\n"
+        ),
+        "pkg/use.py": (
+            "from pkg.model import Thing\n"
+            "def make():\n    return Thing()\n"
+        ),
+    })
+    make = project.resolve_function("pkg.use", "make")
+    refs = {f.ref for f in project.callees(make)}
+    assert ("pkg.model", "Thing.__init__") in refs
+
+
+# ----------------------------------------------------- import closure
+
+
+def test_import_closure_includes_importers_and_their_imports(tmp_path):
+    project = _project(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/core.py": "def f():\n    return 1\n",
+        "pkg/user.py": (
+            "from pkg.core import f\n"
+            "from pkg.extra import g\n"
+            "def h():\n    return f() + g()\n"
+        ),
+        "pkg/extra.py": "def g():\n    return 2\n",
+        "pkg/unrelated.py": "def z():\n    return 3\n",
+    })
+    closure = project.import_closure(["pkg/core.py"])
+    # The change, its importer, and the importer's other import — but
+    # not the module nothing connects to.
+    assert closure == {"pkg/core.py", "pkg/user.py", "pkg/extra.py"}
+
+
+def test_import_closure_passes_unknown_paths_through(tmp_path):
+    project = _project(tmp_path, {"solo.py": "X = 1\n"})
+    closure = project.import_closure(["solo.py", "not/analyzed.py"])
+    assert closure == {"solo.py", "not/analyzed.py"}

@@ -7,7 +7,7 @@ import json
 import pytest
 
 from repro.analysis import Baseline, lint_paths
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_github, render_json, render_text
 from repro.analysis.runner import (
     PARSE_ERROR_RULE,
     LintConfig,
@@ -109,3 +109,30 @@ def test_json_reporter_round_trips(tmp_path):
     assert len(payload["findings"]) == 2
     first = payload["findings"][0]
     assert {"path", "line", "col", "rule", "message"} <= set(first)
+
+
+def test_github_reporter_emits_error_annotations(tmp_path):
+    result = lint_paths([_tree(tmp_path)])
+    report = render_github(result)
+    errors = [ln for ln in report.splitlines() if ln.startswith("::error ")]
+    assert len(errors) == 2
+    assert "file=" in errors[0] and "line=" in errors[0]
+    assert "title=repro-lint DET001" in errors[0]
+    assert report.splitlines()[-1].startswith("2 finding(s)")
+
+
+def test_github_reporter_notices_grandfathered_and_escapes(tmp_path):
+    root = _tree(tmp_path)
+    first = lint_paths([root])
+    gated = lint_paths(
+        [root], LintConfig(baseline=Baseline.from_findings(first.findings))
+    )
+    report = render_github(gated)
+    notices = [ln for ln in report.splitlines() if ln.startswith("::notice ")]
+    assert len(notices) == 2 and all("(baseline)" in ln for ln in notices)
+    assert not any(ln.startswith("::error ") for ln in report.splitlines())
+    # Workflow-command data escaping: a message containing % or newlines
+    # must not break the annotation line.
+    from repro.analysis.reporters import _annotation_escape
+
+    assert _annotation_escape("50% a\r\nb") == "50%25 a%0D%0Ab"

@@ -25,4 +25,6 @@ def test_src_repro_is_clean_with_empty_baseline():
 
 def test_committed_baseline_is_empty():
     baseline = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
-    assert baseline == {"version": 1, "findings": {}}
+    assert baseline == {
+        "version": 2, "findings": {}, "content_findings": {}
+    }

@@ -187,3 +187,29 @@ class TestServer:
             server.shutdown()
             server.server_close()
             thread.join(timeout=5)
+
+
+class TestAtomicPublish:
+    """Regression tests for the IO201 fix: both dashboard artifacts are
+    published via tmp + os.replace, never a truncating in-place write."""
+
+    def test_no_temp_files_survive_a_write(self, drained_store):
+        write_dashboard(drained_store)
+        names = sorted(p.name for p in drained_store.root.iterdir())
+        assert "dashboard.json" in names and "dashboard.html" in names
+        assert not any(n.endswith(".tmp") for n in names)
+
+    def test_rewrite_goes_through_os_replace(self, drained_store, monkeypatch):
+        import os as os_module
+
+        replaced: list[str] = []
+        real_replace = os_module.replace
+
+        def spying_replace(src, dst):
+            replaced.append(os_module.path.basename(str(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os_module, "replace", spying_replace)
+        write_dashboard(drained_store)
+        assert replaced.count("dashboard.json") == 1
+        assert replaced.count("dashboard.html") == 1

@@ -430,3 +430,71 @@ class TestExternalCoordinator:
             cells, store=store, external=True, poll_s=0.01, timeout_s=5.0,
         )
         assert outcome.cached == len(cells)
+
+
+class TestPublishGuard:
+    """Regression tests for the IO203 fix: publish_manifest's
+    read-merge-write runs under an os.mkdir guard, so concurrent
+    publishers cannot drop each other's cells."""
+
+    def test_concurrent_publishers_lose_no_cells(self, tmp_path):
+        store = ResultStore(tmp_path)
+        grids = [
+            _cells(fractions=(round(0.1 * (i + 1), 2),), schemes=("LRU",))
+            for i in range(6)
+        ]
+        errors: list[BaseException] = []
+
+        def publish(cells):
+            try:
+                publish_manifest(store, cells)
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=publish, args=(grid,)) for grid in grids
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        published = {cell.fingerprint() for cell in load_manifest(store)}
+        expected = {cell.fingerprint() for grid in grids for cell in grid}
+        assert published == expected  # every merge survived
+
+    def test_guard_is_released_after_publish(self, tmp_path):
+        store = ResultStore(tmp_path)
+        publish_manifest(store, _cells())
+        assert not (store.root / ".grid.lock").exists()
+
+    def test_stale_guard_from_a_crashed_publisher_is_retired(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.root.mkdir(parents=True, exist_ok=True)
+        guard = store.root / ".grid.lock"
+        guard.mkdir()
+        _backdate(guard, service.DEFAULT_LEASE_TTL_S + 10)
+        publish_manifest(store, _cells())  # must not deadlock
+        assert len(load_manifest(store)) == 4
+        assert not guard.exists()
+
+    def test_fresh_guard_blocks_until_released(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.root.mkdir(parents=True, exist_ok=True)
+        guard = store.root / ".grid.lock"
+        guard.mkdir()
+        done = threading.Event()
+
+        def publish():
+            publish_manifest(store, _cells())
+            done.set()
+
+        thread = threading.Thread(target=publish)
+        thread.start()
+        try:
+            assert not done.wait(0.3)  # held guard really blocks
+            os.rmdir(guard)
+            assert done.wait(5.0)
+        finally:
+            thread.join(5.0)
+        assert len(load_manifest(store)) == 4

@@ -8,7 +8,13 @@ import pytest
 
 from repro.sweep.runner import run_cell
 from repro.sweep.spec import CellSpec
-from repro.sweep.store import STATUS_ERROR, STATUS_OK, CellResult, ResultStore
+from repro.sweep.store import (
+    STATUS_ERROR,
+    STATUS_OK,
+    CellResult,
+    ResultStore,
+    atomic_write_text,
+)
 
 
 def _ok_result(fingerprint: str = "abc123") -> CellResult:
@@ -182,3 +188,42 @@ class TestContentDigest:
 
     def test_empty_store_has_a_digest(self, tmp_path):
         assert len(ResultStore(tmp_path).content_digest()) == 64
+
+
+class TestAtomicWriteText:
+    """The shared tmp+os.replace publisher behind every final-path
+    write in the store, manifest and dashboard (IO201)."""
+
+    def test_writes_content_and_returns_the_path(self, tmp_path):
+        target = tmp_path / "deep" / "out.json"
+        result = atomic_write_text(target, '{"a": 1}')
+        assert result == target
+        assert target.read_text() == '{"a": 1}'
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        atomic_write_text(tmp_path / "out.txt", "x" * 4096)
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "old content")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_failed_write_cleans_up_and_preserves_the_old_file(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "survivor")
+
+        import os as os_module
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os_module, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "doomed")
+        monkeypatch.undo()
+        assert target.read_text() == "survivor"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]

@@ -11,16 +11,26 @@ from repro.experiments.harness import sweep_workload
 from repro.policies.scheme import LruScheme
 from repro.simulator.config import TEST_CLUSTER
 from repro.simulator.engine import simulate
-from repro.trace.events import TraceFormatError
+from repro.trace.events import (
+    EVENT_TYPES,
+    CacheHit,
+    CacheMiss,
+    JobStart,
+    TraceEvent,
+    TraceFormatError,
+)
 from repro.trace.eventlog import ingest_eventlog, profile_from_trace
 from repro.trace.recorder import TraceRecorder
 from repro.trace.replay import (
+    EVENT_GROUPS,
+    GROUP_ORDER,
     TraceDiff,
     build_scheme,
     detect_format,
     diff_trace_files,
     diff_traces,
     replay,
+    summarize_events,
     workload_from_eventlog,
 )
 from repro.workloads.registry import (
@@ -225,3 +235,47 @@ def test_replay_profile_store_prefeeds_mrd():
     stored = store.get("IterativeML")
     assert stored is not None and stored.complete
     assert result.metrics.stats.hits > 0
+
+
+class TestEventSummary:
+    def test_groups_cover_every_registered_kind(self):
+        # EVENT_GROUPS is the pivot EVT301 cross-checks against the
+        # TraceEvent hierarchy: it must stay exactly in sync with the
+        # wire-format registry.
+        assert set(EVENT_GROUPS) == set(EVENT_TYPES)
+        assert set(EVENT_GROUPS.values()) == set(GROUP_ORDER)
+
+    def test_summarize_counts_by_group_then_kind(self):
+        events = [
+            JobStart(t=0.0, job_id=0),
+            CacheHit(t=1.0, rdd_id=0, partition=0, node_id=0),
+            CacheHit(t=2.0, rdd_id=0, partition=1, node_id=0),
+            CacheMiss(t=3.0, rdd_id=1, partition=2, node_id=1),
+        ]
+        summary = summarize_events(events)
+        assert list(summary) == ["lifecycle", "cache"]  # GROUP_ORDER
+        assert summary["cache"] == {"cache_hit": 2, "cache_miss": 1}
+        assert summary["lifecycle"] == {"job_start": 1}
+
+    def test_empty_stream_summarizes_empty(self):
+        assert summarize_events([]) == {}
+
+    def test_unknown_kind_raises_schema_drift(self):
+        class Rogue(TraceEvent):
+            kind = "rogue_kind"
+
+        with pytest.raises(TraceFormatError, match="rogue_kind"):
+            summarize_events([Rogue(t=0.0)])
+
+    def test_recorded_run_summarizes_cleanly(self):
+        from tests.conftest import make_iterative_app
+
+        recorder = TraceRecorder()
+        dag = build_dag(make_iterative_app(iterations=3))
+        simulate(
+            dag, TEST_CLUSTER.with_cache(48.0), LruScheme(), recorder=recorder
+        )
+        summary = summarize_events(recorder.events)
+        total = sum(n for kinds in summary.values() for n in kinds.values())
+        assert total == len(recorder.events) > 0
+        assert "lifecycle" in summary and "cache" in summary
